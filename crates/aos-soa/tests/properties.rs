@@ -1,0 +1,89 @@
+//! Property tests for the AoS ⇄ SoA conversion and the skinny kernels.
+
+use ipt_aos_soa::{aos_to_soa, soa_to_aos, transpose_skinny_c2r, transpose_skinny_r2c, SoaView};
+use ipt_core::check::fill_pattern;
+use ipt_core::Scratch;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn conversion_places_every_field(n in 1usize..300, s in 1usize..33, seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let orig: Vec<u64> = (0..n * s).map(|_| rng.gen()).collect();
+        let mut data = orig.clone();
+        aos_to_soa(&mut data, n, s);
+        for i in 0..n {
+            for k in 0..s {
+                prop_assert_eq!(data[k * n + i], orig[i * s + k], "struct {} field {}", i, k);
+            }
+        }
+        soa_to_aos(&mut data, n, s);
+        prop_assert_eq!(data, orig);
+    }
+
+    #[test]
+    fn skinny_kernels_equal_core_for_any_shape(m in 1usize..64, n in 1usize..200) {
+        let mut a = vec![0u64; m * n];
+        fill_pattern(&mut a);
+        let mut b = a.clone();
+        transpose_skinny_c2r(&mut a, m, n);
+        ipt_core::c2r(&mut b, m, n, &mut Scratch::new());
+        prop_assert_eq!(&a, &b);
+
+        let mut a = vec![0u32; m * n];
+        fill_pattern(&mut a);
+        let mut b = a.clone();
+        transpose_skinny_r2c(&mut a, m, n);
+        ipt_core::r2c(&mut b, m, n, &mut Scratch::new());
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn view_and_buffer_agree(n in 1usize..100, s in 1usize..16) {
+        let mut data = vec![0u32; n * s];
+        fill_pattern(&mut data);
+        let view = SoaView::new(&data, s, n);
+        for k in 0..s {
+            prop_assert_eq!(view.field(k), &data[k * n..(k + 1) * n]);
+            for i in 0..n {
+                prop_assert_eq!(view.get(i, k), data[k * n + i]);
+            }
+        }
+        prop_assert_eq!(view.is_empty(), n == 0);
+    }
+
+    #[test]
+    fn conversion_commutes_with_per_field_maps(n in 1usize..120, s in 2usize..12) {
+        // Mapping field k in AoS then converting equals converting then
+        // mapping the k-th array: the layouts describe the same data.
+        let mut via_aos: Vec<u64> = (0..(n * s) as u64).collect();
+        let k = s / 2;
+        for st in via_aos.chunks_exact_mut(s) {
+            st[k] = st[k].wrapping_mul(3);
+        }
+        aos_to_soa(&mut via_aos, n, s);
+
+        let mut via_soa: Vec<u64> = (0..(n * s) as u64).collect();
+        aos_to_soa(&mut via_soa, n, s);
+        for v in &mut via_soa[k * n..(k + 1) * n] {
+            *v = v.wrapping_mul(3);
+        }
+        prop_assert_eq!(via_aos, via_soa);
+    }
+}
+
+#[test]
+fn large_conversion_round_trip() {
+    // One big deterministic case at Figure-7-like scale.
+    let (n, s) = (100_000usize, 12usize);
+    let orig: Vec<u64> = (0..(n * s) as u64).map(|x| x.wrapping_mul(0x9e3779b9)).collect();
+    let mut data = orig.clone();
+    aos_to_soa(&mut data, n, s);
+    assert_ne!(data, orig);
+    soa_to_aos(&mut data, n, s);
+    assert_eq!(data, orig);
+}

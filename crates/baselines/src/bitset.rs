@@ -1,0 +1,106 @@
+//! A plain fixed-size bitset for visited-marking.
+//!
+//! The marked cycle-following variants ([`crate::cycle_follow`],
+//! [`crate::sung`], [`crate::tiled`]) need one bit per element or per tile.
+//! This is exactly the `O(mn)`-bits auxiliary-space cost the paper holds
+//! against those algorithms (§5.2), so the bitset is kept explicit — the
+//! benchmark harnesses report its size alongside throughput.
+
+/// A growable, zero-initialized bitset.
+#[derive(Debug, Clone)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// A bitset of `len` bits, all clear.
+    pub fn new(len: usize) -> BitSet {
+        BitSet {
+            words: vec![0u64; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of addressable bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the bitset holds zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Auxiliary memory footprint in bytes (reported by the harnesses).
+    pub fn size_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Test bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] >> (i % 64) & 1 != 0
+    }
+
+    /// Set bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Clear every bit, keeping the allocation (for reuse across calls).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Reset to `len` bits, reusing the allocation when possible.
+    pub fn reset(&mut self, len: usize) {
+        self.words.clear();
+        self.words.resize(len.div_ceil(64), 0);
+        self.len = len;
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut b = BitSet::new(200);
+        assert!(!b.get(0) && !b.get(199));
+        b.set(0);
+        b.set(63);
+        b.set(64);
+        b.set(199);
+        assert!(b.get(0) && b.get(63) && b.get(64) && b.get(199));
+        assert!(!b.get(1) && !b.get(65) && !b.get(198));
+        assert_eq!(b.count_ones(), 4);
+    }
+
+    #[test]
+    fn clear_and_reset() {
+        let mut b = BitSet::new(100);
+        b.set(42);
+        b.clear();
+        assert_eq!(b.count_ones(), 0);
+        b.reset(10);
+        assert_eq!(b.len(), 10);
+        assert_eq!(b.count_ones(), 0);
+    }
+
+    #[test]
+    fn size_accounting() {
+        let b = BitSet::new(65);
+        assert_eq!(b.size_bytes(), 16);
+        assert!(BitSet::new(0).is_empty());
+    }
+}

@@ -1,0 +1,136 @@
+//! Integer factorization and the tile-size heuristics of the baselines.
+//!
+//! The paper's §5.2 describes the heuristic used to drive Sung's tiled
+//! transpose on arbitrary arrays: *"sort the factors of the array
+//! dimension, then starting with the smallest factors, multiply them until
+//! the tile dimension equals or exceeds some threshold t"*, with `t = 72`
+//! capping the maximum tile at `72 x 72`. Reproducing the paper's reported
+//! picks (tile 32 for 7200, 31 for 7223) requires the greedy reading:
+//! accumulate ascending prime factors while the product stays within `t`.
+//!
+//! Tiled algorithms need tile dimensions that **divide** the array
+//! dimensions; prime or badly-factored dimensions force tiny tiles, which
+//! is the failure mode Figure 6 exhibits for Sung's implementation.
+
+/// Prime factorization in ascending order (with multiplicity).
+///
+/// Trial division — dimensions are matrix sizes, far below the range where
+/// this matters.
+pub fn prime_factors(mut x: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    if x < 2 {
+        return out;
+    }
+    let mut d = 2usize;
+    while d * d <= x {
+        while x % d == 0 {
+            out.push(d);
+            x /= d;
+        }
+        d += if d == 2 { 1 } else { 2 };
+    }
+    if x > 1 {
+        out.push(x);
+    }
+    out
+}
+
+/// The paper's §5.2 factor-product tile heuristic: the product of the
+/// smallest prime factors of `dim` that stays `<= threshold`.
+///
+/// Always divides `dim`; returns 1 when even the smallest prime factor
+/// exceeds the threshold (e.g. a large prime dimension).
+pub fn sung_tile_dim(dim: usize, threshold: usize) -> usize {
+    let mut tile = 1usize;
+    for f in prime_factors(dim) {
+        if tile * f > threshold {
+            break;
+        }
+        tile *= f;
+    }
+    tile.max(1)
+}
+
+/// Largest divisor of `dim` that is `<= limit` — the Gustavson baseline's
+/// tile picker (its packing machinery wants the biggest cache-friendly
+/// tile that still divides the dimension).
+pub fn largest_divisor_at_most(dim: usize, limit: usize) -> usize {
+    if dim == 0 {
+        return 1;
+    }
+    let limit = limit.min(dim).max(1);
+    // Enumerate divisors via the factorization: subset products. Dimension
+    // counts are small, so a simple breadth-first product set is fine.
+    let mut divisors = vec![1usize];
+    for f in prime_factors(dim) {
+        let existing = divisors.clone();
+        for d in existing {
+            let nd = d * f;
+            if nd <= dim && !divisors.contains(&nd) {
+                divisors.push(nd);
+            }
+        }
+    }
+    divisors.into_iter().filter(|&d| d <= limit).max().unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorization_basics() {
+        assert_eq!(prime_factors(1), Vec::<usize>::new());
+        assert_eq!(prime_factors(2), [2]);
+        assert_eq!(prime_factors(12), [2, 2, 3]);
+        assert_eq!(prime_factors(97), [97]);
+        assert_eq!(prime_factors(7200), [2, 2, 2, 2, 2, 3, 3, 5, 5]);
+        assert_eq!(prime_factors(7223), [31, 233]);
+    }
+
+    #[test]
+    fn factors_multiply_back() {
+        for x in 2..2000 {
+            let p: usize = prime_factors(x).iter().product();
+            assert_eq!(p, x);
+        }
+    }
+
+    #[test]
+    fn sung_heuristic_reproduces_paper_picks() {
+        // §5.2: 7200 x 1800 got tile 32 x 72; 7223 x 10368 got 31 x 64.
+        assert_eq!(sung_tile_dim(7200, 72), 32);
+        assert_eq!(sung_tile_dim(1800, 72), 72);
+        assert_eq!(sung_tile_dim(7223, 72), 31);
+        assert_eq!(sung_tile_dim(10368, 72), 64);
+    }
+
+    #[test]
+    fn sung_heuristic_degenerates_on_primes() {
+        assert_eq!(sung_tile_dim(7919, 72), 1, "prime > t gives 1x tiles");
+        assert_eq!(sung_tile_dim(61, 72), 61, "prime <= t is its own tile");
+    }
+
+    #[test]
+    fn sung_tile_divides_dim() {
+        for dim in 1..3000 {
+            let t = sung_tile_dim(dim, 72);
+            assert!(t >= 1 && dim % t == 0, "dim={dim} t={t}");
+            assert!(t <= 72, "dim={dim} t={t} exceeds threshold");
+        }
+    }
+
+    #[test]
+    fn largest_divisor_properties() {
+        for dim in 1..2000usize {
+            for limit in [1usize, 7, 64, 100] {
+                let d = largest_divisor_at_most(dim, limit);
+                assert!(d >= 1 && d <= limit.min(dim).max(1));
+                assert_eq!(dim % d, 0, "dim={dim} limit={limit} d={d}");
+            }
+        }
+        assert_eq!(largest_divisor_at_most(7200, 64), 60);
+        assert_eq!(largest_divisor_at_most(97, 64), 1);
+        assert_eq!(largest_divisor_at_most(128, 64), 64);
+    }
+}

@@ -1,0 +1,46 @@
+//! # ipt-baselines — the algorithms the paper compares against
+//!
+//! The PPoPP 2014 evaluation measures the decomposed C2R/R2C transpose
+//! against three classes of prior art. This crate implements a faithful
+//! stand-in for each (the substitutions are inventoried in the repository's
+//! DESIGN.md):
+//!
+//! * [`cycle_follow`] — classical cycle-following in-place transposition
+//!   (Windley 1959 / Knuth), in two space regimes: the minimal-auxiliary
+//!   leader-scan variant with `O(mn log mn)` work (the behaviour of MKL's
+//!   serial `mkl_dimatcopy`, the paper's Figure 3 / Table 1 baseline), and
+//!   an `O(mn)`-work variant that spends `O(mn)` *bits* on visited marks.
+//! * [`gustavson`] — a tiled pack → transpose → unpack pipeline after
+//!   Gustavson, Karlsson & Kågström (ACM TOMS 2012), the paper's
+//!   cache-optimized CPU comparator.
+//! * [`sung`] — a tiled in-place transpose with per-tile bit marking and
+//!   the factor-product tile-size heuristic of the paper's §5.2, standing
+//!   in for Sung's GPU implementation (Figure 6 / Table 2 baseline),
+//!   including its characteristic collapse on inconveniently factored
+//!   dimensions.
+//! * [`dow`] — Dow-style square-block transposition, the fast classical
+//!   special case that only exists when one dimension divides the other.
+//! * [`oop`] — the ideal out-of-place transpose (reads each element once,
+//!   writes once), the upper bound used to sanity-check throughput.
+//!
+//! All baselines transpose row-major `m x n` buffers to row-major `n x m`,
+//! matching the convention of `ipt_core::c2r`, and every implementation is
+//! cross-checked against `ipt_core`'s reference in the test suites.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod cycle_follow;
+pub mod dow;
+pub mod factor;
+pub mod gustavson;
+pub mod oop;
+pub mod sung;
+pub mod tiled;
+
+pub use cycle_follow::{transpose_cycle_following, transpose_cycle_following_marked};
+pub use dow::{dow_supports, transpose_dow};
+pub use gustavson::transpose_gustavson;
+pub use oop::transpose_out_of_place;
+pub use sung::transpose_sung;

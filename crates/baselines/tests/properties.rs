@@ -1,0 +1,121 @@
+//! Property tests for the baseline transposition algorithms.
+//!
+//! Baselines exist to be *compared against*, so their correctness is as
+//! load-bearing as the main algorithm's: a silently wrong baseline makes
+//! every benchmark comparison meaningless.
+
+use ipt_baselines::cycle_follow::{cycle_stats, transpose_cycle_following};
+use ipt_baselines::tiled::tiled_transpose;
+use ipt_baselines::{
+    transpose_cycle_following_marked, transpose_gustavson, transpose_sung,
+};
+use ipt_core::check::{fill_pattern, reference_transpose};
+use ipt_core::Layout;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn cycle_following_minimal_matches_reference(m in 1usize..48, n in 1usize..48) {
+        let mut a = vec![0u64; m * n];
+        fill_pattern(&mut a);
+        let want = reference_transpose(&a, m, n, Layout::RowMajor);
+        transpose_cycle_following(&mut a, m, n);
+        prop_assert_eq!(a, want);
+    }
+
+    #[test]
+    fn cycle_following_marked_matches_reference(m in 1usize..64, n in 1usize..64) {
+        let mut a = vec![0u32; m * n];
+        fill_pattern(&mut a);
+        let want = reference_transpose(&a, m, n, Layout::RowMajor);
+        transpose_cycle_following_marked(&mut a, m, n);
+        prop_assert_eq!(a, want);
+    }
+
+    #[test]
+    fn gustavson_matches_reference(m in 1usize..80, n in 1usize..80) {
+        let mut a = vec![0u64; m * n];
+        fill_pattern(&mut a);
+        let want = reference_transpose(&a, m, n, Layout::RowMajor);
+        transpose_gustavson(&mut a, m, n);
+        prop_assert_eq!(a, want);
+    }
+
+    #[test]
+    fn sung_matches_reference(m in 1usize..80, n in 1usize..80) {
+        let mut a = vec![0u64; m * n];
+        fill_pattern(&mut a);
+        let want = reference_transpose(&a, m, n, Layout::RowMajor);
+        transpose_sung(&mut a, m, n);
+        prop_assert_eq!(a, want);
+    }
+
+    #[test]
+    fn tiled_with_arbitrary_divisor_tiles(
+        grid_r in 1usize..10,
+        grid_c in 1usize..10,
+        tr in 1usize..6,
+        tc in 1usize..6,
+    ) {
+        // Any (tr | m, tc | n) pair must work, not just the heuristics'.
+        let (m, n) = (grid_r * tr, grid_c * tc);
+        let mut a = vec![0u32; m * n];
+        fill_pattern(&mut a);
+        let want = reference_transpose(&a, m, n, Layout::RowMajor);
+        tiled_transpose(&mut a, m, n, tr, tc);
+        prop_assert_eq!(a, want);
+    }
+
+    #[test]
+    fn cycle_stats_account_for_the_permutation(m in 2usize..40, n in 2usize..40) {
+        let stats = cycle_stats(m, n);
+        // Each non-trivial cycle has length >= 2 and all moved elements
+        // fit strictly inside the permutation's domain minus the two
+        // fixed endpoints.
+        prop_assert!(stats.moved <= m * n - 2);
+        prop_assert!(stats.longest <= m * n - 2 || m * n < 4);
+        if m == n {
+            prop_assert!(stats.longest <= 2, "square transposition is an involution");
+        }
+    }
+
+    #[test]
+    fn baselines_agree_with_each_other(m in 2usize..48, n in 2usize..48) {
+        let mut a = vec![0u64; m * n];
+        fill_pattern(&mut a);
+        let mut b = a.clone();
+        let mut c = a.clone();
+        transpose_cycle_following_marked(&mut a, m, n);
+        transpose_gustavson(&mut b, m, n);
+        transpose_sung(&mut c, m, n);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&a, &c);
+    }
+}
+
+#[test]
+fn marked_variant_aux_is_linear_in_elements() {
+    // One bit per element (rounded to words): the space cost the paper
+    // holds against this family.
+    for (m, n) in [(10usize, 10usize), (32, 32), (100, 50)] {
+        let mut a = vec![0u8; m * n];
+        fill_pattern(&mut a);
+        let aux = transpose_cycle_following_marked(&mut a, m, n);
+        let expect = (m * n - 1).div_ceil(64) * 8;
+        assert_eq!(aux, expect, "{m}x{n}");
+    }
+}
+
+#[test]
+fn long_cycles_exist_for_rectangular_shapes() {
+    // The paper's motivation for why cycle-following parallelizes poorly:
+    // cycle lengths are badly distributed. Exhibit a shape with one cycle
+    // covering a large share of the matrix.
+    let stats = cycle_stats(5, 7);
+    assert!(
+        stats.longest as f64 >= 0.3 * (5.0 * 7.0),
+        "expected a long cycle, got {stats:?}"
+    );
+}

@@ -1,0 +1,42 @@
+//! Microbenchmark of the §4.4 strength-reduced division against hardware
+//! division, across divisor classes (general magic, 65-bit magic with
+//! add-indicator, power of two).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ipt_core::fastdiv::FastDivMod;
+use std::hint::black_box;
+
+fn bench_fastdiv(c: &mut Criterion) {
+    let xs: Vec<u64> = (0..4096u64).map(|i| i.wrapping_mul(0x9e3779b97f4a7c15)).collect();
+    // 7: plain magic; 19: magic needing the add path for some widths;
+    // 4096: power of two; 1000003: large prime.
+    for d in [7u64, 19, 4096, 1_000_003] {
+        let f = FastDivMod::new(d);
+        let mut g = c.benchmark_group(format!("fastdiv/d={d}"));
+        g.throughput(Throughput::Elements(xs.len() as u64));
+        g.bench_function(BenchmarkId::from_parameter("magic"), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for &x in &xs {
+                    let (q, r) = f.divrem(black_box(x));
+                    acc = acc.wrapping_add(q ^ r);
+                }
+                acc
+            })
+        });
+        g.bench_function(BenchmarkId::from_parameter("hardware"), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                let d = black_box(d);
+                for &x in &xs {
+                    acc = acc.wrapping_add((x / d) ^ (x % d));
+                }
+                acc
+            })
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_fastdiv);
+criterion_main!(benches);

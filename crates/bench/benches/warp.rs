@@ -1,0 +1,109 @@
+//! Benchmarks of the in-register transpose and the coalesced AoS access
+//! strategies (the compute half of Figures 8–9; the transaction half is
+//! the `fig8_unit_stride` / `fig9_random_access` harnesses).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use memsim::MemoryConfig;
+use std::hint::black_box;
+use warp_sim::{c2r_in_register, r2c_in_register, AccessStrategy, CoalescedPtr, Warp};
+
+const LANES: usize = 32;
+
+fn bench_in_register(c: &mut Criterion) {
+    for m in [2usize, 4, 8, 16, 32] {
+        let data: Vec<u64> = (0..(m * LANES) as u64).collect();
+        let mut g = c.benchmark_group(format!("warp/in-register/m={m}"));
+        g.throughput(Throughput::Bytes((m * LANES * 8) as u64));
+        g.bench_function(BenchmarkId::from_parameter("c2r"), |b| {
+            b.iter(|| {
+                let mut w = Warp::from_matrix(black_box(&data), m, LANES);
+                c2r_in_register(&mut w);
+                w
+            })
+        });
+        g.bench_function(BenchmarkId::from_parameter("r2c"), |b| {
+            b.iter(|| {
+                let mut w = Warp::from_matrix(black_box(&data), m, LANES);
+                r2c_in_register(&mut w);
+                w
+            })
+        });
+        g.finish();
+    }
+}
+
+fn bench_access_strategies(c: &mut Criterion) {
+    let s = 8usize;
+    let mut g = c.benchmark_group("warp/aos-load");
+    g.throughput(Throughput::Bytes((LANES * s * 8) as u64));
+    for (name, strat) in [
+        ("direct", AccessStrategy::Direct),
+        ("vector16", AccessStrategy::Vector { width_bytes: 16 }),
+        ("c2r", AccessStrategy::C2r),
+    ] {
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut data: Vec<u64> = (0..(LANES * s) as u64).collect();
+            b.iter(|| {
+                let mut ptr = CoalescedPtr::new(black_box(&mut data), s, MemoryConfig::default());
+                ptr.load_unit_stride(0, LANES, strat)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_compiled_transpose(c: &mut Criterion) {
+    // §6.2.4 static precomputation: index tables built once per geometry
+    // vs recomputed per transpose.
+    let m = 8usize;
+    let data: Vec<u64> = (0..(m * LANES) as u64).collect();
+    let mut g = c.benchmark_group("warp/index-precomputation");
+    g.throughput(Throughput::Bytes((m * LANES * 8) as u64));
+    g.bench_function(BenchmarkId::from_parameter("on-the-fly"), |b| {
+        b.iter(|| {
+            let mut w = Warp::from_matrix(black_box(&data), m, LANES);
+            r2c_in_register(&mut w);
+            w
+        })
+    });
+    g.bench_function(BenchmarkId::from_parameter("compiled"), |b| {
+        let ct = warp_sim::CompiledTranspose::new(m, LANES);
+        b.iter(|| {
+            let mut w = Warp::from_matrix(black_box(&data), m, LANES);
+            ct.r2c(&mut w);
+            w
+        })
+    });
+    g.finish();
+}
+
+fn bench_shuffle_implementations(c: &mut Criterion) {
+    // §6.2.1: hardware shuffle vs the shared-memory fallback.
+    use warp_sim::transpose::{c2r_in_register_with, ShuffleKind};
+    let m = 8usize;
+    let data: Vec<u64> = (0..(m * LANES) as u64).collect();
+    let mut g = c.benchmark_group("warp/shuffle-impl");
+    g.throughput(Throughput::Bytes((m * LANES * 8) as u64));
+    for (name, kind) in [
+        ("hardware-shfl", ShuffleKind::Hardware),
+        ("shared-memory", ShuffleKind::SharedMemory),
+    ] {
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let mut w = Warp::from_matrix(black_box(&data), m, LANES);
+                c2r_in_register_with(&mut w, kind);
+                w
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_in_register,
+    bench_access_strategies,
+    bench_compiled_transpose,
+    bench_shuffle_implementations
+);
+criterion_main!(benches);

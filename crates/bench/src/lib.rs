@@ -1,0 +1,11 @@
+//! Support library for the `ipt-bench` harness binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (see the experiment index in `DESIGN.md`); the
+//! shared workload generation, timing, histogram and CSV machinery lives
+//! in [`harness`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;

@@ -1,0 +1,140 @@
+//! End-to-end tests of the `ipt` CLI binary: gen → transpose → verify
+//! pipelines over temp files, exercising the type-erased in-place path.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn ipt(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ipt-cli"))
+        .args(args)
+        .output()
+        .expect("running ipt binary")
+}
+
+fn tmpfile(name: &str) -> String {
+    let mut p = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    p.push(name);
+    p.to_str().unwrap().to_string()
+}
+
+fn assert_ok(out: &Output) {
+    assert!(
+        out.status.success(),
+        "exit {:?}\nstdout: {}\nstderr: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn gen_transpose_verify_round_trip() {
+    let f = tmpfile("roundtrip.bin");
+    assert_ok(&ipt(&["gen", &f, "--rows", "37", "--cols", "53", "--elem-size", "8"]));
+    assert_ok(&ipt(&["transpose", &f, "--rows", "37", "--cols", "53", "--elem-size", "8"]));
+    assert_ok(&ipt(&["verify", &f, "--rows", "37", "--cols", "53", "--elem-size", "8"]));
+}
+
+#[test]
+fn verify_rejects_untransposed_file() {
+    let f = tmpfile("untransposed.bin");
+    assert_ok(&ipt(&["gen", &f, "--rows", "6", "--cols", "9", "--elem-size", "4"]));
+    let out = ipt(&["verify", &f, "--rows", "6", "--cols", "9", "--elem-size", "4"]);
+    assert!(!out.status.success(), "must reject the identity layout");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("mismatch"));
+}
+
+#[test]
+fn odd_element_sizes_and_output_path() {
+    let src = tmpfile("rgb_src.bin");
+    let dst = tmpfile("rgb_dst.bin");
+    assert_ok(&ipt(&["gen", &src, "--rows", "16", "--cols", "24", "--elem-size", "3"]));
+    let orig = std::fs::read(&src).unwrap();
+    assert_ok(&ipt(&[
+        "transpose", &src, "--rows", "16", "--cols", "24", "--elem-size", "3", "--out", &dst,
+    ]));
+    assert_eq!(std::fs::read(&src).unwrap(), orig, "--out must not touch the source");
+    assert_ok(&ipt(&["verify", &dst, "--rows", "16", "--cols", "24", "--elem-size", "3"]));
+}
+
+#[test]
+fn double_transpose_is_identity() {
+    let f = tmpfile("double.bin");
+    assert_ok(&ipt(&["gen", &f, "--rows", "11", "--cols", "29", "--elem-size", "2"]));
+    let orig = std::fs::read(&f).unwrap();
+    assert_ok(&ipt(&["transpose", &f, "--rows", "11", "--cols", "29", "--elem-size", "2"]));
+    assert_ne!(std::fs::read(&f).unwrap(), orig);
+    assert_ok(&ipt(&["transpose", &f, "--rows", "29", "--cols", "11", "--elem-size", "2"]));
+    assert_eq!(std::fs::read(&f).unwrap(), orig);
+}
+
+#[test]
+fn aos_soa_round_trip() {
+    let f = tmpfile("aos.bin");
+    assert_ok(&ipt(&["gen", &f, "--rows", "100", "--cols", "7", "--elem-size", "4"]));
+    let orig = std::fs::read(&f).unwrap();
+    assert_ok(&ipt(&["aos2soa", &f, "--structs", "100", "--fields", "7", "--elem-size", "4"]));
+    let soa = std::fs::read(&f).unwrap();
+    // Field k of struct i moved from (i*7 + k) to (k*100 + i).
+    assert_eq!(&soa[(3 * 100 + 5) * 4..(3 * 100 + 5) * 4 + 4], &orig[(5 * 7 + 3) * 4..(5 * 7 + 3) * 4 + 4]);
+    assert_ok(&ipt(&["soa2aos", &f, "--structs", "100", "--fields", "7", "--elem-size", "4"]));
+    assert_eq!(std::fs::read(&f).unwrap(), orig);
+}
+
+#[test]
+fn col_major_layout_flag() {
+    let f = tmpfile("colmajor.bin");
+    assert_ok(&ipt(&["gen", &f, "--rows", "5", "--cols", "8", "--elem-size", "8"]));
+    let orig = std::fs::read(&f).unwrap();
+    assert_ok(&ipt(&[
+        "transpose", &f, "--rows", "5", "--cols", "8", "--elem-size", "8", "--layout", "col",
+    ]));
+    assert_ok(&ipt(&[
+        "transpose", &f, "--rows", "8", "--cols", "5", "--elem-size", "8", "--layout", "col",
+    ]));
+    assert_eq!(std::fs::read(&f).unwrap(), orig);
+}
+
+#[test]
+fn info_reports_shapes() {
+    let f = tmpfile("info.bin");
+    assert_ok(&ipt(&["gen", &f, "--rows", "6", "--cols", "6", "--elem-size", "4"]));
+    let out = ipt(&["info", &f, "--elem-size", "4"]);
+    assert_ok(&out);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("36 elements"), "{text}");
+    assert!(text.contains("6x6"), "{text}");
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    for args in [
+        &["transpose"][..],
+        &["transpose", "/nonexistent", "--rows", "2", "--cols", "2", "--elem-size", "1"][..],
+        &["bogus", "x"][..],
+        &["transpose", "x", "--rows", "two"][..],
+    ] {
+        let out = ipt(args);
+        assert!(!out.status.success(), "{args:?} should fail");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("error:"),
+            "{args:?} should explain itself"
+        );
+    }
+}
+
+#[test]
+fn size_mismatch_rejected() {
+    let f = tmpfile("short.bin");
+    std::fs::write(&f, vec![0u8; 10]).unwrap();
+    let out = ipt(&["transpose", &f, "--rows", "4", "--cols", "4", "--elem-size", "4"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("expected 64 bytes"));
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = ipt(&["--help"]);
+    assert_ok(&out);
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}

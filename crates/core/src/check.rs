@@ -1,0 +1,191 @@
+//! Test-pattern fill and transposition verification helpers.
+//!
+//! The correctness suites (unit, property and integration tests, plus the
+//! benchmark harnesses' `--verify` mode) all need the same two operations:
+//! fill a buffer with a position-identifying pattern, and check that a
+//! buffer holds the transpose of that pattern. Centralizing them here keeps
+//! every crate's tests honest about what "transposed" means.
+
+use crate::layout::Layout;
+
+/// Element types that can encode a linear index, for test patterns.
+///
+/// `from_index` must be injective over the index range a test uses
+/// (wrapping types like `u8` are only injective for small matrices; the
+/// suites size accordingly).
+pub trait PatternElem: Copy + PartialEq + core::fmt::Debug {
+    /// Encode linear index `i`.
+    fn from_index(i: usize) -> Self;
+}
+
+macro_rules! impl_pattern_int {
+    ($($t:ty),*) => {$(
+        impl PatternElem for $t {
+            #[inline]
+            fn from_index(i: usize) -> Self {
+                i as $t
+            }
+        }
+    )*};
+}
+
+impl_pattern_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl PatternElem for f32 {
+    #[inline]
+    fn from_index(i: usize) -> Self {
+        i as f32
+    }
+}
+
+impl PatternElem for f64 {
+    #[inline]
+    fn from_index(i: usize) -> Self {
+        i as f64
+    }
+}
+
+impl PatternElem for (usize, usize) {
+    #[inline]
+    fn from_index(i: usize) -> Self {
+        (i, !i)
+    }
+}
+
+/// Fill `data[l] = from_index(l)`.
+pub fn fill_pattern<T: PatternElem>(data: &mut [T]) {
+    for (l, slot) in data.iter_mut().enumerate() {
+        *slot = T::from_index(l);
+    }
+}
+
+/// Out-of-place reference transpose: the ground truth every in-place
+/// algorithm is checked against.
+///
+/// Input: `rows x cols` in `layout`; output: `cols x rows` in the same
+/// layout.
+pub fn reference_transpose<T: Copy>(
+    data: &[T],
+    rows: usize,
+    cols: usize,
+    layout: Layout,
+) -> Vec<T> {
+    assert_eq!(data.len(), rows * cols);
+    let mut out = data.to_vec();
+    for i in 0..rows {
+        for j in 0..cols {
+            let src = layout.linearize(i, j, rows, cols);
+            let dst = layout.linearize(j, i, cols, rows);
+            out[dst] = data[src];
+        }
+    }
+    out
+}
+
+/// Check that `data` (now `cols x rows` in `layout`) holds the transpose of
+/// the [`fill_pattern`] of a `rows x cols` matrix in `layout`.
+pub fn is_transposed_pattern<T: PatternElem>(
+    data: &[T],
+    rows: usize,
+    cols: usize,
+    layout: Layout,
+) -> bool {
+    if data.len() != rows * cols {
+        return false;
+    }
+    for i in 0..cols {
+        for j in 0..rows {
+            // Output element (i, j) must equal input element (j, i),
+            // whose pattern value is its linear offset in the input.
+            let got = data[layout.linearize(i, j, cols, rows)];
+            let want = T::from_index(layout.linearize(j, i, rows, cols));
+            if got != want {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// First position (if any) at which two buffers differ — nicer test
+/// diagnostics than a bare `assert_eq!` on megabyte-sized vectors.
+pub fn first_mismatch<T: PartialEq>(a: &[T], b: &[T]) -> Option<usize> {
+    if a.len() != b.len() {
+        return Some(a.len().min(b.len()));
+    }
+    a.iter().zip(b).position(|(x, y)| x != y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_transpose_small_row_major() {
+        // [[1, 2, 3], [4, 5, 6]]^T = [[1, 4], [2, 5], [3, 6]]
+        let a = [1, 2, 3, 4, 5, 6];
+        let t = reference_transpose(&a, 2, 3, Layout::RowMajor);
+        assert_eq!(t, [1, 4, 2, 5, 3, 6]);
+    }
+
+    #[test]
+    fn reference_transpose_small_col_major() {
+        // Column-major [[1, 3, 5], [2, 4, 6]] (buffer 1..=6); transpose's
+        // column-major buffer is the row-major reading of the original.
+        let a = [1, 2, 3, 4, 5, 6];
+        let t = reference_transpose(&a, 2, 3, Layout::ColMajor);
+        assert_eq!(t, [1, 3, 5, 2, 4, 6]);
+    }
+
+    #[test]
+    fn reference_transpose_involution() {
+        let mut a = vec![0u32; 5 * 7];
+        fill_pattern(&mut a);
+        for layout in [Layout::RowMajor, Layout::ColMajor] {
+            let t = reference_transpose(&a, 5, 7, layout);
+            let tt = reference_transpose(&t, 7, 5, layout);
+            assert_eq!(tt, a);
+        }
+    }
+
+    #[test]
+    fn pattern_checker_accepts_reference() {
+        for layout in [Layout::RowMajor, Layout::ColMajor] {
+            for (r, c) in [(3usize, 8usize), (8, 3), (4, 4), (1, 5)] {
+                let mut a = vec![0u64; r * c];
+                fill_pattern(&mut a);
+                let t = reference_transpose(&a, r, c, layout);
+                assert!(is_transposed_pattern(&t, r, c, layout), "{r}x{c} {layout:?}");
+                if r > 1 && c > 1 {
+                    assert!(
+                        !is_transposed_pattern(&a, r, c, layout),
+                        "untransposed must fail {r}x{c} {layout:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_checker_rejects_single_swap() {
+        let mut a = vec![0u32; 6 * 9];
+        fill_pattern(&mut a);
+        let mut t = reference_transpose(&a, 6, 9, Layout::RowMajor);
+        t.swap(5, 40);
+        assert!(!is_transposed_pattern(&t, 6, 9, Layout::RowMajor));
+    }
+
+    #[test]
+    fn first_mismatch_reports_position() {
+        assert_eq!(first_mismatch(&[1, 2, 3], &[1, 2, 3]), None);
+        assert_eq!(first_mismatch(&[1, 2, 3], &[1, 9, 3]), Some(1));
+        assert_eq!(first_mismatch(&[1, 2], &[1, 2, 3]), Some(2));
+    }
+
+    #[test]
+    fn tuple_pattern_is_injective() {
+        let a = <(usize, usize)>::from_index(3);
+        let b = <(usize, usize)>::from_index(4);
+        assert_ne!(a, b);
+    }
+}

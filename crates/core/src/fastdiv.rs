@@ -1,0 +1,250 @@
+//! Arithmetic strength reduction for division and modulus (paper §4.4).
+//!
+//! Evaluating the transposition index equations requires many integer
+//! divisions and moduli by the *same* handful of divisors (`m`, `n`, `a`,
+//! `b`, `c`). The paper reports a significant speedup from replacing
+//! hardware division with a precomputed fixed-point reciprocal: a multiply
+//! plus a shift (Warren, *Hacker's Delight*), with the modulus recovered by
+//! one more multiply and a subtract.
+//!
+//! [`FastDivMod`] implements the Granlund–Montgomery "round-up" magic-number
+//! scheme for full-range `u64` dividends: with `l = ceil(log2 d)` and
+//! `M = ceil(2^(64+l) / d)` we have `M*d - 2^(64+l) < d <= 2^l`, which
+//! satisfies the classical correctness condition
+//! `2^(64+l) <= M*d <= 2^(64+l) + 2^l`, so
+//! `floor(M*x / 2^(64+l)) == floor(x / d)` for **all** `x < 2^64` with no
+//! correction step. When `M` needs 65 bits, the standard add-indicator
+//! sequence recovers the result with 64-bit operations.
+
+/// A precomputed divisor supporting branch-free division and modulus.
+///
+/// ```
+/// use ipt_core::fastdiv::FastDivMod;
+///
+/// let d = FastDivMod::new(7);
+/// assert_eq!(d.div(100), 14);
+/// assert_eq!(d.rem(100), 2);
+/// assert_eq!(d.divrem(100), (14, 2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FastDivMod {
+    d: u64,
+    kind: Kind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    /// `d == 1`: quotient is the dividend, remainder 0.
+    One,
+    /// `d` is a power of two: shift and mask.
+    Shift { shift: u32, mask: u64 },
+    /// `M = magic` fits in 64 bits: `q = mulhi(x, M) >> shift`.
+    Magic { magic: u64, shift: u32 },
+    /// `M = 2^64 + magic` needs 65 bits: add-indicator sequence.
+    MagicAdd { magic: u64, shift: u32 },
+    /// `d > 2^63`: the quotient is 0 or 1; compare directly.
+    Compare,
+}
+
+/// High 64 bits of the 128-bit product `x * y`.
+#[inline]
+fn mulhi(x: u64, y: u64) -> u64 {
+    (((x as u128) * (y as u128)) >> 64) as u64
+}
+
+impl FastDivMod {
+    /// Precompute the reciprocal for divisor `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    pub fn new(d: u64) -> FastDivMod {
+        assert!(d != 0, "division by zero");
+        let kind = if d == 1 {
+            Kind::One
+        } else if d.is_power_of_two() {
+            Kind::Shift {
+                shift: d.trailing_zeros(),
+                mask: d - 1,
+            }
+        } else if d > (1u64 << 63) {
+            // ceil(log2 d) == 64: the magic constant would need 2^128.
+            // But floor(x / d) is 0 or 1 for every x < 2^64.
+            Kind::Compare
+        } else {
+            // l = ceil(log2 d); d is not a power of two, so l = floor + 1.
+            let l = 64 - (d - 1).leading_zeros();
+            debug_assert!((1..64).contains(&l));
+            // M = ceil(2^(64+l) / d), a 64- or 65-bit value.
+            let big = 1u128 << (64 + l);
+            let m128 = big.div_ceil(d as u128);
+            if m128 >> 64 == 0 {
+                Kind::Magic {
+                    magic: m128 as u64,
+                    shift: l,
+                }
+            } else {
+                debug_assert_eq!(m128 >> 64, 1, "M must fit in 65 bits");
+                Kind::MagicAdd {
+                    magic: m128 as u64, // low 64 bits; implicit +2^64
+                    shift: l - 1,
+                }
+            }
+        };
+        FastDivMod { d, kind }
+    }
+
+    /// The divisor this reciprocal was built for.
+    #[inline]
+    pub fn divisor(self) -> u64 {
+        self.d
+    }
+
+    /// `x / self.divisor()` without a hardware divide.
+    #[inline]
+    #[allow(clippy::should_implement_trait)] // deliberate: mirrors the paper's div/mod naming
+    pub fn div(self, x: u64) -> u64 {
+        match self.kind {
+            Kind::One => x,
+            Kind::Shift { shift, .. } => x >> shift,
+            Kind::Magic { magic, shift } => mulhi(x, magic) >> shift,
+            Kind::MagicAdd { magic, shift } => {
+                // q = floor((x + mulhi(x, magic)) / 2^(shift+1)), computed
+                // without overflowing: floor((x - h)/2) + h == floor((x+h)/2).
+                let h = mulhi(x, magic);
+                (((x - h) >> 1) + h) >> shift
+            }
+            Kind::Compare => u64::from(x >= self.d),
+        }
+    }
+
+    /// `x % self.divisor()` without a hardware divide.
+    #[inline]
+    #[allow(clippy::should_implement_trait)]
+    pub fn rem(self, x: u64) -> u64 {
+        match self.kind {
+            Kind::One => 0,
+            Kind::Shift { mask, .. } => x & mask,
+            Kind::Compare => {
+                if x >= self.d {
+                    x - self.d
+                } else {
+                    x
+                }
+            }
+            _ => x - self.div(x) * self.d,
+        }
+    }
+
+    /// `(x / d, x % d)` in one shot.
+    #[inline]
+    pub fn divrem(self, x: u64) -> (u64, u64) {
+        match self.kind {
+            Kind::One => (x, 0),
+            Kind::Shift { shift, mask } => (x >> shift, x & mask),
+            Kind::Compare => {
+                if x >= self.d {
+                    (1, x - self.d)
+                } else {
+                    (0, x)
+                }
+            }
+            _ => {
+                let q = self.div(x);
+                (q, x - q * self.d)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_all(d: u64, xs: impl IntoIterator<Item = u64>) {
+        let f = FastDivMod::new(d);
+        for x in xs {
+            assert_eq!(f.div(x), x / d, "div({x}, {d})");
+            assert_eq!(f.rem(x), x % d, "rem({x}, {d})");
+            assert_eq!(f.divrem(x), (x / d, x % d), "divrem({x}, {d})");
+        }
+    }
+
+    fn edge_values() -> Vec<u64> {
+        let mut v = vec![0, 1, 2, 3, 63, 64, 65, 1000, u64::MAX, u64::MAX - 1];
+        for s in 1..64 {
+            v.push(1u64 << s);
+            v.push((1u64 << s) - 1);
+            v.push((1u64 << s) + 1);
+        }
+        v
+    }
+
+    #[test]
+    fn exhaustive_small() {
+        for d in 1..=512u64 {
+            check_all(d, 0..4096);
+        }
+    }
+
+    #[test]
+    fn edge_divisors_edge_dividends() {
+        let divisors: Vec<u64> = (1..=64)
+            .flat_map(|s: u32| {
+                let p = 1u64.checked_shl(s).unwrap_or(0);
+                [p.wrapping_sub(1), p, p.wrapping_add(1)]
+            })
+            .filter(|&d| d != 0)
+            .collect();
+        for d in divisors {
+            check_all(d, edge_values());
+        }
+    }
+
+    #[test]
+    fn divisor_one() {
+        let f = FastDivMod::new(1);
+        assert_eq!(f.div(u64::MAX), u64::MAX);
+        assert_eq!(f.rem(u64::MAX), 0);
+    }
+
+    #[test]
+    fn huge_divisors() {
+        for d in [
+            (1u64 << 63) + 1,
+            (1u64 << 63) + 12345,
+            u64::MAX,
+            u64::MAX - 1,
+            (1u64 << 62) + 3, // largest magic-path divisors
+            (1u64 << 63) - 1,
+        ] {
+            check_all(d, edge_values());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn zero_divisor_panics() {
+        FastDivMod::new(0);
+    }
+
+    #[test]
+    fn pseudo_random_pairs() {
+        // Cheap xorshift so this hot loop needs no external crate here;
+        // the heavier randomized coverage lives in the proptest suite.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..20_000 {
+            let d = next() | 1; // nonzero
+            let x = next();
+            let f = FastDivMod::new(d);
+            assert_eq!(f.div(x), x / d);
+            assert_eq!(f.rem(x), x % d);
+        }
+    }
+}

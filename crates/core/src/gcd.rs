@@ -1,0 +1,174 @@
+//! Greatest common divisor, extended Euclid and modular inverses.
+//!
+//! The decomposition is parameterized by `c = gcd(m, n)`, `a = m/c`,
+//! `b = n/c` (paper §3). The gather-based formulations of the row shuffle
+//! and row permutation (Eqs. 31 and 34) additionally need the modular
+//! multiplicative inverses `a^-1 mod b` and `b^-1 mod a`, which exist
+//! because `a` and `b` are coprime by construction.
+
+/// Greatest common divisor by the binary (Stein) algorithm.
+///
+/// `gcd(0, x) = gcd(x, 0) = x`; `gcd(0, 0) = 0`.
+#[inline]
+pub fn gcd(mut u: u64, mut v: u64) -> u64 {
+    if u == 0 {
+        return v;
+    }
+    if v == 0 {
+        return u;
+    }
+    let shift = (u | v).trailing_zeros();
+    u >>= u.trailing_zeros();
+    loop {
+        v >>= v.trailing_zeros();
+        if u > v {
+            core::mem::swap(&mut u, &mut v);
+        }
+        v -= u;
+        if v == 0 {
+            return u << shift;
+        }
+    }
+}
+
+/// Extended Euclidean algorithm.
+///
+/// Returns `(g, x, y)` with `g = gcd(a, b)` and `a*x + b*y = g`.
+pub fn extended_gcd(a: i128, b: i128) -> (i128, i128, i128) {
+    let (mut old_r, mut r) = (a, b);
+    let (mut old_x, mut x) = (1i128, 0i128);
+    let (mut old_y, mut y) = (0i128, 1i128);
+    while r != 0 {
+        let q = old_r / r;
+        (old_r, r) = (r, old_r - q * r);
+        (old_x, x) = (x, old_x - q * x);
+        (old_y, y) = (y, old_y - q * y);
+    }
+    (old_r, old_x, old_y)
+}
+
+/// Modular multiplicative inverse: the unique `x` in `[0, modulus)` with
+/// `(value * x) mod modulus == 1 mod modulus`.
+///
+/// ```
+/// use ipt_core::gcd::mmi;
+///
+/// assert_eq!(mmi(3, 7), 5); // 3 * 5 = 15 ≡ 1 (mod 7)
+/// ```
+///
+/// The paper's `mmi(x, y)` (§4.2). By convention `mmi(_, 1) == 0`, since
+/// everything is congruent mod 1 — this is the value the index formulas
+/// need when `a == 1` or `b == 1`.
+///
+/// # Panics
+///
+/// Panics if `value` and `modulus` are not coprime or `modulus == 0`.
+pub fn mmi(value: u64, modulus: u64) -> u64 {
+    assert!(modulus > 0, "modulus must be positive");
+    if modulus == 1 {
+        return 0;
+    }
+    let (g, x, _) = extended_gcd(value as i128, modulus as i128);
+    assert!(
+        g == 1,
+        "mmi({value}, {modulus}): arguments are not coprime (gcd = {g})"
+    );
+    (x.rem_euclid(modulus as i128)) as u64
+}
+
+/// The decomposition parameters `(c, a, b)` for an `m x n` matrix:
+/// `c = gcd(m, n)`, `a = m / c`, `b = n / c` (paper §3).
+#[inline]
+pub fn cab(m: usize, n: usize) -> (usize, usize, usize) {
+    let c = gcd(m as u64, n as u64) as usize;
+    (c, m / c, n / c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(0, 7), 7);
+        assert_eq!(gcd(7, 0), 7);
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(17, 5), 1);
+        assert_eq!(gcd(4, 8), 4);
+        assert_eq!(gcd(1_000_000_007, 998_244_353), 1);
+    }
+
+    #[test]
+    fn gcd_matches_euclid() {
+        fn euclid(a: u64, b: u64) -> u64 {
+            if b == 0 {
+                a
+            } else {
+                euclid(b, a % b)
+            }
+        }
+        for a in 0..64u64 {
+            for b in 0..64u64 {
+                assert_eq!(gcd(a, b), euclid(a, b), "gcd({a}, {b})");
+            }
+        }
+    }
+
+    #[test]
+    fn extended_gcd_bezout() {
+        for a in 1..40i128 {
+            for b in 1..40i128 {
+                let (g, x, y) = extended_gcd(a, b);
+                assert_eq!(a * x + b * y, g, "bezout({a}, {b})");
+                assert_eq!(g, gcd(a as u64, b as u64) as i128);
+            }
+        }
+    }
+
+    #[test]
+    fn mmi_is_inverse() {
+        for modulus in 2..50u64 {
+            for value in 1..modulus {
+                if gcd(value, modulus) == 1 {
+                    let inv = mmi(value, modulus);
+                    assert!(inv < modulus);
+                    assert_eq!((value * inv) % modulus, 1, "mmi({value}, {modulus})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mmi_mod_one_is_zero() {
+        assert_eq!(mmi(1, 1), 0);
+        assert_eq!(mmi(5, 1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not coprime")]
+    fn mmi_rejects_non_coprime() {
+        mmi(4, 6);
+    }
+
+    #[test]
+    fn cab_examples() {
+        // The paper's running examples: 3x8 (Fig. 1) and 4x8 (Fig. 2).
+        assert_eq!(cab(3, 8), (1, 3, 8));
+        assert_eq!(cab(4, 8), (4, 1, 2));
+        assert_eq!(cab(6, 4), (2, 3, 2));
+        assert_eq!(cab(5, 5), (5, 1, 1));
+    }
+
+    #[test]
+    fn cab_parts_are_coprime() {
+        for m in 1..30 {
+            for n in 1..30 {
+                let (c, a, b) = cab(m, n);
+                assert_eq!(a * c, m);
+                assert_eq!(b * c, n);
+                assert_eq!(gcd(a as u64, b as u64), 1, "a={a} b={b} not coprime");
+            }
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Linearization of two-dimensional indices (paper §2, Eqs. 1–6).
+//!
+//! An `m x n` matrix stored in a flat buffer admits two standard
+//! linearizations. The paper's index algebra is built on these four
+//! functions and their inverses:
+//!
+//! * row-major:    `l_rm(i, j) = j + i*n`, `i_rm(l) = l / n`, `j_rm(l) = l % n`
+//! * column-major: `l_cm(i, j) = i + j*m`, `i_cm(l) = l % m`, `j_cm(l) = l / m`
+
+/// Storage order of a linearized matrix.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Layout {
+    /// Elements of a row are contiguous: `A[i][j]` lives at `j + i*cols`.
+    RowMajor,
+    /// Elements of a column are contiguous: `A[i][j]` lives at `i + j*rows`.
+    ColMajor,
+}
+
+impl Layout {
+    /// The opposite storage order.
+    #[inline]
+    pub fn flipped(self) -> Layout {
+        match self {
+            Layout::RowMajor => Layout::ColMajor,
+            Layout::ColMajor => Layout::RowMajor,
+        }
+    }
+
+    /// Linear offset of element `(i, j)` in an `m x n` matrix of this layout.
+    #[inline]
+    pub fn linearize(self, i: usize, j: usize, m: usize, n: usize) -> usize {
+        match self {
+            Layout::RowMajor => lrm(i, j, n),
+            Layout::ColMajor => lcm(i, j, m),
+        }
+    }
+
+    /// Inverse of [`Layout::linearize`]: `(i, j)` of linear offset `l`.
+    #[inline]
+    pub fn delinearize(self, l: usize, m: usize, n: usize) -> (usize, usize) {
+        match self {
+            Layout::RowMajor => (irm(l, n), jrm(l, n)),
+            Layout::ColMajor => (icm(l, m), jcm(l, m)),
+        }
+    }
+}
+
+/// Row-major linearization `l_rm(i, j) = j + i*n` (Eq. 1).
+#[inline]
+pub fn lrm(i: usize, j: usize, n: usize) -> usize {
+    j + i * n
+}
+
+/// Row index of row-major offset `l`: `i_rm(l) = floor(l / n)` (Eq. 2).
+#[inline]
+pub fn irm(l: usize, n: usize) -> usize {
+    l / n
+}
+
+/// Column index of row-major offset `l`: `j_rm(l) = l mod n` (Eq. 3).
+#[inline]
+pub fn jrm(l: usize, n: usize) -> usize {
+    l % n
+}
+
+/// Column-major linearization `l_cm(i, j) = i + j*m` (Eq. 4).
+#[inline]
+pub fn lcm(i: usize, j: usize, m: usize) -> usize {
+    i + j * m
+}
+
+/// Row index of column-major offset `l`: `i_cm(l) = l mod m` (Eq. 5).
+#[inline]
+pub fn icm(l: usize, m: usize) -> usize {
+    l % m
+}
+
+/// Column index of column-major offset `l`: `j_cm(l) = floor(l / m)` (Eq. 6).
+#[inline]
+pub fn jcm(l: usize, m: usize) -> usize {
+    l / m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_major_round_trip() {
+        // l_rm(i_rm(l), j_rm(l)) = l, the observation after Eq. 3.
+        let (m, n) = (7, 11);
+        for l in 0..m * n {
+            assert_eq!(lrm(irm(l, n), jrm(l, n), n), l);
+        }
+    }
+
+    #[test]
+    fn col_major_round_trip() {
+        // l_cm(i_cm(l), j_cm(l)) = l, the observation after Eq. 6.
+        let (m, n) = (7, 11);
+        for l in 0..m * n {
+            assert_eq!(lcm(icm(l, m), jcm(l, m), m), l);
+        }
+    }
+
+    #[test]
+    fn layouts_disagree_off_diagonal() {
+        let (m, n) = (3, 5);
+        assert_eq!(Layout::RowMajor.linearize(1, 2, m, n), 7);
+        assert_eq!(Layout::ColMajor.linearize(1, 2, m, n), 7);
+        assert_eq!(Layout::RowMajor.linearize(2, 1, m, n), 11);
+        assert_eq!(Layout::ColMajor.linearize(2, 1, m, n), 5);
+    }
+
+    #[test]
+    fn delinearize_inverts_linearize() {
+        let (m, n) = (4, 6);
+        for layout in [Layout::RowMajor, Layout::ColMajor] {
+            for i in 0..m {
+                for j in 0..n {
+                    let l = layout.linearize(i, j, m, n);
+                    assert_eq!(layout.delinearize(l, m, n), (i, j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flipped_is_involution() {
+        assert_eq!(Layout::RowMajor.flipped(), Layout::ColMajor);
+        assert_eq!(Layout::RowMajor.flipped().flipped(), Layout::RowMajor);
+    }
+
+    #[test]
+    fn transpose_swaps_layout_meaning() {
+        // A row-major m x n buffer read as column-major n x m yields the
+        // transpose: the identity underlying Theorem 2's dimension swap.
+        let (m, n) = (3, 4);
+        for i in 0..m {
+            for j in 0..n {
+                let l = Layout::RowMajor.linearize(i, j, m, n);
+                assert_eq!(Layout::ColMajor.linearize(j, i, n, m), l);
+            }
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Round-trip tests for the optional `serde` feature
+//! (`cargo test -p ipt-core --features serde`).
+#![cfg(feature = "serde")]
+
+use ipt_core::{Algorithm, Layout, Matrix};
+
+#[test]
+fn layout_round_trips_as_json() {
+    for layout in [Layout::RowMajor, Layout::ColMajor] {
+        let json = serde_json::to_string(&layout).unwrap();
+        let back: Layout = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, layout);
+    }
+    assert_eq!(serde_json::to_string(&Layout::RowMajor).unwrap(), "\"RowMajor\"");
+}
+
+#[test]
+fn algorithm_round_trips_as_json() {
+    for alg in [Algorithm::C2r, Algorithm::R2c, Algorithm::Auto] {
+        let json = serde_json::to_string(&alg).unwrap();
+        let back: Algorithm = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, alg);
+    }
+}
+
+#[test]
+fn matrix_round_trips_with_shape_and_data() {
+    let m = Matrix::from_fn(3, 4, Layout::ColMajor, |i, j| (i * 10 + j) as u64);
+    let json = serde_json::to_string(&m).unwrap();
+    let back: Matrix<u64> = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, m);
+    assert_eq!(back.rows(), 3);
+    assert_eq!(back.cols(), 4);
+    assert_eq!(back.get(2, 3), 23);
+}
+
+#[test]
+fn serialized_matrix_survives_a_transpose_round_trip() {
+    // Serialize, deserialize, transpose, and check against transposing
+    // the original: serialization must not desynchronize shape/layout.
+    let mut original = Matrix::from_fn(5, 7, Layout::RowMajor, |i, j| (i * 100 + j) as u32);
+    let mut restored: Matrix<u32> =
+        serde_json::from_str(&serde_json::to_string(&original).unwrap()).unwrap();
+    let mut s = ipt_core::Scratch::new();
+    original.transpose_in_place(&mut s);
+    restored.transpose_in_place(&mut s);
+    assert_eq!(original, restored);
+}

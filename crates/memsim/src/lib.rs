@@ -1,0 +1,288 @@
+//! # memsim — a cache-line transaction model of a GPU memory system
+//!
+//! The paper's Figures 8 and 9 measure Array-of-Structures access
+//! throughput on a Tesla K20c, whose defining mechanism is the
+//! **coalescer**: a warp-wide memory instruction is serviced by one
+//! transaction per distinct cache line touched, regardless of how many
+//! useful bytes each transaction carries. Strided accesses (each lane
+//! reading consecutive fields of *its own* structure) touch many lines and
+//! waste most of each; coalesced accesses (consecutive lanes reading
+//! consecutive addresses) approach one fully-used transaction per line.
+//!
+//! Lacking the GPU, this crate reproduces that first-order mechanism
+//! exactly: [`Memory`] records warp-wide accesses, counts distinct-line
+//! transactions, and reports *efficiency* (useful bytes / transferred
+//! bytes) and estimated throughput (`efficiency x peak bandwidth`). The
+//! warp simulator (`warp-sim`) drives it with the same address streams the
+//! paper's three access strategies (direct, hardware-vector, C2R
+//! in-register transpose) generate, regenerating the figures' shapes.
+//!
+//! ```
+//! use memsim::{Memory, MemoryConfig};
+//!
+//! let mut mem = Memory::new(MemoryConfig::default());
+//! // A perfectly coalesced warp read: 32 lanes x 4 bytes, consecutive.
+//! let addrs: Vec<(u64, u32)> = (0..32).map(|l| (l * 4, 4)).collect();
+//! mem.record_read(&addrs);
+//! assert_eq!(mem.stats().read_transactions, 1);
+//! assert!((mem.read_efficiency() - 1.0).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod model;
+
+/// Memory-system parameters.
+///
+/// Defaults approximate the Tesla K20c of the paper's evaluation: 128-byte
+/// cache lines (the coalescing granularity of GK110) and 208 GB/s peak
+/// DRAM bandwidth.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryConfig {
+    /// Transaction granularity in bytes.
+    pub line_bytes: u64,
+    /// Peak bandwidth in GB/s, used to convert efficiency to throughput.
+    pub peak_gbps: f64,
+}
+
+impl Default for MemoryConfig {
+    fn default() -> MemoryConfig {
+        MemoryConfig {
+            line_bytes: 128,
+            peak_gbps: 208.0,
+        }
+    }
+}
+
+/// Running counters of a simulation.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Warp-wide read instructions issued.
+    pub read_requests: u64,
+    /// Warp-wide write instructions issued.
+    pub write_requests: u64,
+    /// Cache-line transactions servicing reads.
+    pub read_transactions: u64,
+    /// Cache-line transactions servicing writes.
+    pub write_transactions: u64,
+    /// Bytes the program actually asked to read.
+    pub bytes_read: u64,
+    /// Bytes the program actually asked to write.
+    pub bytes_written: u64,
+}
+
+/// The transaction-counting memory model.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    cfg: MemoryConfig,
+    stats: Stats,
+    /// Scratch for line deduplication, reused across records.
+    lines: Vec<u64>,
+}
+
+impl Memory {
+    /// A fresh memory with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes == 0`.
+    pub fn new(cfg: MemoryConfig) -> Memory {
+        assert!(cfg.line_bytes > 0, "line size must be positive");
+        Memory {
+            cfg,
+            stats: Stats::default(),
+            lines: Vec::new(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> MemoryConfig {
+        self.cfg
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> Stats {
+        self.stats
+    }
+
+    /// Forget all recorded traffic (keep the configuration).
+    pub fn reset(&mut self) {
+        self.stats = Stats::default();
+    }
+
+    /// Count the distinct cache lines touched by a set of `(address,
+    /// size)` accesses — the transactions the coalescer would issue.
+    fn transactions(&mut self, accesses: &[(u64, u32)]) -> u64 {
+        self.lines.clear();
+        for &(addr, size) in accesses {
+            if size == 0 {
+                continue;
+            }
+            let first = addr / self.cfg.line_bytes;
+            let last = (addr + size as u64 - 1) / self.cfg.line_bytes;
+            for line in first..=last {
+                self.lines.push(line);
+            }
+        }
+        self.lines.sort_unstable();
+        self.lines.dedup();
+        self.lines.len() as u64
+    }
+
+    /// Record one warp-wide read: each entry is a lane's `(address,
+    /// size_in_bytes)`. Returns the transactions it cost.
+    pub fn record_read(&mut self, accesses: &[(u64, u32)]) -> u64 {
+        let t = self.transactions(accesses);
+        self.stats.read_requests += 1;
+        self.stats.read_transactions += t;
+        self.stats.bytes_read += accesses.iter().map(|&(_, s)| s as u64).sum::<u64>();
+        t
+    }
+
+    /// Record one warp-wide write. Returns the transactions it cost.
+    pub fn record_write(&mut self, accesses: &[(u64, u32)]) -> u64 {
+        let t = self.transactions(accesses);
+        self.stats.write_requests += 1;
+        self.stats.write_transactions += t;
+        self.stats.bytes_written += accesses.iter().map(|&(_, s)| s as u64).sum::<u64>();
+        t
+    }
+
+    /// Useful-read-bytes / transferred-read-bytes, in `[0, 1]`.
+    pub fn read_efficiency(&self) -> f64 {
+        if self.stats.read_transactions == 0 {
+            return 0.0;
+        }
+        self.stats.bytes_read as f64 / (self.stats.read_transactions * self.cfg.line_bytes) as f64
+    }
+
+    /// Useful-write-bytes / transferred-write-bytes, in `[0, 1]`.
+    pub fn write_efficiency(&self) -> f64 {
+        if self.stats.write_transactions == 0 {
+            return 0.0;
+        }
+        self.stats.bytes_written as f64
+            / (self.stats.write_transactions * self.cfg.line_bytes) as f64
+    }
+
+    /// Combined efficiency over reads and writes.
+    pub fn total_efficiency(&self) -> f64 {
+        let t = self.stats.read_transactions + self.stats.write_transactions;
+        if t == 0 {
+            return 0.0;
+        }
+        (self.stats.bytes_read + self.stats.bytes_written) as f64
+            / (t * self.cfg.line_bytes) as f64
+    }
+
+    /// Estimated sustained throughput in GB/s: `efficiency x peak`.
+    ///
+    /// This is the model's stand-in for the measured GB/s of Figures 8–9:
+    /// a bandwidth-bound kernel moves useful bytes at the peak rate scaled
+    /// by how full its transactions run.
+    pub fn estimated_throughput_gbps(&self) -> f64 {
+        self.total_efficiency() * self.cfg.peak_gbps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> Memory {
+        Memory::new(MemoryConfig {
+            line_bytes: 128,
+            peak_gbps: 208.0,
+        })
+    }
+
+    #[test]
+    fn coalesced_warp_read_is_one_transaction() {
+        let mut m = mem();
+        let addrs: Vec<(u64, u32)> = (0..32).map(|l| (l * 4, 4)).collect();
+        assert_eq!(m.record_read(&addrs), 1);
+        assert_eq!(m.stats().bytes_read, 128);
+        assert!((m.read_efficiency() - 1.0).abs() < 1e-12);
+        assert!((m.estimated_throughput_gbps() - 208.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fully_strided_read_is_one_transaction_per_lane() {
+        // Each lane reads 4 bytes, 512 bytes apart: 32 lines touched,
+        // 4/128 of each line useful.
+        let mut m = mem();
+        let addrs: Vec<(u64, u32)> = (0..32).map(|l| (l * 512, 4)).collect();
+        assert_eq!(m.record_read(&addrs), 32);
+        assert!((m.read_efficiency() - 4.0 / 128.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn misaligned_access_spans_two_lines() {
+        let mut m = mem();
+        assert_eq!(m.record_read(&[(120, 16)]), 2);
+        assert_eq!(m.record_read(&[(0, 16)]), 1);
+    }
+
+    #[test]
+    fn duplicate_lines_are_merged() {
+        let mut m = mem();
+        // All 32 lanes read the same word: one transaction (broadcast).
+        let addrs: Vec<(u64, u32)> = (0..32).map(|_| (64, 4)).collect();
+        assert_eq!(m.record_read(&addrs), 1);
+    }
+
+    #[test]
+    fn write_and_read_counted_separately() {
+        let mut m = mem();
+        m.record_read(&[(0, 8)]);
+        m.record_write(&[(1024, 8)]);
+        m.record_write(&[(2048, 8)]);
+        let s = m.stats();
+        assert_eq!(s.read_requests, 1);
+        assert_eq!(s.write_requests, 2);
+        assert_eq!(s.read_transactions, 1);
+        assert_eq!(s.write_transactions, 2);
+        assert_eq!(s.bytes_written, 16);
+        assert!(m.write_efficiency() > 0.0 && m.write_efficiency() < 1.0);
+    }
+
+    #[test]
+    fn total_efficiency_mixes_streams() {
+        let mut m = mem();
+        let coalesced: Vec<(u64, u32)> = (0..32).map(|l| (l * 4, 4)).collect();
+        m.record_read(&coalesced);
+        let strided: Vec<(u64, u32)> = (0..32).map(|l| (10_000 + l * 512, 4)).collect();
+        m.record_write(&strided);
+        let eff = m.total_efficiency();
+        assert!(eff > 4.0 / 128.0 && eff < 1.0, "eff = {eff}");
+    }
+
+    #[test]
+    fn reset_clears_counters_keeps_config() {
+        let mut m = mem();
+        m.record_read(&[(0, 4)]);
+        m.reset();
+        assert_eq!(m.stats(), Stats::default());
+        assert_eq!(m.config().line_bytes, 128);
+        assert_eq!(m.estimated_throughput_gbps(), 0.0);
+    }
+
+    #[test]
+    fn zero_size_accesses_cost_nothing() {
+        let mut m = mem();
+        assert_eq!(m.record_read(&[(0, 0), (500, 0)]), 0);
+        assert_eq!(m.stats().bytes_read, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "line size")]
+    fn zero_line_size_rejected() {
+        Memory::new(MemoryConfig {
+            line_bytes: 0,
+            peak_gbps: 1.0,
+        });
+    }
+}

@@ -1,0 +1,256 @@
+//! Analytical GPU bandwidth model for the full-matrix transposes.
+//!
+//! The paper's Figures 4–5 landscapes are shaped by one mechanism: whether
+//! the row (C2R) or column (R2C) being shuffled fits in **on-chip memory**
+//! (the K20c's 256 KB register file per SM — §4.5 reports single-pass
+//! shuffles of rows up to 29440 x 64-bit). This module prices each step of
+//! the decomposition in memory transactions under a three-regime model and
+//! converts the total to an effective bandwidth:
+//!
+//! * **on-chip**: the shuffled vector fits in registers/shared memory —
+//!   one coalesced read + one coalesced write;
+//! * **cache**: it fits in L2 — still two DRAM passes, but the gather
+//!   traffic bounces through L2 at a derated bandwidth;
+//! * **spill**: it fits nowhere — the gather side pays roughly one
+//!   transaction per element plus a staging round-trip.
+//!
+//! The model intentionally has few knobs (all physical quantities of the
+//! device) and is used by the `fig4_fig5_landscape --model` mode to
+//! reproduce the *band structure* of the paper's heatmaps, which a
+//! cache-based single-core host softens beyond recognition. It is a
+//! first-order model: absolute numbers are indicative, crossings and
+//! bands are the claim.
+
+/// Device parameters for the analytical model. Defaults approximate the
+/// Tesla K20c of the paper's evaluation.
+///
+/// ```
+/// use memsim::model::DeviceModel;
+///
+/// let k20c = DeviceModel::default();
+/// // Figure 4's band: a 20000 x 2000 f64 matrix keeps rows on chip...
+/// let banded = k20c.c2r_gbps(20_000, 2_000, 8);
+/// // ...a 20000 x 20000 one does not.
+/// let interior = k20c.c2r_gbps(20_000, 20_000, 8);
+/// assert!(banded > interior);
+/// ```
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceModel {
+    /// Transaction granularity in bytes.
+    pub line_bytes: u64,
+    /// Peak DRAM bandwidth, GB/s.
+    pub peak_gbps: f64,
+    /// Per-vector on-chip staging capacity in bytes (register file /
+    /// shared memory available to one row or column shuffle).
+    pub onchip_bytes: u64,
+    /// Last-level cache capacity in bytes.
+    pub l2_bytes: u64,
+    /// Bandwidth derating when gather traffic is served through L2.
+    pub l2_factor: f64,
+}
+
+impl Default for DeviceModel {
+    fn default() -> DeviceModel {
+        DeviceModel {
+            line_bytes: 128,
+            peak_gbps: 208.0,
+            // One thread block's practical staging budget. §4.5's
+            // 29440-element extreme uses the whole 256 KB register file
+            // of an SM for a single row; sustaining occupancy caps the
+            // per-vector budget far lower — 24 KB places the fast band at
+            // n ~ 3000 f64 elements, where Figure 4 draws it.
+            onchip_bytes: 24 * 1024,
+            l2_bytes: 1_536 * 1024,
+            l2_factor: 0.35,
+        }
+    }
+}
+
+/// Cost of one pass, in equivalent DRAM-seconds per byte of matrix.
+///
+/// Build custom lists of these and feed them to [`DeviceModel::combine`]
+/// to model algorithms beyond C2R/R2C on the same device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PassCost {
+    /// Bytes transferred from/to DRAM, normalized per matrix byte.
+    pub dram_bytes_per_byte: f64,
+    /// Effective bandwidth derating for this pass (1.0 = full peak).
+    pub bandwidth_factor: f64,
+}
+
+impl DeviceModel {
+    /// Cost of shuffling vectors of `vec_bytes` (a row for C2R's row
+    /// shuffle, a column for R2C's) under the three-regime model.
+    pub fn shuffle_pass(&self, vec_bytes: u64, elem: u64) -> PassCost {
+        if vec_bytes <= self.onchip_bytes {
+            // Single pass (§4.5): read + write, both coalesced.
+            PassCost {
+                dram_bytes_per_byte: 2.0,
+                bandwidth_factor: 1.0,
+            }
+        } else if vec_bytes <= self.l2_bytes {
+            // Two passes through a temporary (Algorithm 1's scratch
+            // vector), gathers bouncing through L2 at derated bandwidth.
+            // Gathers move one element per L2 request, so wider elements
+            // use the sectors better — the paper's observation that
+            // doubles transpose faster than floats (§5.2).
+            let elem_eff = (elem as f64 / 8.0).clamp(0.5, 1.0);
+            PassCost {
+                dram_bytes_per_byte: 4.0,
+                bandwidth_factor: self.l2_factor * elem_eff,
+            }
+        } else {
+            // Spill: the gather side touches ~one line per element and a
+            // staging buffer costs a round trip.
+            let waste = (self.line_bytes as f64 / elem as f64).max(1.0);
+            PassCost {
+                dram_bytes_per_byte: 1.0 + waste.min(8.0) + 2.0,
+                bandwidth_factor: 1.0,
+            }
+        }
+    }
+
+    /// Cost of the cache-aware column pass family (rotations, sub-row
+    /// permutes): sub-rows are line-sized, so the traffic is coalesced;
+    /// scattered line-granule placement derates bandwidth mildly.
+    pub fn column_pass(&self) -> PassCost {
+        PassCost {
+            dram_bytes_per_byte: 2.0,
+            bandwidth_factor: 0.45,
+        }
+    }
+
+    /// Estimated effective throughput (paper Eq. 37 GB/s) of the C2R
+    /// transpose of an `m x n` matrix with `elem`-byte elements.
+    pub fn c2r_gbps(&self, m: usize, n: usize, elem: usize) -> f64 {
+        let coprime = ipt_gcd(m as u64, n as u64) == 1;
+        let mut passes: Vec<PassCost> = Vec::new();
+        if !coprime {
+            passes.push(self.column_pass()); // pre-rotation
+        }
+        passes.push(self.shuffle_pass(n as u64 * elem as u64, elem as u64)); // row shuffle
+        passes.push(self.column_pass()); // fine rotation
+        passes.push(self.column_pass()); // row permutation
+        self.combine(m, n, elem, &passes)
+    }
+
+    /// Estimated effective throughput of transposing the same **input**
+    /// `m x n` row-major matrix with the R2C direction (i.e. the
+    /// swapped-parameter call `r2c(data, n, m)`, whose operating view is
+    /// `n x m`): the shuffled vectors are the *input columns*, of length
+    /// `m` — hence Figure 5's fast band at small `m`.
+    pub fn r2c_gbps(&self, m: usize, n: usize, elem: usize) -> f64 {
+        let coprime = ipt_gcd(m as u64, n as u64) == 1;
+        let mut passes: Vec<PassCost> = Vec::new();
+        passes.push(self.column_pass()); // inverse permutation
+        passes.push(self.column_pass()); // inverse rotation
+        passes.push(self.shuffle_pass(m as u64 * elem as u64, elem as u64));
+        if !coprime {
+            passes.push(self.column_pass()); // post-rotation
+        }
+        self.combine(m, n, elem, &passes)
+    }
+
+    /// Estimated throughput under the §5.2 heuristic: C2R when `m > n`,
+    /// else R2C, for an input `m x n` row-major matrix.
+    pub fn heuristic_gbps(&self, m: usize, n: usize, elem: usize) -> f64 {
+        if m > n {
+            self.c2r_gbps(m, n, elem)
+        } else {
+            self.r2c_gbps(m, n, elem)
+        }
+    }
+
+    /// Convert a pass list into the Eq. 37 effective throughput for an
+    /// `m x n` matrix of `elem`-byte elements — public so harnesses can
+    /// model other algorithms (e.g. the Sung baseline) on the same device.
+    pub fn combine(&self, m: usize, n: usize, elem: usize, passes: &[PassCost]) -> f64 {
+        let matrix_bytes = (m * n * elem) as f64;
+        let mut seconds = 0.0f64;
+        for p in passes {
+            let bytes = matrix_bytes * p.dram_bytes_per_byte;
+            seconds += bytes / (self.peak_gbps * 1e9 * p.bandwidth_factor);
+        }
+        // Paper Eq. 37: the ideal transpose moves 2*m*n*elem bytes.
+        2.0 * matrix_bytes / seconds / 1e9
+    }
+}
+
+fn ipt_gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k20c() -> DeviceModel {
+        DeviceModel::default()
+    }
+
+    #[test]
+    fn c2r_band_at_small_n() {
+        // Figure 4's structure: for fixed m, small n (row fits on chip)
+        // is faster than huge n (row spills).
+        let d = k20c();
+        let small = d.c2r_gbps(20_000, 2_000, 8); // 16 KB rows: on-chip
+        let big = d.c2r_gbps(20_000, 20_000, 8); // 160 KB rows: spill to L2
+        assert!(small > big * 1.5, "small-n {small} vs big-n {big}");
+    }
+
+    #[test]
+    fn r2c_band_at_small_m() {
+        let d = k20c();
+        let small = d.r2c_gbps(2_000, 20_000, 8);
+        let big = d.r2c_gbps(20_000, 20_000, 8);
+        assert!(small > big * 1.5, "small-m {small} vs big-m {big}");
+    }
+
+    #[test]
+    fn coprime_shapes_skip_a_pass() {
+        let d = k20c();
+        // 9973 is prime: gcd with 5000 is 1; compare against a same-size
+        // gcd-heavy shape.
+        let coprime = d.c2r_gbps(9973, 5000, 8);
+        let gcdfull = d.c2r_gbps(10000, 5000, 8);
+        assert!(coprime > gcdfull, "{coprime} vs {gcdfull}");
+    }
+
+    #[test]
+    fn magnitudes_are_k20c_plausible() {
+        // The paper's median C2R (double) is 19.5 GB/s on arrays in
+        // [1000, 20000): the model should land in that decade.
+        let d = k20c();
+        let mid = d.c2r_gbps(10_000, 10_000, 8);
+        assert!(
+            (5.0..80.0).contains(&mid),
+            "estimate {mid} GB/s implausible for a K20c"
+        );
+    }
+
+    #[test]
+    fn heuristic_never_loses_to_both_directions() {
+        let d = k20c();
+        for (m, n) in [(30_000usize, 2_000usize), (2_000, 30_000), (10_000, 10_000)] {
+            let h = d.heuristic_gbps(m, n, 8);
+            let c = d.c2r_gbps(m, n, 8);
+            let r = d.r2c_gbps(m, n, 8);
+            assert!(h >= c.min(r) - 1e-9, "{m}x{n}: h={h} c={c} r={r}");
+        }
+    }
+
+    #[test]
+    fn throughput_monotone_in_peak_bandwidth() {
+        let mut d = k20c();
+        let base = d.c2r_gbps(5000, 5000, 4);
+        d.peak_gbps *= 2.0;
+        let doubled = d.c2r_gbps(5000, 5000, 4);
+        assert!((doubled - 2.0 * base).abs() < 1e-9 * doubled);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests of the transaction model's invariants.
+
+use memsim::{Memory, MemoryConfig};
+use proptest::prelude::*;
+
+fn cfg(line: u64) -> MemoryConfig {
+    MemoryConfig {
+        line_bytes: line,
+        peak_gbps: 100.0,
+    }
+}
+
+fn arb_accesses() -> impl Strategy<Value = Vec<(u64, u32)>> {
+    proptest::collection::vec((0u64..1_000_000, 0u32..512), 1..64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn transactions_bounded_by_access_footprint(
+        accesses in arb_accesses(),
+        line_pow in 4u32..10,
+    ) {
+        let line = 1u64 << line_pow;
+        let mut mem = Memory::new(cfg(line));
+        let t = mem.record_read(&accesses);
+        // Upper bound: every access touches at most ceil(size/line) + 1
+        // lines; lower bound: enough transactions to carry the bytes.
+        let upper: u64 = accesses
+            .iter()
+            .map(|&(_, s)| if s == 0 { 0 } else { (s as u64).div_ceil(line) + 1 })
+            .sum();
+        let bytes: u64 = accesses.iter().map(|&(_, s)| s as u64).sum();
+        let lower = bytes.div_ceil(line * accesses.len() as u64).min(1);
+        prop_assert!(t <= upper, "t={t} upper={upper}");
+        prop_assert!(t >= lower);
+    }
+
+    #[test]
+    fn efficiency_bounded_for_disjoint_accesses(
+        sizes in proptest::collection::vec(1u32..512, 1..64),
+        gap in 0u64..64,
+        line_pow in 4u32..10,
+    ) {
+        // Efficiency can only exceed 1.0 when lanes re-read the same
+        // bytes (broadcast); for disjoint accesses it is a true ratio.
+        let mut mem = Memory::new(cfg(1u64 << line_pow));
+        let mut addr = 0u64;
+        let accesses: Vec<(u64, u32)> = sizes
+            .iter()
+            .map(|&s| {
+                let a = (addr, s);
+                addr += s as u64 + gap;
+                a
+            })
+            .collect();
+        mem.record_read(&accesses);
+        prop_assert!(mem.read_efficiency() <= 1.0 + 1e-12);
+        if gap == 0 {
+            // Contiguous accesses waste at most the two boundary lines.
+            let bytes: u64 = sizes.iter().map(|&s| s as u64).sum();
+            let line = 1u64 << line_pow;
+            prop_assert!(mem.stats().read_transactions <= bytes.div_ceil(line) + 1);
+        }
+    }
+
+    #[test]
+    fn transactions_invariant_under_access_order(
+        accesses in arb_accesses(),
+    ) {
+        let mut fwd = Memory::new(cfg(128));
+        let mut rev = Memory::new(cfg(128));
+        let mut reversed = accesses.clone();
+        reversed.reverse();
+        prop_assert_eq!(fwd.record_read(&accesses), rev.record_read(&reversed));
+    }
+
+    #[test]
+    fn splitting_a_request_never_reduces_transactions(
+        accesses in arb_accesses(),
+    ) {
+        // Issuing the same addresses as two warp instructions can only
+        // cost >= the single coalesced instruction.
+        let mid = accesses.len() / 2;
+        let mut one = Memory::new(cfg(128));
+        let single = one.record_read(&accesses);
+        let mut two = Memory::new(cfg(128));
+        let split = two.record_read(&accesses[..mid]) + two.record_read(&accesses[mid..]);
+        prop_assert!(split >= single, "split={split} single={single}");
+        // Total bytes identical either way.
+        prop_assert_eq!(one.stats().bytes_read, two.stats().bytes_read);
+    }
+
+    #[test]
+    fn throughput_scales_with_peak(accesses in arb_accesses(), peak in 1.0f64..1000.0) {
+        let mut a = Memory::new(MemoryConfig { line_bytes: 128, peak_gbps: peak });
+        let mut b = Memory::new(MemoryConfig { line_bytes: 128, peak_gbps: 2.0 * peak });
+        a.record_write(&accesses);
+        b.record_write(&accesses);
+        let (ta, tb) = (a.estimated_throughput_gbps(), b.estimated_throughput_gbps());
+        prop_assert!((tb - 2.0 * ta).abs() < 1e-9 * tb.max(1.0));
+    }
+
+    #[test]
+    fn contiguous_full_line_reads_are_perfectly_efficient(
+        lines in 1u64..32,
+        base_line in 0u64..100,
+    ) {
+        let line = 128u64;
+        let mut mem = Memory::new(cfg(line));
+        let accesses: Vec<(u64, u32)> = (0..lines)
+            .map(|k| ((base_line + k) * line, line as u32))
+            .collect();
+        let t = mem.record_read(&accesses);
+        prop_assert_eq!(t, lines);
+        prop_assert!((mem.read_efficiency() - 1.0).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn reads_and_writes_do_not_mix_counters() {
+    let mut mem = Memory::new(cfg(64));
+    mem.record_read(&[(0, 64)]);
+    assert_eq!(mem.write_efficiency(), 0.0);
+    assert_eq!(mem.stats().write_transactions, 0);
+    mem.record_write(&[(0, 64)]);
+    assert_eq!(mem.stats().read_transactions, 1);
+    assert_eq!(mem.stats().write_transactions, 1);
+}

@@ -1,0 +1,34 @@
+//! Round-trip tests for the optional `serde` feature
+//! (`cargo test -p memsim --features serde`).
+#![cfg(feature = "serde")]
+
+use memsim::model::DeviceModel;
+use memsim::{Memory, MemoryConfig, Stats};
+
+#[test]
+fn config_round_trips() {
+    let cfg = MemoryConfig {
+        line_bytes: 64,
+        peak_gbps: 123.5,
+    };
+    let back: MemoryConfig = serde_json::from_str(&serde_json::to_string(&cfg).unwrap()).unwrap();
+    assert_eq!(back, cfg);
+}
+
+#[test]
+fn stats_round_trip_preserves_counters() {
+    let mut mem = Memory::new(MemoryConfig::default());
+    mem.record_read(&[(0, 64), (512, 4)]);
+    mem.record_write(&[(1000, 32)]);
+    let stats = mem.stats();
+    let back: Stats = serde_json::from_str(&serde_json::to_string(&stats).unwrap()).unwrap();
+    assert_eq!(back, stats);
+}
+
+#[test]
+fn device_model_round_trips_and_still_models() {
+    let d = DeviceModel::default();
+    let back: DeviceModel = serde_json::from_str(&serde_json::to_string(&d).unwrap()).unwrap();
+    assert_eq!(back, d);
+    assert_eq!(back.c2r_gbps(10_000, 10_000, 8), d.c2r_gbps(10_000, 10_000, 8));
+}

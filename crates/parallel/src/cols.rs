@@ -1,0 +1,315 @@
+//! Plain parallel column operations (paper §5.1).
+//!
+//! Columns of a row-major matrix are independent under every column step
+//! of the algorithm, so the columns are partitioned into groups and the
+//! groups processed in parallel. Memory traffic here is strided (one
+//! element per row per column) — the cache-aware variants in
+//! [`crate::cache_aware`] exist precisely to fix that; these plain
+//! versions are the ablation baseline and the correctness reference.
+//!
+//! Safety: each rayon task touches only its own column group's indices;
+//! see `unsafe_slice` for the disjointness argument.
+
+use crate::unsafe_slice::UnsafeSlice;
+use ipt_core::cycles::CycleSet;
+use ipt_core::index::C2rParams;
+use rayon::prelude::*;
+
+/// Iterate `groups(width w over n columns)` in parallel, handing each task
+/// the group's starting column and width.
+fn par_groups<T, F>(data: &mut [T], n: usize, w: usize, f: F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(UnsafeSlice<'_, T>, usize, usize) + Send + Sync,
+{
+    let us = UnsafeSlice::new(data);
+    let groups = n.div_ceil(w);
+    (0..groups).into_par_iter().for_each(|g| {
+        let j0 = g * w;
+        let gw = w.min(n - j0);
+        f(us, j0, gw);
+    });
+}
+
+/// Rotate every column `j` left by `amount(j)` (gather:
+/// `col[i] = old[(i + amount) mod m]`), columns processed in parallel
+/// groups, each through an `m`-element task-local buffer.
+pub fn rotate_columns_parallel<T, A>(data: &mut [T], m: usize, n: usize, w: usize, amount: A)
+where
+    T: Copy + Send + Sync,
+    A: Fn(usize) -> usize + Send + Sync,
+{
+    assert_eq!(data.len(), m * n);
+    par_groups(data, n, w, |us, j0, gw| {
+        let mut buf = vec![unsafe { us.get(0) }; m];
+        for j in j0..j0 + gw {
+            let k = amount(j) % m;
+            if k == 0 {
+                continue;
+            }
+            for (i, slot) in buf.iter_mut().enumerate() {
+                let src = i + k - if i + k >= m { m } else { 0 };
+                // SAFETY: index src*n + j belongs to column j of this
+                // task's group; bounds: src < m, j < n.
+                *slot = unsafe { us.get(src * n + j) };
+            }
+            for (i, &v) in buf.iter().enumerate() {
+                // SAFETY: same column-ownership argument.
+                unsafe { us.set(i * n + j, v) };
+            }
+        }
+    });
+}
+
+/// Step 1 of parallel C2R: pre-rotation by `floor(j/b)` (Eq. 23).
+pub fn prerotate_parallel<T: Copy + Send + Sync>(data: &mut [T], p: &C2rParams, w: usize) {
+    if p.coprime() {
+        return;
+    }
+    rotate_columns_parallel(data, p.m, p.n, w, |j| p.rotate_amount(j));
+}
+
+/// Step 3 of parallel C2R: the direct column shuffle with `s'_j` (Eq. 26).
+pub fn col_shuffle_parallel<T: Copy + Send + Sync>(data: &mut [T], p: &C2rParams, w: usize) {
+    let (m, n) = (p.m, p.n);
+    par_groups(data, n, w, |us, j0, gw| {
+        let mut buf = vec![unsafe { us.get(0) }; m];
+        for j in j0..j0 + gw {
+            for (i, slot) in buf.iter_mut().enumerate() {
+                // SAFETY: s'_j(i) < m, so the index is in column j.
+                *slot = unsafe { us.get(p.s(j, i) * n + j) };
+            }
+            for (i, &v) in buf.iter().enumerate() {
+                // SAFETY: column-ownership.
+                unsafe { us.set(i * n + j, v) };
+            }
+        }
+    });
+}
+
+/// R2C step 1 (plain): row permutation by `q^-1`, moving `w`-wide sub-rows
+/// along the (shared, precomputed) cycles — groups in parallel.
+pub fn row_permute_inverse_parallel<T: Copy + Send + Sync>(data: &mut [T], p: &C2rParams, w: usize) {
+    let cycles = CycleSet::build(p.m, |i| p.q_inv(i));
+    row_permute_groups(data, p.m, p.n, w, |i| p.q_inv(i), &cycles);
+}
+
+/// Shared sub-row cycle follower: apply the gather row permutation `perm`
+/// to every column group in parallel, one `w`-element buffer per task.
+pub(crate) fn row_permute_groups<T, P>(
+    data: &mut [T],
+    m: usize,
+    n: usize,
+    w: usize,
+    perm: P,
+    cycles: &CycleSet,
+) where
+    T: Copy + Send + Sync,
+    P: Fn(usize) -> usize + Send + Sync,
+{
+    assert_eq!(data.len(), m * n);
+    debug_assert_eq!(cycles.domain(), m);
+    par_groups(data, n, w, |us, j0, gw| {
+        let mut buf = vec![unsafe { us.get(0) }; gw];
+        for &leader in &cycles.leaders {
+            for (k, slot) in buf.iter_mut().enumerate() {
+                // SAFETY: (leader, j0+k) is in this task's group.
+                *slot = unsafe { us.get(leader * n + j0 + k) };
+            }
+            let mut i = leader;
+            loop {
+                let src = perm(i);
+                if src == leader {
+                    for (k, &v) in buf.iter().enumerate() {
+                        // SAFETY: column-ownership.
+                        unsafe { us.set(i * n + j0 + k, v) };
+                    }
+                    break;
+                }
+                for k in 0..gw {
+                    // SAFETY: both (i, j0+k) and (src, j0+k) are in-group.
+                    unsafe { us.set(i * n + j0 + k, us.get(src * n + j0 + k)) };
+                }
+                i = src;
+            }
+        }
+    });
+}
+
+/// Process disjoint column blocks of a row-major `m x n` matrix in
+/// parallel through task-local copies — the safe building block for
+/// "on-chip" fused column operations (paper §6.1).
+///
+/// For each block of `w` columns starting at `j0`, the block's `m x gw`
+/// submatrix is gathered into a task-local row-major buffer, `f(j0,
+/// block, gw, scratch)` transforms it in place (with an equally-sized
+/// reusable scratch buffer for out-of-place permutation steps), and the
+/// result is scattered back. Blocks partition the columns, so tasks never
+/// overlap; the block and scratch buffers are reused across a task's
+/// blocks, so the steady state is allocation-free.
+pub fn par_process_column_blocks<T, F>(data: &mut [T], m: usize, n: usize, w: usize, f: F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(usize, &mut [T], usize, &mut [T]) + Send + Sync,
+{
+    assert_eq!(data.len(), m * n, "buffer length must be m * n");
+    if m == 0 || n == 0 {
+        return;
+    }
+    let us = UnsafeSlice::new(data);
+    let groups = n.div_ceil(w);
+    // SAFETY (throughout): task g touches only columns [g*w, g*w + gw).
+    let fill = unsafe { us.get(0) };
+    (0..groups).into_par_iter().for_each_init(
+        || (vec![fill; m * w], vec![fill; m * w]),
+        |(block, scratch), g| {
+            let j0 = g * w;
+            let gw = w.min(n - j0);
+            let block = &mut block[..m * gw];
+            for i in 0..m {
+                for (k, slot) in block[i * gw..(i + 1) * gw].iter_mut().enumerate() {
+                    // SAFETY: column-ownership (see above).
+                    *slot = unsafe { us.get(i * n + j0 + k) };
+                }
+            }
+            f(j0, block, gw, &mut scratch[..m * gw]);
+            for i in 0..m {
+                for (k, &v) in block[i * gw..(i + 1) * gw].iter().enumerate() {
+                    // SAFETY: column-ownership, as above.
+                    unsafe { us.set(i * n + j0 + k, v) };
+                }
+            }
+        },
+    );
+}
+
+/// R2C step 2 (plain): inverse column rotation `p^-1_j` (Eq. 35).
+pub fn col_rotate_inverse_parallel<T: Copy + Send + Sync>(data: &mut [T], p: &C2rParams, w: usize) {
+    let m = p.m;
+    rotate_columns_parallel(data, m, p.n, w, move |j| (m - j % m) % m);
+}
+
+/// R2C step 4 (plain): undo the pre-rotation with `r^-1_j` (Eq. 36).
+pub fn postrotate_inverse_parallel<T: Copy + Send + Sync>(data: &mut [T], p: &C2rParams, w: usize) {
+    if p.coprime() {
+        return;
+    }
+    let m = p.m;
+    rotate_columns_parallel(data, m, p.n, w, move |j| (m - p.rotate_amount(j) % m) % m);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipt_core::check::fill_pattern;
+    use ipt_core::permute;
+
+    #[test]
+    fn parallel_prerotate_matches_sequential() {
+        for (m, n) in [(4usize, 8usize), (6, 9), (12, 18), (10, 25)] {
+            for w in [1usize, 3, 8, 64] {
+                let p = C2rParams::new(m, n);
+                let mut a = vec![0u64; m * n];
+                fill_pattern(&mut a);
+                let mut b = a.clone();
+                prerotate_parallel(&mut a, &p, w);
+                permute::prerotate_cycles(&mut b, &p);
+                assert_eq!(a, b, "{m}x{n} w={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_col_shuffle_matches_sequential() {
+        for (m, n) in [(4usize, 8usize), (6, 9), (7, 7), (15, 40)] {
+            let p = C2rParams::new(m, n);
+            let mut a = vec![0u32; m * n];
+            fill_pattern(&mut a);
+            let mut b = a.clone();
+            let mut tmp = vec![0u32; m.max(n)];
+            col_shuffle_parallel(&mut a, &p, 4);
+            permute::col_shuffle_gather(&mut b, &p, &mut tmp);
+            assert_eq!(a, b, "{m}x{n}");
+        }
+    }
+
+    #[test]
+    fn parallel_inverse_steps_match_sequential() {
+        for (m, n) in [(4usize, 8usize), (9, 6), (12, 18)] {
+            let p = C2rParams::new(m, n);
+            let mut a = vec![0u64; m * n];
+            fill_pattern(&mut a);
+            let mut b = a.clone();
+            let mut tmp = vec![0u64; m.max(n)];
+
+            row_permute_inverse_parallel(&mut a, &p, 4);
+            permute::row_permute_inverse(&mut b, &p, &mut tmp);
+            assert_eq!(a, b, "row permute {m}x{n}");
+
+            col_rotate_inverse_parallel(&mut a, &p, 4);
+            permute::col_rotate_inverse(&mut b, &p);
+            assert_eq!(a, b, "col rotate {m}x{n}");
+
+            postrotate_inverse_parallel(&mut a, &p, 4);
+            permute::postrotate_inverse(&mut b, &p);
+            assert_eq!(a, b, "postrotate {m}x{n}");
+        }
+    }
+
+    #[test]
+    fn column_blocks_visit_every_column_once() {
+        let (m, n) = (5usize, 17usize);
+        let mut a = vec![0u32; m * n];
+        fill_pattern(&mut a);
+        let orig = a.clone();
+        // Negate-and-tag each block column-locally; check global effect.
+        par_process_column_blocks(&mut a, m, n, 4, |j0, block, gw, _scratch| {
+            for i in 0..m {
+                for k in 0..gw {
+                    block[i * gw + k] += (j0 as u32 + k as u32) * 1000;
+                }
+            }
+        });
+        for i in 0..m {
+            for j in 0..n {
+                assert_eq!(a[i * n + j], orig[i * n + j] + j as u32 * 1000);
+            }
+        }
+    }
+
+    #[test]
+    fn column_blocks_can_permute_within_block() {
+        // Reverse the rows of each block: a column-local operation.
+        let (m, n) = (4usize, 10usize);
+        let mut a = vec![0u16; m * n];
+        fill_pattern(&mut a);
+        let orig = a.clone();
+        par_process_column_blocks(&mut a, m, n, 3, |_, block, gw, _scratch| {
+            for i in 0..m / 2 {
+                for k in 0..gw {
+                    block.swap(i * gw + k, (m - 1 - i) * gw + k);
+                }
+            }
+        });
+        for i in 0..m {
+            for j in 0..n {
+                assert_eq!(a[i * n + j], orig[(m - 1 - i) * n + j]);
+            }
+        }
+    }
+
+    #[test]
+    fn generic_rotation_with_odd_group_width() {
+        let (m, n) = (9usize, 14usize);
+        let mut a = vec![0u16; m * n];
+        fill_pattern(&mut a);
+        let orig = a.clone();
+        rotate_columns_parallel(&mut a, m, n, 5, |j| j);
+        // Verify elementwise: col j rotated left by j mod m.
+        for j in 0..n {
+            for i in 0..m {
+                assert_eq!(a[i * n + j], orig[((i + j) % m) * n + j], "({i},{j})");
+            }
+        }
+    }
+}

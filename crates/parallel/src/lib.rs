@@ -1,0 +1,297 @@
+//! # ipt-parallel — parallel and cache-aware decomposed transposition
+//!
+//! The decomposition's whole point (paper §1, §3) is that every row
+//! permutation is independent of every other row, and likewise for
+//! columns — so the transpose parallelizes with *perfect load balance*,
+//! unlike cycle following whose cycle lengths are badly distributed.
+//!
+//! This crate layers onto `ipt-core`:
+//!
+//! * [`c2r_parallel`] / [`r2c_parallel`] / [`transpose_parallel`] — rayon
+//!   data-parallel versions of the three-step algorithm (the paper's §5.1
+//!   OpenMP CPU implementation, and the thread-grid skeleton of its GPU
+//!   implementation);
+//! * [`cache_aware`] — the §4.6 two-phase (coarse cycle-following + fine
+//!   blocked) column rotation and the §4.7 sub-row cycle-following row
+//!   permute, which turn strided column traffic into cache-line-sized
+//!   sub-row traffic;
+//! * per-thread scratch buffers, the CPU analogue of the §4.5 "on-chip"
+//!   row shuffle (each worker's temporary row lives in its own cache).
+//!
+//! Work stays `O(mn)` and auxiliary space `O(max(m, n))` *per thread*.
+//!
+//! ```
+//! use ipt_parallel::{transpose_parallel, ParOptions};
+//! use ipt_core::Layout;
+//!
+//! let mut a: Vec<u64> = (0..6 * 4).collect();
+//! transpose_parallel(&mut a, 6, 4, Layout::RowMajor, &ParOptions::default());
+//! assert_eq!(a[1], 4); // element (0, 1) of the 4 x 6 transpose
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod batched;
+pub mod cache_aware;
+pub mod cols;
+pub mod rows;
+mod unsafe_slice;
+
+use ipt_core::index::C2rParams;
+use ipt_core::Layout;
+
+/// Tuning knobs for the parallel/cache-aware implementations.
+#[derive(Debug, Clone, Copy)]
+pub struct ParOptions {
+    /// Sub-row width in **elements** for column-group operations — the
+    /// paper sizes this so one sub-row spans a cache line (§4.6; 128 B on
+    /// the K20c). When 0, a per-type default of
+    /// `max(1, 256 bytes / size_of::<T>())` is used — a few cache lines,
+    /// which measures fastest for the CPU cache hierarchies this crate
+    /// targets (see the `ablations` bench).
+    pub col_group: usize,
+    /// Row-block height for the fine rotation pass (§4.6).
+    pub block_rows: usize,
+    /// Use the cache-aware column primitives (§4.6–4.7) instead of plain
+    /// strided column walks.
+    pub cache_aware: bool,
+}
+
+impl Default for ParOptions {
+    fn default() -> ParOptions {
+        ParOptions {
+            col_group: 0,
+            block_rows: 256,
+            cache_aware: true,
+        }
+    }
+}
+
+impl ParOptions {
+    /// Resolve the effective sub-row width for element type `T`.
+    pub fn group_width<T>(&self) -> usize {
+        if self.col_group > 0 {
+            self.col_group
+        } else {
+            (256 / core::mem::size_of::<T>().max(1)).max(1)
+        }
+    }
+
+    /// Plain (non-cache-aware) variant of these options.
+    pub fn plain() -> ParOptions {
+        ParOptions {
+            cache_aware: false,
+            ..ParOptions::default()
+        }
+    }
+}
+
+/// Parallel C2R: transpose an `m x n` row-major buffer in place into its
+/// `n x m` row-major transpose, using all rayon worker threads.
+pub fn c2r_parallel<T: Copy + Send + Sync>(data: &mut [T], m: usize, n: usize, opts: &ParOptions) {
+    assert_eq!(data.len(), m * n, "buffer length must be m * n");
+    if m <= 1 || n <= 1 {
+        return;
+    }
+    let p = C2rParams::new(m, n);
+    let w = opts.group_width::<T>();
+    if opts.cache_aware {
+        cache_aware::prerotate(data, &p, w, opts.block_rows);
+        rows::row_shuffle_parallel(data, &p);
+        cache_aware::col_shuffle_fused(data, &p, w, opts.block_rows);
+    } else {
+        cols::prerotate_parallel(data, &p, w);
+        rows::row_shuffle_parallel(data, &p);
+        cols::col_shuffle_parallel(data, &p, w);
+    }
+}
+
+/// Parallel R2C: the inverse of [`c2r_parallel`] — consumes an `n x m`
+/// row-major buffer, leaves the `m x n` row-major transpose.
+pub fn r2c_parallel<T: Copy + Send + Sync>(data: &mut [T], m: usize, n: usize, opts: &ParOptions) {
+    assert_eq!(data.len(), m * n, "buffer length must be m * n");
+    if m <= 1 || n <= 1 {
+        return;
+    }
+    let p = C2rParams::new(m, n);
+    let w = opts.group_width::<T>();
+    if opts.cache_aware {
+        cache_aware::col_shuffle_fused_inverse(data, &p, w, opts.block_rows);
+        rows::row_shuffle_forward_parallel(data, &p);
+        cache_aware::postrotate_inverse(data, &p, w, opts.block_rows);
+    } else {
+        cols::row_permute_inverse_parallel(data, &p, w);
+        cols::col_rotate_inverse_parallel(data, &p, w);
+        rows::row_shuffle_forward_parallel(data, &p);
+        cols::postrotate_inverse_parallel(data, &p, w);
+    }
+}
+
+/// Parallel in-place transpose of a `rows x cols` matrix in `layout`,
+/// selecting C2R/R2C with the paper's §5.2 heuristic — the parallel
+/// counterpart of `ipt_core::transpose`.
+pub fn transpose_parallel<T: Copy + Send + Sync>(
+    data: &mut [T],
+    rows: usize,
+    cols: usize,
+    layout: Layout,
+    opts: &ParOptions,
+) {
+    assert_eq!(data.len(), rows * cols, "buffer length must be rows * cols");
+    let (m, n) = match layout {
+        Layout::RowMajor => (rows, cols),
+        Layout::ColMajor => (cols, rows),
+    };
+    if m > n {
+        c2r_parallel(data, m, n, opts);
+    } else {
+        r2c_parallel(data, n, m, opts);
+    }
+}
+
+/// Parallel in-place transpose with a caller-forced algorithm — the
+/// parallel counterpart of `ipt_core::transpose_with`, for benchmarks
+/// that pit C2R and R2C against each other on identical inputs.
+pub fn transpose_parallel_with<T: Copy + Send + Sync>(
+    data: &mut [T],
+    rows: usize,
+    cols: usize,
+    layout: Layout,
+    algorithm: ipt_core::Algorithm,
+    opts: &ParOptions,
+) {
+    assert_eq!(data.len(), rows * cols, "buffer length must be rows * cols");
+    let (m, n) = match layout {
+        Layout::RowMajor => (rows, cols),
+        Layout::ColMajor => (cols, rows),
+    };
+    match algorithm {
+        ipt_core::Algorithm::C2r => c2r_parallel(data, m, n, opts),
+        ipt_core::Algorithm::R2c => r2c_parallel(data, n, m, opts),
+        ipt_core::Algorithm::Auto => transpose_parallel(data, rows, cols, layout, opts),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipt_core::check::{fill_pattern, is_transposed_pattern};
+    use ipt_core::Scratch;
+
+    fn sizes() -> Vec<(usize, usize)> {
+        let mut v = Vec::new();
+        for m in 1..=9 {
+            for n in 1..=9 {
+                v.push((m, n));
+            }
+        }
+        v.extend_from_slice(&[
+            (3, 8),
+            (4, 8),
+            (16, 24),
+            (17, 19),
+            (1, 64),
+            (64, 1),
+            (33, 33),
+            (100, 64),
+            (64, 100),
+            (128, 96),
+            (97, 251),
+            (250, 6),
+            (6, 250),
+        ]);
+        v
+    }
+
+    #[test]
+    fn parallel_c2r_matches_sequential() {
+        for opts in [ParOptions::default(), ParOptions::plain()] {
+            for (m, n) in sizes() {
+                let mut a = vec![0u64; m * n];
+                fill_pattern(&mut a);
+                let mut b = a.clone();
+                c2r_parallel(&mut a, m, n, &opts);
+                ipt_core::c2r(&mut b, m, n, &mut Scratch::new());
+                assert_eq!(a, b, "{m}x{n} cache_aware={}", opts.cache_aware);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_r2c_matches_sequential() {
+        for opts in [ParOptions::default(), ParOptions::plain()] {
+            for (m, n) in sizes() {
+                let mut a = vec![0u32; m * n];
+                fill_pattern(&mut a);
+                let mut b = a.clone();
+                r2c_parallel(&mut a, m, n, &opts);
+                ipt_core::r2c(&mut b, m, n, &mut Scratch::new());
+                assert_eq!(a, b, "{m}x{n} cache_aware={}", opts.cache_aware);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_transpose_both_layouts() {
+        for layout in [Layout::RowMajor, Layout::ColMajor] {
+            for (m, n) in sizes() {
+                let mut a = vec![0u64; m * n];
+                fill_pattern(&mut a);
+                transpose_parallel(&mut a, m, n, layout, &ParOptions::default());
+                assert!(
+                    is_transposed_pattern(&a, m, n, layout),
+                    "{m}x{n} {layout:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_group_widths_still_correct() {
+        for w in [1usize, 2, 3, 5] {
+            let opts = ParOptions {
+                col_group: w,
+                block_rows: 4,
+                cache_aware: true,
+            };
+            for (m, n) in [(13usize, 21usize), (21, 13), (8, 8), (30, 45)] {
+                let mut a = vec![0u16; m * n];
+                fill_pattern(&mut a);
+                let mut b = a.clone();
+                c2r_parallel(&mut a, m, n, &opts);
+                ipt_core::c2r(&mut b, m, n, &mut Scratch::new());
+                assert_eq!(a, b, "{m}x{n} w={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn forced_algorithms_agree_with_heuristic() {
+        for alg in [
+            ipt_core::Algorithm::C2r,
+            ipt_core::Algorithm::R2c,
+            ipt_core::Algorithm::Auto,
+        ] {
+            for layout in [Layout::RowMajor, Layout::ColMajor] {
+                let (r, c) = (18usize, 30usize);
+                let mut a = vec![0u64; r * c];
+                fill_pattern(&mut a);
+                transpose_parallel_with(&mut a, r, c, layout, alg, &ParOptions::default());
+                assert!(is_transposed_pattern(&a, r, c, layout), "{alg:?} {layout:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_parallel() {
+        let (m, n) = (40usize, 72usize);
+        let mut a = vec![0u64; m * n];
+        fill_pattern(&mut a);
+        let orig = a.clone();
+        let opts = ParOptions::default();
+        c2r_parallel(&mut a, m, n, &opts);
+        r2c_parallel(&mut a, m, n, &opts);
+        assert_eq!(a, orig);
+    }
+}

@@ -1,0 +1,172 @@
+//! Parallel row shuffles (paper §5.1, §4.5).
+//!
+//! Rows of the matrix are contiguous in row-major storage and the row
+//! shuffle permutes each row independently, so `par_chunks_exact_mut`
+//! expresses the parallelism safely. Each rayon task keeps its own
+//! `n`-element scratch row (`for_each_init`), which is the CPU analogue of
+//! the paper's §4.5 "on-chip" shuffle: the temporary never leaves the
+//! worker's cache, and the whole shuffle is a single pass over memory.
+
+use ipt_core::index::C2rParams;
+use rayon::prelude::*;
+
+/// Parallel row shuffle with **incrementally generated** indices.
+///
+/// `d'_i(j) = ((i + floor(j/b)) mod m + j*m) mod n` advances by a constant
+/// `+(m mod n) (mod n)` per column, plus `+1 (mod m)` to the rotation term
+/// every `b` columns — successive indices need no division (nor even the
+/// §4.4 multiply-shift) in the inner loop. `scatter` selects the
+/// direction: the C2R shuffle scatters with `d'` (`tmp[d'] = row[j]`,
+/// equivalent to gathering with `d'^-1`), the R2C shuffle gathers with
+/// `d'` directly (§4.3).
+pub fn row_shuffle_incremental<T: Copy + Send + Sync>(
+    data: &mut [T],
+    p: &C2rParams,
+    scatter: bool,
+) {
+    let (m, n, b) = (p.m, p.n, p.b);
+    let m_red = m % n; // per-column stride of `base`, reduced mod n
+    data.par_chunks_exact_mut(n)
+        .enumerate()
+        .for_each_init(
+            || Vec::with_capacity(n),
+            |tmp, (i, row)| {
+                tmp.clear();
+                tmp.extend_from_slice(row);
+                // State: rot = (i + j/b) mod m; rot_red = rot mod n (kept
+                // separately so the sum stays < 2n even when m > n);
+                // base = (j*m) mod n.
+                let mut rot = i % m;
+                let mut rot_red = rot % n;
+                let mut base = 0usize;
+                let mut until_bump = b;
+                for (j, &v) in tmp.iter().enumerate() {
+                    let mut d = rot_red + base;
+                    if d >= n {
+                        d -= n;
+                    }
+                    if scatter {
+                        row[d] = v;
+                    } else {
+                        row[j] = tmp[d];
+                    }
+                    base += m_red;
+                    if base >= n {
+                        base -= n;
+                    }
+                    until_bump -= 1;
+                    if until_bump == 0 {
+                        until_bump = b;
+                        rot += 1;
+                        rot_red += 1;
+                        if rot == m {
+                            rot = 0;
+                            rot_red = 0;
+                        } else if rot_red == n {
+                            rot_red = 0;
+                        }
+                    }
+                }
+            },
+        );
+}
+
+/// Parallel C2R row shuffle: row `i` becomes `row[j] = old[d'^-1_i(j)]`
+/// (Eq. 31) — implemented as an incremental scatter with `d'_i`.
+pub fn row_shuffle_parallel<T: Copy + Send + Sync>(data: &mut [T], p: &C2rParams) {
+    row_shuffle_incremental(data, p, true);
+}
+
+/// Parallel C2R row shuffle in the paper's gather form (`d'^-1` via the
+/// strength-reduced `C2rParams`): the §4.4 ablation baseline for
+/// [`row_shuffle_parallel`]'s incremental indexing.
+pub fn row_shuffle_parallel_fastdiv<T: Copy + Send + Sync>(data: &mut [T], p: &C2rParams) {
+    let n = p.n;
+    data.par_chunks_exact_mut(n)
+        .enumerate()
+        .for_each_init(
+            || Vec::with_capacity(n),
+            |tmp, (i, row)| {
+                tmp.clear();
+                tmp.extend((0..n).map(|j| row[p.d_inv(i, j)]));
+                row.copy_from_slice(tmp);
+            },
+        );
+}
+
+/// Parallel R2C row shuffle: gather with `d'_i` directly (§4.3),
+/// incrementally indexed.
+pub fn row_shuffle_forward_parallel<T: Copy + Send + Sync>(data: &mut [T], p: &C2rParams) {
+    row_shuffle_incremental(data, p, false);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipt_core::check::fill_pattern;
+    use ipt_core::permute;
+
+    #[test]
+    fn parallel_row_shuffle_matches_sequential() {
+        for (m, n) in [(4usize, 8usize), (7, 13), (16, 100), (100, 3)] {
+            let p = C2rParams::new(m, n);
+            let mut a = vec![0u64; m * n];
+            fill_pattern(&mut a);
+            let mut b = a.clone();
+            let mut tmp = vec![0u64; n];
+            row_shuffle_parallel(&mut a, &p);
+            permute::row_shuffle_gather(&mut b, &p, &mut tmp);
+            assert_eq!(a, b, "{m}x{n}");
+        }
+    }
+
+    #[test]
+    fn parallel_forward_shuffle_matches_sequential() {
+        for (m, n) in [(4usize, 8usize), (9, 11), (64, 32)] {
+            let p = C2rParams::new(m, n);
+            let mut a = vec![0u32; m * n];
+            fill_pattern(&mut a);
+            let mut b = a.clone();
+            let mut tmp = vec![0u32; n];
+            row_shuffle_forward_parallel(&mut a, &p);
+            permute::row_shuffle_gather_forward(&mut b, &p, &mut tmp);
+            assert_eq!(a, b, "{m}x{n}");
+        }
+    }
+
+    #[test]
+    fn incremental_matches_fastdiv_gather() {
+        for (m, n) in [
+            (4usize, 8usize),
+            (5, 7),
+            (6, 6),
+            (3, 9),
+            (8, 20),
+            (2, 101),
+            (101, 2),
+            (20, 8),
+            (173, 127),
+            (500, 3),
+        ] {
+            let p = C2rParams::new(m, n);
+            let mut a = vec![0u64; m * n];
+            fill_pattern(&mut a);
+            let mut b = a.clone();
+            row_shuffle_parallel(&mut a, &p);
+            row_shuffle_parallel_fastdiv(&mut b, &p);
+            assert_eq!(a, b, "{m}x{n}");
+        }
+    }
+
+    #[test]
+    fn forward_inverts_backward() {
+        let (m, n) = (12usize, 30usize);
+        let p = C2rParams::new(m, n);
+        let mut a = vec![0u64; m * n];
+        fill_pattern(&mut a);
+        let orig = a.clone();
+        row_shuffle_parallel(&mut a, &p);
+        row_shuffle_forward_parallel(&mut a, &p);
+        assert_eq!(a, orig);
+    }
+}

@@ -1,0 +1,123 @@
+//! A shared-mutable slice handle for provably disjoint parallel access.
+//!
+//! Rayon can split a slice into disjoint *contiguous* chunks safely, but
+//! the decomposition's column operations partition a row-major matrix into
+//! disjoint **column groups** — strided, interleaved index sets that the
+//! borrow checker cannot express. This module provides the one `unsafe`
+//! building block in the workspace: a `Send + Sync` pointer wrapper whose
+//! soundness argument is purely about index disjointness.
+//!
+//! # Safety contract
+//!
+//! Every parallel column operation partitions `[0, m) x [0, n)` into
+//! groups of distinct column indices; a task for group `g` only touches
+//! linear indices `i*n + j` with `j` in group `g`. Since the groups
+//! partition the columns, no linear index is reachable from two tasks, so
+//! concurrent `&mut`-like access through the raw pointer never aliases.
+//! All accessors bounds-check in debug builds.
+
+use std::marker::PhantomData;
+
+/// A raw view of a `&mut [T]` that can be copied into rayon closures.
+///
+/// Callers must guarantee that concurrently running closures touch
+/// disjoint index sets (see module docs).
+pub(crate) struct UnsafeSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+impl<T> Copy for UnsafeSlice<'_, T> {}
+impl<T> Clone for UnsafeSlice<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+// SAFETY: the wrapper only ever hands out element accesses; disjointness of
+// concurrently accessed indices is the invariant callers uphold (module
+// docs). `T: Send` suffices because elements are only moved, never shared.
+unsafe impl<T: Send> Send for UnsafeSlice<'_, T> {}
+unsafe impl<T: Send> Sync for UnsafeSlice<'_, T> {}
+
+impl<'a, T: Copy> UnsafeSlice<'a, T> {
+    pub(crate) fn new(slice: &'a mut [T]) -> Self {
+        UnsafeSlice {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Read element `idx`.
+    ///
+    /// # Safety
+    ///
+    /// `idx < len`, and no concurrent task may be writing `idx`.
+    #[inline]
+    pub(crate) unsafe fn get(&self, idx: usize) -> T {
+        debug_assert!(idx < self.len);
+        // SAFETY: caller guarantees bounds and non-aliasing.
+        unsafe { *self.ptr.add(idx) }
+    }
+
+    /// Write element `idx`.
+    ///
+    /// # Safety
+    ///
+    /// `idx < len`, and no concurrent task may be reading or writing `idx`.
+    #[inline]
+    pub(crate) unsafe fn set(&self, idx: usize, v: T) {
+        debug_assert!(idx < self.len);
+        // SAFETY: caller guarantees bounds and exclusivity.
+        unsafe { *self.ptr.add(idx) = v };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn disjoint_column_writes_from_parallel_tasks() {
+        // 8 x 16 matrix; each task owns two columns and writes a tag.
+        let (m, n) = (8usize, 16usize);
+        let mut data = vec![0u32; m * n];
+        let us = UnsafeSlice::new(&mut data);
+        (0..n / 2).into_par_iter().for_each(|g| {
+            for j in [2 * g, 2 * g + 1] {
+                for i in 0..m {
+                    // SAFETY: group g touches only columns {2g, 2g+1};
+                    // groups are disjoint.
+                    unsafe { us.set(i * n + j, (j * 100 + i) as u32) };
+                }
+            }
+        });
+        for i in 0..m {
+            for j in 0..n {
+                assert_eq!(data[i * n + j], (j * 100 + i) as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn get_reads_current_values() {
+        let mut data = vec![7u8, 8, 9];
+        let us = UnsafeSlice::new(&mut data);
+        // SAFETY: single-threaded access.
+        unsafe {
+            assert_eq!(us.get(0), 7);
+            us.set(2, 42);
+            assert_eq!(us.get(2), 42);
+        }
+        assert_eq!(us.len(), 3);
+        assert_eq!(data, [7, 8, 42]);
+    }
+}

@@ -1,0 +1,463 @@
+//! Coalesced Array-of-Structures access (paper §6.1–6.2, Figure 10).
+//!
+//! A warp of `n` lanes each wants one `s`-element structure from an AoS
+//! buffer. Three strategies, matching the paper's Figures 8–9:
+//!
+//! * **Direct** — what a compiler generates for `T x = ptr[i]`: `s`
+//!   passes, each lane reading the `k`-th field of *its own* structure.
+//!   Lanes stride by `s` elements, so every pass touches one cache line
+//!   per lane and uses a sliver of each.
+//! * **Vector** — the hardware's fixed-width vector loads (128-bit on the
+//!   K20c): fewer, wider per-lane accesses, but still strided.
+//! * **C2r** — the paper's contribution: `s` perfectly coalesced passes
+//!   bring the memory block in *memory order* into the register file,
+//!   then an in-register R2C transpose (zero extra memory) routes each
+//!   structure to its lane. Stores run the inverse: C2R then coalesced
+//!   writes.
+//!
+//! For *random* indices the C2r strategy still coalesces within each
+//! structure (consecutive lanes fetch consecutive fields of the same
+//! structure), so its efficiency grows with the structure size toward the
+//! line size — the paper's Figure 9 observation.
+//!
+//! [`CoalescedPtr`] is the analogue of the paper's `coalesced_ptr<T>`
+//! wrapper (Figure 10): it owns the AoS buffer view plus a [`Memory`]
+//! transaction model, loads/stores really move the data, and the model
+//! reports what the traffic would have cost.
+
+use memsim::{Memory, MemoryConfig};
+
+use crate::compiled::CompiledTranspose;
+use crate::warp::{OpCounts, Warp};
+
+/// How a warp accesses Array-of-Structures data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessStrategy {
+    /// Compiler-style element-wise strided access.
+    Direct,
+    /// Fixed-width hardware vector loads/stores of this many bytes
+    /// (the K20c's widest is 16).
+    Vector {
+        /// Vector register width in bytes.
+        width_bytes: u32,
+    },
+    /// Coalesced passes + in-register C2R/R2C transpose (the paper's).
+    C2r,
+}
+
+/// An AoS buffer of `s`-element structures with warp-cooperative access
+/// and a transaction-model audit trail.
+#[derive(Debug)]
+pub struct CoalescedPtr<'a, T> {
+    data: &'a mut [T],
+    s: usize,
+    mem: Memory,
+    ops: OpCounts,
+    /// Per-lane-count compiled transposes (§6.2.4): the index tables are
+    /// static per geometry, so they are built once and reused by every
+    /// warp access.
+    compiled: Vec<(usize, CompiledTranspose)>,
+}
+
+impl<'a, T: Copy> CoalescedPtr<'a, T> {
+    /// Wrap an AoS buffer of structures of `struct_size` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `struct_size == 0` or the buffer is not a whole number of
+    /// structures.
+    pub fn new(data: &'a mut [T], struct_size: usize, cfg: MemoryConfig) -> CoalescedPtr<'a, T> {
+        assert!(struct_size > 0, "structures must be non-empty");
+        assert_eq!(
+            data.len() % struct_size,
+            0,
+            "buffer must hold whole structures"
+        );
+        CoalescedPtr {
+            data,
+            s: struct_size,
+            mem: Memory::new(cfg),
+            ops: OpCounts::default(),
+            compiled: Vec::new(),
+        }
+    }
+
+    /// The precompiled transpose for a given warp width, built on first
+    /// use (the paper's static precomputation, §6.2.4).
+    fn transpose_for(&mut self, lanes: usize) -> &CompiledTranspose {
+        if let Some(pos) = self.compiled.iter().position(|(l, _)| *l == lanes) {
+            return &self.compiled[pos].1;
+        }
+        self.compiled.push((lanes, CompiledTranspose::new(self.s, lanes)));
+        &self.compiled.last().unwrap().1
+    }
+
+    /// Structure size in elements.
+    pub fn struct_size(&self) -> usize {
+        self.s
+    }
+
+    /// Number of structures in the buffer.
+    pub fn len_structs(&self) -> usize {
+        self.data.len() / self.s
+    }
+
+    /// The transaction model's view of the traffic so far.
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// SIMD instruction counts accumulated by the C2r strategy's
+    /// in-register transposes.
+    pub fn op_counts(&self) -> OpCounts {
+        self.ops
+    }
+
+    /// Reset the audit counters.
+    pub fn reset_counters(&mut self) {
+        self.mem.reset();
+        self.ops = OpCounts::default();
+    }
+
+    fn elt_bytes() -> u64 {
+        core::mem::size_of::<T>() as u64
+    }
+
+    fn addr_of_elem(&self, e: usize) -> u64 {
+        e as u64 * Self::elt_bytes()
+    }
+
+    /// Elements moved per hardware vector operation: vector accesses must
+    /// be naturally aligned, so the usable width is the largest
+    /// power-of-two element count that divides the structure size and
+    /// fits in `width_bytes` — e.g. a 12-byte structure of f32 can only
+    /// use 32-bit loads, while a 32-byte one gets two 128-bit loads.
+    fn vector_elems(&self, width_bytes: u32) -> usize {
+        let max_per = ((width_bytes as u64 / Self::elt_bytes()).max(1) as usize)
+            .min(self.s.next_power_of_two());
+        let mut per = 1usize;
+        while per * 2 <= max_per && self.s % (per * 2) == 0 {
+            per *= 2;
+        }
+        per
+    }
+
+    /// Warp-cooperative **gather**: lane `l` loads structure
+    /// `indices[l]`. Returns lane-major data: `out[l*s ..][..s]` is lane
+    /// `l`'s structure. Unit-stride loads are `indices = base..base+lanes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    #[allow(clippy::needless_range_loop)] // lockstep indexing of addrs/out/data
+    pub fn gather(&mut self, indices: &[usize], strategy: AccessStrategy) -> Vec<T> {
+        let lanes = indices.len();
+        assert!(lanes > 0, "empty warp");
+        for &ix in indices {
+            assert!(ix < self.len_structs(), "struct index {ix} out of range");
+        }
+        let s = self.s;
+        let mut out = vec![self.data[0]; lanes * s];
+        let eb = Self::elt_bytes() as u32;
+        match strategy {
+            AccessStrategy::Direct => {
+                let mut addrs = vec![(0u64, 0u32); lanes];
+                for k in 0..s {
+                    for (l, &ix) in indices.iter().enumerate() {
+                        let e = ix * s + k;
+                        addrs[l] = (self.addr_of_elem(e), eb);
+                        out[l * s + k] = self.data[e];
+                    }
+                    self.mem.record_read(&addrs);
+                }
+            }
+            AccessStrategy::Vector { width_bytes } => {
+                let per = self.vector_elems(width_bytes);
+                let passes = s / per; // per divides s by construction
+                let mut addrs = vec![(0u64, 0u32); lanes];
+                for k in 0..passes {
+                    for (l, &ix) in indices.iter().enumerate() {
+                        let e0 = ix * s + k * per;
+                        addrs[l] = (self.addr_of_elem(e0), (per as u64 * Self::elt_bytes()) as u32);
+                        out[l * s + k * per..l * s + (k + 1) * per]
+                            .copy_from_slice(&self.data[e0..e0 + per]);
+                    }
+                    self.mem.record_read(&addrs);
+                }
+            }
+            AccessStrategy::C2r => {
+                // s coalesced passes fill the register file in struct-slot
+                // order, then the in-register R2C routes slot -> lane.
+                let mut warp = Warp::new(s, lanes, self.data[0]);
+                let mut addrs = vec![(0u64, 0u32); lanes];
+                for k in 0..s {
+                    for l in 0..lanes {
+                        let flat = k * lanes + l;
+                        let (slot, off) = (flat / s, flat % s);
+                        let e = indices[slot] * s + off;
+                        addrs[l] = (self.addr_of_elem(e), eb);
+                        warp.set(k, l, self.data[e]);
+                    }
+                    self.mem.record_read(&addrs);
+                }
+                if s > 1 && lanes > 1 {
+                    self.transpose_for(lanes).r2c(&mut warp);
+                }
+                for l in 0..lanes {
+                    for r in 0..s {
+                        out[l * s + r] = warp.get(r, l);
+                    }
+                }
+                self.merge_ops(warp.counts());
+            }
+        }
+        out
+    }
+
+    /// Warp-cooperative **scatter**: lane `l` stores its structure
+    /// (`values[l*s ..][..s]`) to structure slot `indices[l]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices, duplicate destinations, or a
+    /// `values` length other than `indices.len() * struct_size`.
+    #[allow(clippy::needless_range_loop)] // lockstep indexing of addrs/values/data
+    pub fn scatter(&mut self, indices: &[usize], values: &[T], strategy: AccessStrategy) {
+        let lanes = indices.len();
+        assert!(lanes > 0, "empty warp");
+        assert_eq!(values.len(), lanes * self.s, "values/warp shape mismatch");
+        for (i, &ix) in indices.iter().enumerate() {
+            assert!(ix < self.len_structs(), "struct index {ix} out of range");
+            assert!(
+                !indices[..i].contains(&ix),
+                "duplicate scatter destination {ix}"
+            );
+        }
+        let s = self.s;
+        let eb = Self::elt_bytes() as u32;
+        match strategy {
+            AccessStrategy::Direct => {
+                let mut addrs = vec![(0u64, 0u32); lanes];
+                for k in 0..s {
+                    for (l, &ix) in indices.iter().enumerate() {
+                        let e = ix * s + k;
+                        addrs[l] = (self.addr_of_elem(e), eb);
+                        self.data[e] = values[l * s + k];
+                    }
+                    self.mem.record_write(&addrs);
+                }
+            }
+            AccessStrategy::Vector { width_bytes } => {
+                let per = self.vector_elems(width_bytes);
+                let passes = s / per;
+                let mut addrs = vec![(0u64, 0u32); lanes];
+                for k in 0..passes {
+                    for (l, &ix) in indices.iter().enumerate() {
+                        let e0 = ix * s + k * per;
+                        addrs[l] = (self.addr_of_elem(e0), (per as u64 * Self::elt_bytes()) as u32);
+                        self.data[e0..e0 + per]
+                            .copy_from_slice(&values[l * s + k * per..l * s + (k + 1) * per]);
+                    }
+                    self.mem.record_write(&addrs);
+                }
+            }
+            AccessStrategy::C2r => {
+                // Inverse of gather: lanes hold their structures; C2R puts
+                // the register file into struct-slot order, then s
+                // coalesced write passes drain it.
+                let mut warp = Warp::new(s, lanes, values[0]);
+                for l in 0..lanes {
+                    for r in 0..s {
+                        warp.set(r, l, values[l * s + r]);
+                    }
+                }
+                if s > 1 && lanes > 1 {
+                    self.transpose_for(lanes).c2r(&mut warp);
+                }
+                let mut addrs = vec![(0u64, 0u32); lanes];
+                for k in 0..s {
+                    for l in 0..lanes {
+                        let flat = k * lanes + l;
+                        let (slot, off) = (flat / s, flat % s);
+                        let e = indices[slot] * s + off;
+                        addrs[l] = (self.addr_of_elem(e), eb);
+                        self.data[e] = warp.get(k, l);
+                    }
+                    self.mem.record_write(&addrs);
+                }
+                self.merge_ops(warp.counts());
+            }
+        }
+    }
+
+    /// Unit-stride load of `lanes` consecutive structures starting at
+    /// `base` — the Figure 8 access pattern.
+    pub fn load_unit_stride(
+        &mut self,
+        base: usize,
+        lanes: usize,
+        strategy: AccessStrategy,
+    ) -> Vec<T> {
+        let indices: Vec<usize> = (base..base + lanes).collect();
+        self.gather(&indices, strategy)
+    }
+
+    /// Unit-stride store of `lanes` consecutive structures at `base`.
+    pub fn store_unit_stride(
+        &mut self,
+        base: usize,
+        lanes: usize,
+        values: &[T],
+        strategy: AccessStrategy,
+    ) {
+        let indices: Vec<usize> = (base..base + lanes).collect();
+        self.scatter(&indices, values, strategy);
+    }
+
+    fn merge_ops(&mut self, c: OpCounts) {
+        self.ops.shuffles += c.shuffles;
+        self.ops.selects += c.selects;
+        self.ops.rotate_stages += c.rotate_stages;
+        self.ops.static_renames += c.static_renames;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LANES: usize = 32;
+
+    fn aos(structs: usize, s: usize) -> Vec<u64> {
+        (0..(structs * s) as u64).collect()
+    }
+
+    fn strategies() -> [AccessStrategy; 3] {
+        [
+            AccessStrategy::Direct,
+            AccessStrategy::Vector { width_bytes: 16 },
+            AccessStrategy::C2r,
+        ]
+    }
+
+    #[test]
+    fn all_strategies_load_identical_values() {
+        for s in [1usize, 2, 3, 4, 7, 8, 16, 31] {
+            let mut data = aos(LANES * 2, s);
+            let want: Vec<u64> = data[..LANES * s].to_vec();
+            for strat in strategies() {
+                let mut ptr = CoalescedPtr::new(&mut data, s, MemoryConfig::default());
+                let got = ptr.load_unit_stride(0, LANES, strat);
+                assert_eq!(got, want, "s={s} {strat:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_strategies_store_identical_values() {
+        for s in [2usize, 3, 8, 13] {
+            let values: Vec<u64> = (0..(LANES * s) as u64).map(|x| x * 10 + 1).collect();
+            for strat in strategies() {
+                let mut data = vec![0u64; LANES * 2 * s];
+                let mut ptr = CoalescedPtr::new(&mut data, s, MemoryConfig::default());
+                ptr.store_unit_stride(LANES, LANES, &values, strat);
+                assert_eq!(&data[LANES * s..], &values[..], "s={s} {strat:?}");
+                assert!(data[..LANES * s].iter().all(|&x| x == 0), "front untouched");
+            }
+        }
+    }
+
+    #[test]
+    fn random_gather_scatter_roundtrip() {
+        let s = 5usize;
+        let total = 100usize;
+        let orig = aos(total, s);
+        // A deterministic "random" permutation of struct indices.
+        let indices: Vec<usize> = (0..LANES).map(|l| (l * 37 + 11) % total).collect();
+        for strat in strategies() {
+            let mut data = orig.clone();
+            let mut ptr = CoalescedPtr::new(&mut data, s, MemoryConfig::default());
+            let vals = ptr.gather(&indices, strat);
+            for (l, &ix) in indices.iter().enumerate() {
+                assert_eq!(&vals[l * s..(l + 1) * s], &orig[ix * s..(ix + 1) * s]);
+            }
+            // Scatter them back where they came from: buffer unchanged.
+            ptr.scatter(&indices, &vals, strat);
+            assert_eq!(data, orig, "{strat:?}");
+        }
+    }
+
+    #[test]
+    fn c2r_strategy_is_most_transaction_efficient_unit_stride() {
+        let s = 8usize; // 64-byte structs of u64
+        let mut eff = Vec::new();
+        for strat in strategies() {
+            let mut data = aos(LANES, s);
+            let mut ptr = CoalescedPtr::new(&mut data, s, MemoryConfig::default());
+            ptr.load_unit_stride(0, LANES, strat);
+            eff.push(ptr.memory().read_efficiency());
+        }
+        let (direct, vector, c2r) = (eff[0], eff[1], eff[2]);
+        assert!(c2r > vector && vector > direct, "{direct} {vector} {c2r}");
+        assert!((c2r - 1.0).abs() < 1e-12, "C2r is perfectly coalesced");
+    }
+
+    #[test]
+    fn c2r_random_gather_efficiency_grows_with_struct_size() {
+        let mut effs = Vec::new();
+        for s in [2usize, 4, 8, 16] {
+            let total = 512usize;
+            let mut data = aos(total, s);
+            let indices: Vec<usize> = (0..LANES).map(|l| (l * 97 + 5) % total).collect();
+            let mut ptr = CoalescedPtr::new(&mut data, s, MemoryConfig::default());
+            ptr.gather(&indices, AccessStrategy::C2r);
+            effs.push(ptr.memory().read_efficiency());
+        }
+        assert!(
+            effs.windows(2).all(|w| w[1] >= w[0] - 1e-12),
+            "monotone: {effs:?}"
+        );
+    }
+
+    #[test]
+    fn direct_strategy_pays_one_line_per_lane_when_strided() {
+        // Struct of 16 u64 = 128 bytes = exactly one line: each Direct
+        // pass touches 32 distinct lines.
+        let s = 16usize;
+        let mut data = aos(LANES, s);
+        let mut ptr = CoalescedPtr::new(&mut data, s, MemoryConfig::default());
+        ptr.load_unit_stride(0, LANES, AccessStrategy::Direct);
+        let st = ptr.memory().stats();
+        assert_eq!(st.read_requests, s as u64);
+        assert_eq!(st.read_transactions, (s * LANES) as u64);
+    }
+
+    #[test]
+    fn op_counts_only_accumulate_for_c2r() {
+        let s = 4usize;
+        let mut data = aos(LANES, s);
+        let mut ptr = CoalescedPtr::new(&mut data, s, MemoryConfig::default());
+        ptr.load_unit_stride(0, LANES, AccessStrategy::Direct);
+        assert_eq!(ptr.op_counts(), OpCounts::default());
+        ptr.load_unit_stride(0, LANES, AccessStrategy::C2r);
+        let c = ptr.op_counts();
+        assert_eq!(c.shuffles, s as u64);
+        assert!(c.selects > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate scatter")]
+    fn duplicate_scatter_destinations_rejected() {
+        let mut data = aos(LANES, 2);
+        let mut ptr = CoalescedPtr::new(&mut data, 2, MemoryConfig::default());
+        let vals = vec![0u64; 2 * 2];
+        ptr.scatter(&[3, 3], &vals, AccessStrategy::Direct);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole structures")]
+    fn ragged_buffer_rejected() {
+        let mut data = vec![0u8; 7];
+        CoalescedPtr::new(&mut data, 2, MemoryConfig::default());
+    }
+}

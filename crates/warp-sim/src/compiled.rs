@@ -1,0 +1,216 @@
+//! Statically precompiled in-register transposes (paper §6.2.4).
+//!
+//! On a SIMD processor both `n` (the warp width) and `m` (the structure
+//! size held in registers) are compile-time constants, so "the task of
+//! computing indices can be simplified through careful strength reduction
+//! and static precomputation" — trove instantiates one fully-unrolled
+//! transpose per structure size, with every shuffle source and rotation
+//! amount baked in.
+//!
+//! [`CompiledTranspose`] is that object: built once per `(m, lanes)`
+//! geometry, it stores the shuffle source tables, per-lane rotation
+//! amounts and the static register renaming, so applying it performs
+//! **zero** index arithmetic — only table lookups the hardware would have
+//! folded into immediates. The paper's `coalesced_ptr` performs one such
+//! transpose per warp memory access, so this is the difference between
+//! computing Eq. 31 per element and per *kernel*.
+
+use ipt_core::index::C2rParams;
+
+use crate::warp::Warp;
+
+/// A fully precomputed in-register transpose for one warp geometry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledTranspose {
+    m: usize,
+    lanes: usize,
+    /// Pre-rotation amount per lane (`floor(j/b)`), empty when coprime.
+    prerotate: Vec<usize>,
+    /// Shuffle source lane for every (register, lane): C2R direction.
+    shuffle_c2r: Vec<usize>,
+    /// Shuffle source lane for every (register, lane): R2C direction.
+    shuffle_r2c: Vec<usize>,
+    /// Column rotation amounts per lane (`j mod m`) and their inverses.
+    rotate: Vec<usize>,
+    rotate_inv: Vec<usize>,
+    /// Post-rotation inverse amounts, empty when coprime.
+    postrotate_inv: Vec<usize>,
+    /// The free register renamings `q` and `q^-1`.
+    q: Vec<usize>,
+    q_inv: Vec<usize>,
+}
+
+impl CompiledTranspose {
+    /// Precompute all index tables for an `m`-register x `lanes`-lane
+    /// transpose. Cost: `O(m * lanes)` once; every later application does
+    /// no index arithmetic at all.
+    pub fn new(m: usize, lanes: usize) -> CompiledTranspose {
+        assert!(m > 0 && lanes > 0, "degenerate warp geometry");
+        if m == 1 || lanes == 1 {
+            return CompiledTranspose {
+                m,
+                lanes,
+                prerotate: Vec::new(),
+                shuffle_c2r: Vec::new(),
+                shuffle_r2c: Vec::new(),
+                rotate: Vec::new(),
+                rotate_inv: Vec::new(),
+                postrotate_inv: Vec::new(),
+                q: Vec::new(),
+                q_inv: Vec::new(),
+            };
+        }
+        let p = C2rParams::new(m, lanes);
+        let (prerotate, postrotate_inv) = if p.coprime() {
+            (Vec::new(), Vec::new())
+        } else {
+            (
+                (0..lanes).map(|j| p.rotate_amount(j) % m).collect(),
+                (0..lanes).map(|j| (m - p.rotate_amount(j) % m) % m).collect(),
+            )
+        };
+        CompiledTranspose {
+            m,
+            lanes,
+            prerotate,
+            shuffle_c2r: (0..m)
+                .flat_map(|i| (0..lanes).map(move |j| (i, j)))
+                .map(|(i, j)| p.d_inv(i, j))
+                .collect(),
+            shuffle_r2c: (0..m)
+                .flat_map(|i| (0..lanes).map(move |j| (i, j)))
+                .map(|(i, j)| p.d(i, j))
+                .collect(),
+            rotate: (0..lanes).map(|j| j % m).collect(),
+            rotate_inv: (0..lanes).map(|j| (m - j % m) % m).collect(),
+            postrotate_inv,
+            q: (0..m).map(|i| p.q(i)).collect(),
+            q_inv: (0..m).map(|i| p.q_inv(i)).collect(),
+        }
+    }
+
+    /// Registers per lane this transpose was compiled for.
+    pub fn registers(&self) -> usize {
+        self.m
+    }
+
+    /// Lanes this transpose was compiled for.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    fn check(&self, warp: &Warp<impl Copy>) {
+        assert_eq!(
+            (warp.registers(), warp.lanes()),
+            (self.m, self.lanes),
+            "warp geometry does not match the compiled transpose"
+        );
+    }
+
+    /// Apply the C2R transpose using only the precomputed tables —
+    /// equivalent to [`crate::c2r_in_register`], same instruction counts.
+    pub fn c2r<T: Copy>(&self, warp: &mut Warp<T>) {
+        self.check(warp);
+        if self.m == 1 || self.lanes == 1 {
+            return;
+        }
+        if !self.prerotate.is_empty() {
+            let t = &self.prerotate;
+            warp.rotate_lanes_dynamic(|j| t[j]);
+        }
+        for i in 0..self.m {
+            let row = &self.shuffle_c2r[i * self.lanes..(i + 1) * self.lanes];
+            warp.shfl(i, |j| row[j]);
+        }
+        let t = &self.rotate;
+        warp.rotate_lanes_dynamic(|j| t[j]);
+        let q = &self.q;
+        warp.permute_registers_static(|i| q[i]);
+    }
+
+    /// Apply the R2C transpose (the inverse) from the precomputed tables —
+    /// equivalent to [`crate::r2c_in_register`].
+    pub fn r2c<T: Copy>(&self, warp: &mut Warp<T>) {
+        self.check(warp);
+        if self.m == 1 || self.lanes == 1 {
+            return;
+        }
+        let q_inv = &self.q_inv;
+        warp.permute_registers_static(|i| q_inv[i]);
+        let t = &self.rotate_inv;
+        warp.rotate_lanes_dynamic(|j| t[j]);
+        for i in 0..self.m {
+            let row = &self.shuffle_r2c[i * self.lanes..(i + 1) * self.lanes];
+            warp.shfl(i, |j| row[j]);
+        }
+        if !self.postrotate_inv.is_empty() {
+            let t = &self.postrotate_inv;
+            warp.rotate_lanes_dynamic(|j| t[j]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transpose::{c2r_in_register, r2c_in_register};
+
+    fn iota(m: usize, n: usize) -> Vec<u32> {
+        (0..(m * n) as u32).collect()
+    }
+
+    #[test]
+    fn compiled_matches_on_the_fly() {
+        for (m, lanes) in [
+            (2usize, 32usize),
+            (3, 32),
+            (8, 32),
+            (16, 32),
+            (5, 7),
+            (6, 9),
+            (12, 16),
+            (1, 8),
+            (8, 1),
+        ] {
+            let ct = CompiledTranspose::new(m, lanes);
+            let data = iota(m, lanes);
+
+            let mut compiled = Warp::from_matrix(&data, m, lanes);
+            ct.c2r(&mut compiled);
+            let mut fresh = Warp::from_matrix(&data, m, lanes);
+            c2r_in_register(&mut fresh);
+            assert_eq!(compiled.as_matrix(), fresh.as_matrix(), "c2r {m}x{lanes}");
+            assert_eq!(compiled.counts(), fresh.counts(), "c2r costs {m}x{lanes}");
+
+            ct.r2c(&mut compiled);
+            assert_eq!(compiled.as_matrix(), &data[..], "r2c inverts {m}x{lanes}");
+
+            let mut fresh = Warp::from_matrix(&data, m, lanes);
+            r2c_in_register(&mut fresh);
+            let mut compiled = Warp::from_matrix(&data, m, lanes);
+            ct.r2c(&mut compiled);
+            assert_eq!(compiled.as_matrix(), fresh.as_matrix(), "r2c {m}x{lanes}");
+        }
+    }
+
+    #[test]
+    fn reusable_across_many_warps() {
+        let (m, lanes) = (8usize, 32usize);
+        let ct = CompiledTranspose::new(m, lanes);
+        for salt in 0..16u32 {
+            let data: Vec<u32> = (0..(m * lanes) as u32).map(|x| x.wrapping_mul(salt | 1)).collect();
+            let mut w = Warp::from_matrix(&data, m, lanes);
+            ct.c2r(&mut w);
+            ct.r2c(&mut w);
+            assert_eq!(w.as_matrix(), &data[..]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry")]
+    fn geometry_mismatch_panics() {
+        let ct = CompiledTranspose::new(4, 32);
+        let mut w = Warp::new(8, 32, 0u8);
+        ct.c2r(&mut w);
+    }
+}

@@ -1,0 +1,38 @@
+//! # warp-sim — a deterministic SIMD-warp register-file machine
+//!
+//! The paper's §6 shows that the decomposed transpose runs *inside the
+//! register file* of a SIMD processor: a warp of `n` lanes, each holding
+//! `m` registers, stores an `m x n` matrix, and the three steps map to
+//!
+//! * **lane shuffle** (`shfl` on NVIDIA hardware) for the row shuffle —
+//!   one instruction per register row (§6.2.1);
+//! * **dynamic column rotation** — each lane rotates its own `m`-vector by
+//!   a lane-dependent amount, branch-free, as a barrel rotator:
+//!   `ceil(log2 m)` statically-indexed steps of conditional selects
+//!   (§6.2.2);
+//! * **static row permutation** — the column-uniform permutation `q` is
+//!   known at compile time, so it costs *zero* instructions: the compiler
+//!   renames registers (§6.2.3).
+//!
+//! This crate executes exactly those primitives on a [`Warp`] value and
+//! counts them, so the in-register C2R/R2C transposes here exercise the
+//! real SIMD code path (static register indexing only, selects instead of
+//! branches) without GPU hardware. [`coalesced`] combines them with the
+//! `memsim` transaction model to reproduce the paper's Array-of-Structures
+//! access study (Figures 8–9) and the `coalesced_ptr<T>` interface of
+//! Figure 10.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coalesced;
+pub mod compiled;
+pub mod kernel;
+pub mod transpose;
+pub mod warp;
+
+pub use coalesced::{AccessStrategy, CoalescedPtr};
+pub use compiled::CompiledTranspose;
+pub use kernel::{GpuSim, SimReport};
+pub use transpose::{c2r_in_register, r2c_in_register};
+pub use warp::{OpCounts, Warp, WARP_LANES};

@@ -1,0 +1,234 @@
+//! In-register C2R/R2C transposes (paper §6.2).
+//!
+//! The warp holds an `m x n` matrix (`m` registers, `n` lanes). The
+//! decomposed transpose maps onto the three register-file primitives:
+//!
+//! | algorithm step | index function | hardware primitive |
+//! |---|---|---|
+//! | pre-rotation | `r_j` (Eq. 23) | dynamic barrel rotation |
+//! | row shuffle | `d'^-1_i` / `d'_i` (Eqs. 31/24) | lane shuffle per register |
+//! | column rotation | `p_j` / `p^-1_j` (Eqs. 32/35) | dynamic barrel rotation |
+//! | row permutation | `q` / `q^-1` (Eqs. 33/34) | **static renaming — free** |
+//!
+//! The column-uniform factor `q` landing on the free primitive is the
+//! payoff of the §4.2 restricted-column-operation decomposition: the only
+//! per-element dynamic costs are `ceil(log2 m)` selects and one shuffle.
+//!
+//! All index functions are evaluated through the same strength-reduced
+//! [`C2rParams`] as the memory-resident transposes — on real hardware
+//! these are precomputed scalars (§6.2.4); here they parameterize the
+//! shuffles.
+
+use ipt_core::index::C2rParams;
+
+use crate::warp::Warp;
+
+/// How the row shuffle reaches other lanes (§6.2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShuffleKind {
+    /// The hardware lane-shuffle instruction (NVIDIA `shfl`).
+    #[default]
+    Hardware,
+    /// The fallback for SIMD processors without a shuffle instruction:
+    /// stage each register row through one-slot-per-lane on-chip memory.
+    SharedMemory,
+}
+
+fn do_shfl<T: Copy>(warp: &mut Warp<T>, kind: ShuffleKind, r: usize, src: impl Fn(usize) -> usize) {
+    match kind {
+        ShuffleKind::Hardware => warp.shfl(r, src),
+        ShuffleKind::SharedMemory => warp.shfl_via_shared(r, src),
+    }
+}
+
+/// In-register C2R: transpose the warp's `m x n` matrix (m registers, n
+/// lanes) so that the register file afterwards holds the matrix whose
+/// row-major linearization is the transpose — i.e. lane `l` ends up
+/// holding the `l`-th *struct* (consecutive `m` elements) of the buffer.
+///
+/// The inverse of [`r2c_in_register`]. Uses the hardware shuffle; see
+/// [`c2r_in_register_with`] for the shared-memory fallback.
+pub fn c2r_in_register<T: Copy>(warp: &mut Warp<T>) {
+    c2r_in_register_with(warp, ShuffleKind::Hardware);
+}
+
+/// [`c2r_in_register`] with an explicit shuffle implementation.
+pub fn c2r_in_register_with<T: Copy>(warp: &mut Warp<T>, kind: ShuffleKind) {
+    let (m, n) = (warp.registers(), warp.lanes());
+    if m <= 1 || n <= 1 {
+        return;
+    }
+    let p = C2rParams::new(m, n);
+    // Step 1: pre-rotation (lane j rotates by floor(j/b)); skipped when
+    // coprime. Dynamic rotation: the amount depends on the lane.
+    if !p.coprime() {
+        warp.rotate_lanes_dynamic(|j| p.rotate_amount(j));
+    }
+    // Step 2: row shuffle — one lane shuffle per register.
+    for i in 0..m {
+        do_shfl(warp, kind, i, |j| p.d_inv(i, j));
+    }
+    // Step 3a: column rotation p_j — dynamic rotation by the lane index.
+    warp.rotate_lanes_dynamic(|j| j);
+    // Step 3b: row permutation q — identical in every lane, so it is a
+    // static register renaming: zero instructions.
+    warp.permute_registers_static(|i| p.q(i));
+}
+
+/// In-register R2C: the inverse of [`c2r_in_register`]. This is the
+/// "load and R2C transpose" direction of the paper's `coalesced_ptr`
+/// (Figure 10): after `m` coalesced loads fill the registers in memory
+/// order, R2C routes each lane its own struct.
+pub fn r2c_in_register<T: Copy>(warp: &mut Warp<T>) {
+    r2c_in_register_with(warp, ShuffleKind::Hardware);
+}
+
+/// [`r2c_in_register`] with an explicit shuffle implementation.
+pub fn r2c_in_register_with<T: Copy>(warp: &mut Warp<T>, kind: ShuffleKind) {
+    let (m, n) = (warp.registers(), warp.lanes());
+    if m <= 1 || n <= 1 {
+        return;
+    }
+    let p = C2rParams::new(m, n);
+    // Inverse steps in reverse order (§4.3).
+    warp.permute_registers_static(|i| p.q_inv(i));
+    warp.rotate_lanes_dynamic(|j| (m - j % m) % m);
+    for i in 0..m {
+        do_shfl(warp, kind, i, |j| p.d(i, j));
+    }
+    if !p.coprime() {
+        warp.rotate_lanes_dynamic(|j| (m - p.rotate_amount(j) % m) % m);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipt_core::Scratch;
+
+    fn iota(m: usize, n: usize) -> Vec<u32> {
+        (0..(m * n) as u32).collect()
+    }
+
+    #[test]
+    fn in_register_c2r_matches_memory_c2r() {
+        for (m, n) in [
+            (2usize, 32usize),
+            (3, 32),
+            (4, 32),
+            (7, 32),
+            (8, 32),
+            (16, 32),
+            (31, 32),
+            (5, 8),
+            (6, 9),
+            (4, 4),
+            (12, 16),
+        ] {
+            let data = iota(m, n);
+            let mut warp = Warp::from_matrix(&data, m, n);
+            c2r_in_register(&mut warp);
+            let mut want = data.clone();
+            ipt_core::c2r(&mut want, m, n, &mut Scratch::new());
+            assert_eq!(warp.as_matrix(), &want[..], "{m}x{n}");
+        }
+    }
+
+    #[test]
+    fn in_register_r2c_matches_memory_r2c() {
+        for (m, n) in [(2usize, 32usize), (3, 32), (8, 32), (7, 12), (9, 6)] {
+            let data = iota(m, n);
+            let mut warp = Warp::from_matrix(&data, m, n);
+            r2c_in_register(&mut warp);
+            let mut want = data.clone();
+            ipt_core::r2c(&mut want, m, n, &mut Scratch::new());
+            assert_eq!(warp.as_matrix(), &want[..], "{m}x{n}");
+        }
+    }
+
+    #[test]
+    fn r2c_routes_structs_to_lanes() {
+        // The coalesced-load use case: memory order in registers, then
+        // R2C; lane l must hold elements l*m .. l*m+m (its struct).
+        for m in [2usize, 3, 5, 8, 11, 16] {
+            let n = 32usize;
+            let mut warp = Warp::from_matrix(&iota(m, n), m, n);
+            r2c_in_register(&mut warp);
+            for l in 0..n {
+                let want: Vec<u32> = (0..m as u32).map(|r| (l * m) as u32 + r).collect();
+                assert_eq!(warp.lane(l), want, "m={m} lane={l}");
+            }
+        }
+    }
+
+    #[test]
+    fn c2r_then_r2c_is_identity() {
+        for (m, n) in [(3usize, 32usize), (8, 32), (5, 7), (6, 4)] {
+            let data = iota(m, n);
+            let mut warp = Warp::from_matrix(&data, m, n);
+            c2r_in_register(&mut warp);
+            r2c_in_register(&mut warp);
+            assert_eq!(warp.as_matrix(), &data[..], "{m}x{n}");
+        }
+    }
+
+    #[test]
+    fn instruction_budget_matches_paper_model() {
+        // m registers over 32 lanes: m shuffles; rotations cost
+        // ceil(log2 m) stages each; q is free.
+        let (m, n) = (8usize, 32usize);
+        let mut warp = Warp::from_matrix(&iota(m, n), m, n);
+        c2r_in_register(&mut warp);
+        let c = warp.counts();
+        assert_eq!(c.shuffles, m as u64, "one shuffle per register");
+        // gcd(8, 32) = 8 > 1: pre-rotation + p_j rotation = 2 rotations.
+        assert_eq!(c.rotate_stages, 2 * 3, "two barrel rotations of log2(8) stages");
+        assert_eq!(c.selects, 2 * 3 * (m * n) as u64);
+        assert_eq!(c.static_renames, 1, "q is a free renaming");
+    }
+
+    #[test]
+    fn coprime_shapes_skip_the_prerotation() {
+        let (m, n) = (5usize, 32usize); // gcd = 1
+        let mut warp = Warp::from_matrix(&iota(m, n), m, n);
+        c2r_in_register(&mut warp);
+        // Only the p_j rotation: ceil(log2 5) = 3 stages.
+        assert_eq!(warp.counts().rotate_stages, 3);
+    }
+
+    #[test]
+    fn shared_memory_fallback_matches_hardware_shuffle() {
+        for (m, n) in [(3usize, 32usize), (8, 32), (5, 7), (6, 4), (16, 16)] {
+            let data = iota(m, n);
+            let mut hw = Warp::from_matrix(&data, m, n);
+            let mut sm = Warp::from_matrix(&data, m, n);
+            c2r_in_register_with(&mut hw, ShuffleKind::Hardware);
+            c2r_in_register_with(&mut sm, ShuffleKind::SharedMemory);
+            assert_eq!(hw.as_matrix(), sm.as_matrix(), "{m}x{n}");
+            // Costs differ: the fallback trades shuffles for 2*lanes
+            // shared accesses per register row.
+            assert_eq!(sm.counts().shuffles, 0);
+            assert_eq!(hw.counts().shared_accesses, 0);
+            assert_eq!(sm.counts().shared_accesses, (2 * m * n) as u64);
+            assert_eq!(hw.counts().shuffles, m as u64);
+        }
+    }
+
+    #[test]
+    fn shared_memory_r2c_roundtrip() {
+        let (m, n) = (7usize, 32usize);
+        let data = iota(m, n);
+        let mut w = Warp::from_matrix(&data, m, n);
+        c2r_in_register_with(&mut w, ShuffleKind::SharedMemory);
+        r2c_in_register_with(&mut w, ShuffleKind::SharedMemory);
+        assert_eq!(w.as_matrix(), &data[..]);
+    }
+
+    #[test]
+    fn degenerate_single_register_is_noop() {
+        let mut warp = Warp::from_matrix(&iota(1, 8), 1, 8);
+        c2r_in_register(&mut warp);
+        assert_eq!(warp.as_matrix(), &iota(1, 8)[..]);
+        assert_eq!(warp.counts().shuffles, 0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Property tests for the warp register-file machine and the coalesced
+//! access strategies.
+
+use ipt_core::Scratch;
+use memsim::MemoryConfig;
+use proptest::prelude::*;
+use warp_sim::transpose::{c2r_in_register_with, r2c_in_register_with, ShuffleKind};
+use warp_sim::{AccessStrategy, CoalescedPtr, Warp};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn in_register_c2r_equals_memory_c2r(
+        m in 1usize..24,
+        lanes in 1usize..48,
+        shared in any::<bool>(),
+    ) {
+        let data: Vec<u32> = (0..(m * lanes) as u32).collect();
+        let mut warp = Warp::from_matrix(&data, m, lanes);
+        let kind = if shared { ShuffleKind::SharedMemory } else { ShuffleKind::Hardware };
+        c2r_in_register_with(&mut warp, kind);
+        let mut want = data;
+        ipt_core::c2r(&mut want, m, lanes, &mut Scratch::new());
+        prop_assert_eq!(warp.as_matrix(), &want[..]);
+    }
+
+    #[test]
+    fn in_register_r2c_inverts_c2r(m in 1usize..24, lanes in 1usize..48) {
+        let data: Vec<u64> = (0..(m * lanes) as u64).collect();
+        let mut warp = Warp::from_matrix(&data, m, lanes);
+        c2r_in_register_with(&mut warp, ShuffleKind::Hardware);
+        r2c_in_register_with(&mut warp, ShuffleKind::Hardware);
+        prop_assert_eq!(warp.as_matrix(), &data[..]);
+    }
+
+    #[test]
+    fn dynamic_rotation_matches_per_lane_reference(
+        m in 1usize..20,
+        lanes in 1usize..20,
+        seed in any::<u64>(),
+    ) {
+        let data: Vec<u32> = (0..(m * lanes) as u32).collect();
+        let mut warp = Warp::from_matrix(&data, m, lanes);
+        // Arbitrary per-lane amounts derived from the seed.
+        let amount = move |l: usize| ((seed >> (l % 48)) as usize).wrapping_add(l * 3);
+        warp.rotate_lanes_dynamic(amount);
+        for l in 0..lanes {
+            for r in 0..m {
+                let k = amount(l) % m;
+                prop_assert_eq!(warp.get(r, l), data[((r + k) % m) * lanes + l]);
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_then_inverse_shuffle_is_identity(
+        m in 1usize..10,
+        lanes in 2usize..33,
+        shift in 0usize..40,
+    ) {
+        let data: Vec<u16> = (0..(m * lanes) as u16).collect();
+        let mut warp = Warp::from_matrix(&data, m, lanes);
+        let s = shift % lanes;
+        for r in 0..m {
+            warp.shfl(r, move |l| (l + s) % lanes);
+        }
+        for r in 0..m {
+            warp.shfl(r, move |l| (l + lanes - s) % lanes);
+        }
+        prop_assert_eq!(warp.as_matrix(), &data[..]);
+    }
+
+    #[test]
+    fn gather_returns_requested_structs(
+        s in 1usize..20,
+        total_log in 5usize..9,
+        seed in any::<u64>(),
+        strat in 0usize..3,
+    ) {
+        let lanes = 32usize;
+        let total = 1usize << total_log;
+        let strategy = match strat {
+            0 => AccessStrategy::Direct,
+            1 => AccessStrategy::Vector { width_bytes: 16 },
+            _ => AccessStrategy::C2r,
+        };
+        let orig: Vec<u64> = (0..(total * s) as u64).map(|x| x.wrapping_mul(seed | 1)).collect();
+        let mut data = orig.clone();
+        let indices: Vec<usize> = (0..lanes)
+            .map(|l| ((seed.rotate_left(l as u32) as usize) ^ (l * 7919)) % total)
+            .collect();
+        let mut ptr = CoalescedPtr::new(&mut data, s, MemoryConfig::default());
+        let vals = ptr.gather(&indices, strategy);
+        for (l, &ix) in indices.iter().enumerate() {
+            prop_assert_eq!(&vals[l * s..(l + 1) * s], &orig[ix * s..(ix + 1) * s]);
+        }
+    }
+
+    #[test]
+    fn unit_stride_c2r_efficiency_is_perfect_for_aligned_elements(
+        s in 1usize..32,
+        warps in 1usize..4,
+    ) {
+        let lanes = 32usize;
+        let mut data: Vec<f64> = (0..warps * lanes * s).map(|i| i as f64).collect();
+        let mut ptr = CoalescedPtr::new(&mut data, s, MemoryConfig::default());
+        for w in 0..warps {
+            ptr.load_unit_stride(w * lanes, lanes, AccessStrategy::C2r);
+        }
+        // 32 lanes x 8 B = 256 B of consecutive bytes per pass: every
+        // transaction is full.
+        prop_assert!((ptr.memory().read_efficiency() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strategies_never_beat_c2r_on_unit_stride(s in 1usize..32) {
+        let lanes = 32usize;
+        let eff = |strategy| {
+            let mut data: Vec<f32> = (0..lanes * s).map(|i| i as f32).collect();
+            let mut ptr = CoalescedPtr::new(&mut data, s, MemoryConfig::default());
+            ptr.load_unit_stride(0, lanes, strategy);
+            ptr.memory().read_efficiency()
+        };
+        let c2r = eff(AccessStrategy::C2r);
+        let direct = eff(AccessStrategy::Direct);
+        let vector = eff(AccessStrategy::Vector { width_bytes: 16 });
+        prop_assert!(direct <= c2r + 1e-12);
+        prop_assert!(vector <= c2r + 1e-12);
+    }
+}
+
+#[test]
+fn op_counts_scale_with_registers() {
+    // The select cost of a C2R load grows as m * ceil(log2 m) per lane —
+    // the §6.2.2 cost model.
+    let lanes = 32usize;
+    for m in [2usize, 4, 8, 16, 32] {
+        let data: Vec<u32> = (0..(m * lanes) as u32).collect();
+        let mut warp = Warp::from_matrix(&data, m, lanes);
+        c2r_in_register_with(&mut warp, ShuffleKind::Hardware);
+        let c = warp.counts();
+        let stages = (usize::BITS - (m - 1).leading_zeros()) as u64;
+        let rotations = if m.is_power_of_two() && lanes % m == 0 || ipt_core::gcd::gcd(m as u64, lanes as u64) > 1 {
+            2
+        } else {
+            1
+        };
+        assert_eq!(c.rotate_stages, rotations * stages, "m={m}");
+        assert_eq!(c.selects, c.rotate_stages * (m * lanes) as u64, "m={m}");
+        assert_eq!(c.shuffles, m as u64, "m={m}");
+    }
+}

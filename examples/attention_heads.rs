@@ -1,0 +1,52 @@
+//! Batched transposition: reshaping attention heads in place.
+//!
+//! Transformer inference juggles tensors shaped `[heads, seq, dim]` and
+//! needs `[heads, dim, seq]` views for the next matmul. That is `heads`
+//! independent same-shape transposes — exactly `ipt_parallel::batched`,
+//! which precomputes the decomposition parameters once and fans the
+//! batch out across threads, with `O(max(seq, dim))` scratch per worker
+//! instead of a second tensor-sized buffer.
+//!
+//! Run with: `cargo run --release --example attention_heads`
+
+use ipt_parallel::batched::{r2c_batched, transpose_batched};
+use std::time::Instant;
+
+fn main() {
+    let (heads, seq, dim) = (16usize, 1024usize, 256usize);
+    println!("tensor [heads={heads}, seq={seq}, dim={dim}] f32 ({} MB)",
+        heads * seq * dim * 4 / 1_000_000);
+
+    // K tensor: head-major, each head a seq x dim row-major matrix.
+    let mut k: Vec<f32> = (0..heads * seq * dim).map(|i| (i % 9973) as f32).collect();
+    let orig = k.clone();
+
+    // [heads, seq, dim] -> [heads, dim, seq] in place.
+    let t0 = Instant::now();
+    transpose_batched(&mut k, heads, seq, dim, ipt_core::Layout::RowMajor);
+    let fwd = t0.elapsed();
+    println!(
+        "K^T for all heads: {fwd:.2?} ({:.2} GB/s), scratch per worker: {} KB",
+        (2 * k.len() * 4) as f64 / fwd.as_secs_f64() / 1e9,
+        seq.max(dim) * 4 / 1024
+    );
+
+    // Spot-check head 3: element (s, d) must now live at (d, s).
+    let h = 3usize;
+    let base = h * seq * dim;
+    for (s, d) in [(0usize, 0usize), (5, 17), (1023, 255), (512, 128)] {
+        assert_eq!(
+            k[base + d * seq + s],
+            orig[base + s * dim + d],
+            "head {h} ({s}, {d})"
+        );
+    }
+
+    // And back: [heads, dim, seq] -> [heads, seq, dim]. The batched R2C
+    // with the same (seq, dim) parameters is the exact inverse.
+    let t0 = Instant::now();
+    r2c_batched(&mut k, heads, seq, dim);
+    println!("undo (batched R2C):  {:.2?}", t0.elapsed());
+    assert_eq!(k, orig, "round trip must be exact");
+    println!("round trip exact across all {heads} heads: OK");
+}

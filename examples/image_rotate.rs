@@ -1,0 +1,102 @@
+//! Rotating a non-square image 90° in place.
+//!
+//! A 90° clockwise rotation is a transpose followed by row reversal —
+//! and with an in-place transpose it needs only `O(max(w, h))` scratch,
+//! which matters when the image barely fits in memory. This example
+//! rotates an ASCII-art "photo" both ways and checks the round trip.
+//!
+//! Run with: `cargo run --release --example image_rotate`
+
+use ipt::prelude::*;
+
+struct Image {
+    pixels: Vec<u8>,
+    w: usize,
+    h: usize,
+}
+
+impl Image {
+    fn from_art(art: &[&str]) -> Image {
+        let h = art.len();
+        let w = art[0].len();
+        assert!(art.iter().all(|r| r.len() == w), "ragged art");
+        Image {
+            pixels: art.iter().flat_map(|r| r.bytes()).collect(),
+            w,
+            h,
+        }
+    }
+
+    /// Rotate 90° clockwise in place: transpose, then reverse each row.
+    fn rotate_cw(&mut self, scratch: &mut Scratch<u8>) {
+        transpose(&mut self.pixels, self.h, self.w, Layout::RowMajor, scratch);
+        std::mem::swap(&mut self.w, &mut self.h);
+        for row in self.pixels.chunks_exact_mut(self.w) {
+            row.reverse();
+        }
+    }
+
+    /// Rotate 90° counter-clockwise in place: reverse rows, then transpose.
+    fn rotate_ccw(&mut self, scratch: &mut Scratch<u8>) {
+        for row in self.pixels.chunks_exact_mut(self.w) {
+            row.reverse();
+        }
+        transpose(&mut self.pixels, self.h, self.w, Layout::RowMajor, scratch);
+        std::mem::swap(&mut self.w, &mut self.h);
+    }
+
+    fn print(&self, label: &str) {
+        println!("{label} ({} x {}):", self.w, self.h);
+        for row in self.pixels.chunks_exact(self.w) {
+            println!("  {}", std::str::from_utf8(row).unwrap());
+        }
+        println!();
+    }
+}
+
+fn main() {
+    let art = [
+        "....*....",
+        "...***...",
+        "..*****..",
+        ".*******.",
+        "....#....",
+        "....#....",
+    ];
+    let mut img = Image::from_art(&art);
+    let original = img.pixels.clone();
+    let mut scratch = Scratch::new();
+
+    img.print("original");
+
+    img.rotate_cw(&mut scratch);
+    img.print("rotated 90° clockwise");
+
+    img.rotate_cw(&mut scratch);
+    img.print("rotated 180°");
+
+    img.rotate_ccw(&mut scratch);
+    img.rotate_ccw(&mut scratch);
+    assert_eq!(img.pixels, original, "four quarter-turns = identity");
+    println!("two CW + two CCW rotations restored the original: OK");
+
+    // The same trick at photo scale: 4000 x 3000 "pixels" of RGBA u32.
+    let (w, h) = (4000usize, 3000usize);
+    let mut photo: Vec<u32> = (0..w * h as u32 as usize).map(|i| i as u32).collect();
+    let t0 = std::time::Instant::now();
+    transpose(&mut photo, h, w, Layout::RowMajor, &mut Scratch::new());
+    for row in photo.chunks_exact_mut(h) {
+        row.reverse();
+    }
+    let dt = t0.elapsed();
+    println!(
+        "\n{}x{} RGBA rotate-in-place: {:.2?} (scratch: {} KB instead of a {} MB copy)",
+        w,
+        h,
+        dt,
+        w.max(h) * 4 / 1024,
+        w * h * 4 / 1_000_000
+    );
+    // Pixel (0, 0) of the original is at column h-1 of row 0 after CW.
+    assert_eq!(photo[h - 1], 0);
+}

@@ -1,0 +1,69 @@
+//! Pivoting a table of heap-allocated strings — the non-`Copy` transpose.
+//!
+//! Spreadsheet-style data is a matrix of owned cells. The swap-only
+//! formulation (`ipt_core::noncopy`) transposes it in place with zero
+//! clones — every `String` keeps its allocation, only the order changes —
+//! and `O(max(rows, cols))` bytes of bookkeeping. The type-erased variant
+//! (`ipt_core::erased`) does the same for raw records of any byte size.
+//!
+//! Run with: `cargo run --release --example pivot_table`
+
+use ipt_core::erased::transpose_erased;
+use ipt_core::noncopy::transpose_any;
+use ipt_core::Layout;
+
+fn main() {
+    // A small "quarterly report": rows are products, columns quarters.
+    let headers = ["product", "Q1", "Q2", "Q3"];
+    let table = [
+        ["widgets", "10", "14", "19"],
+        ["gadgets", "7", "8", "12"],
+        ["doohickeys", "31", "27", "40"],
+    ];
+    let (rows, cols) = (1 + table.len(), headers.len());
+    let mut cells: Vec<String> = headers
+        .iter()
+        .map(|s| s.to_string())
+        .chain(table.iter().flatten().map(|s| s.to_string()))
+        .collect();
+
+    println!("before pivot ({rows} x {cols}):");
+    print_table(&cells, rows, cols);
+
+    // Record where one cell's buffer lives to prove nothing is cloned.
+    let probe_ptr = cells[5].as_ptr();
+    let probe_val = cells[5].clone();
+
+    transpose_any(&mut cells, rows, cols, Layout::RowMajor);
+
+    println!("\nafter pivot ({cols} x {rows}):");
+    print_table(&cells, cols, rows);
+
+    let moved = cells.iter().find(|c| *c == &probe_val).unwrap();
+    assert_eq!(moved.as_ptr(), probe_ptr, "the String buffer itself moved, not a copy");
+    println!("\ncell {probe_val:?} kept its original heap allocation: no clones.");
+
+    // The same pivot on raw fixed-size records via the type-erased path:
+    // 12-byte records (say, packed sensor readings), 4 x 3 of them.
+    let (r, c, elem) = (4usize, 3usize, 12usize);
+    let mut raw: Vec<u8> = (0..r * c * elem).map(|x| x as u8).collect();
+    let orig = raw.clone();
+    transpose_erased(&mut raw, r, c, elem, Layout::RowMajor);
+    // Record (i, j) of the transpose equals record (j, i) of the source.
+    for i in 0..c {
+        for j in 0..r {
+            assert_eq!(
+                &raw[(i * r + j) * elem..(i * r + j + 1) * elem],
+                &orig[(j * c + i) * elem..(j * c + i + 1) * elem]
+            );
+        }
+    }
+    println!("type-erased pivot of {r} x {c} twelve-byte records: OK");
+}
+
+fn print_table(cells: &[String], rows: usize, cols: usize) {
+    for i in 0..rows {
+        let row: Vec<String> = (0..cols).map(|j| format!("{:>10}", cells[i * cols + j])).collect();
+        println!("  {}", row.join(" "));
+    }
+}

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Plot the CSVs emitted by the ipt-bench figure harnesses.
+
+Usage:
+    python3 scripts/plot_results.py [results_dir] [out_dir]
+
+Reads results/fig*.csv (as produced by the `--csv` flags documented in
+EXPERIMENTS.md) and writes one PNG per figure, visually mirroring the
+paper's presentation: histograms for Figures 3/6/7, heatmaps for
+Figures 4/5, line charts for Figures 8/9. Requires matplotlib; every
+figure whose CSV is missing is skipped with a note, so partial result
+sets plot fine.
+"""
+
+import csv
+import os
+import sys
+from collections import defaultdict
+
+
+def read_csv(path):
+    with open(path) as f:
+        return list(csv.DictReader(f))
+
+
+def save(fig, out_dir, name):
+    path = os.path.join(out_dir, name)
+    fig.savefig(path, dpi=130, bbox_inches="tight")
+    print(f"wrote {path}")
+
+
+def plot_histograms(plt, rows, key, value, title, out_dir, name):
+    groups = defaultdict(list)
+    for r in rows:
+        groups[r[key]].append(float(r[value]))
+    fig, axes = plt.subplots(len(groups), 1, figsize=(7, 2.2 * len(groups)), sharex=True)
+    if len(groups) == 1:
+        axes = [axes]
+    for ax, (label, xs) in zip(axes, groups.items()):
+        ax.hist(xs, bins=30)
+        med = sorted(xs)[len(xs) // 2]
+        ax.axvline(med, linestyle="--", color="k")
+        ax.set_ylabel("samples")
+        ax.set_title(f"{label} (median {med:.2f} GB/s)", fontsize=9)
+    axes[-1].set_xlabel("GB/s")
+    fig.suptitle(title)
+    save(fig, out_dir, name)
+
+
+def plot_heatmaps(plt, rows, title, out_dir, name):
+    for alg in sorted({r["alg"] for r in rows}):
+        pts = [(int(r["m"]), int(r["n"]), float(r["gbps"])) for r in rows if r["alg"] == alg]
+        ms = sorted({p[0] for p in pts})
+        ns = sorted({p[1] for p in pts})
+        grid = [[0.0] * len(ns) for _ in ms]
+        for m, n, v in pts:
+            grid[ms.index(m)][ns.index(n)] = v
+        fig, ax = plt.subplots(figsize=(6, 5))
+        im = ax.imshow(grid, origin="upper", aspect="auto",
+                       extent=[ns[0], ns[-1], ms[-1], ms[0]])
+        fig.colorbar(im, label="GB/s")
+        ax.set_xlabel("columns n")
+        ax.set_ylabel("rows m")
+        ax.set_title(f"{title} — {alg.upper()}")
+        save(fig, out_dir, f"{name}_{alg}.png")
+
+
+def plot_lines(plt, rows, title, out_dir, name):
+    for panel in sorted({r["panel"] for r in rows}):
+        fig, ax = plt.subplots(figsize=(6, 4))
+        for strat in ["C2R", "Vector", "Direct"]:
+            pts = sorted(
+                (int(r["struct_bytes"]), float(r["gbps"]))
+                for r in rows
+                if r["panel"] == panel and r["strategy"] == strat
+            )
+            if pts:
+                ax.plot([p[0] for p in pts], [p[1] for p in pts], marker="o", label=strat)
+        ax.set_xlabel("structure size (bytes)")
+        ax.set_ylabel("GB/s")
+        ax.set_ylim(bottom=0)
+        ax.legend()
+        ax.set_title(f"{title} — {panel}")
+        save(fig, out_dir, f"{name}_{panel}.png")
+
+
+def main():
+    results = sys.argv[1] if len(sys.argv) > 1 else "results"
+    out_dir = sys.argv[2] if len(sys.argv) > 2 else results
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    os.makedirs(out_dir, exist_ok=True)
+    jobs = [
+        ("fig3.csv", lambda r: plot_histograms(
+            plt, r, "algo", "gbps", "Figure 3: CPU in-place transposition", out_dir, "fig3.png")),
+        ("fig4_5.csv", lambda r: plot_heatmaps(
+            plt, r, "Figures 4/5: performance landscape (measured)", out_dir, "fig4_5")),
+        ("fig4_5_model.csv", lambda r: plot_heatmaps(
+            plt, r, "Figures 4/5: performance landscape (K20c model)", out_dir, "fig4_5_model")),
+        ("fig6.csv", lambda r: plot_histograms(
+            plt, r, "algo", "gbps", "Figure 6: Sung vs C2R", out_dir, "fig6.png")),
+        ("fig7.csv", lambda r: plot_histograms(
+            plt, r, "kind", "gbps", "Figure 7: AoS -> SoA conversion", out_dir, "fig7.png")),
+        ("fig8.csv", lambda r: plot_lines(
+            plt, r, "Figure 8: unit-stride AoS access", out_dir, "fig8")),
+        ("fig9.csv", lambda r: plot_lines(
+            plt, r, "Figure 9: random AoS access", out_dir, "fig9")),
+    ]
+    for fname, job in jobs:
+        path = os.path.join(results, fname)
+        if os.path.exists(path):
+            job(read_csv(path))
+        else:
+            print(f"skipping {fname} (not found in {results}/)")
+
+
+if __name__ == "__main__":
+    main()

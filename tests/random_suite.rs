@@ -1,0 +1,140 @@
+//! Randomized stress suite across crates: many random shapes, random
+//! data, every implementation checked against the out-of-place reference.
+//!
+//! This is the miniature, always-on version of the benchmark harnesses'
+//! `--verify` runs; seeds are fixed so failures reproduce.
+
+use ipt::prelude::*;
+use ipt_core::check::reference_transpose;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn random_shapes_random_data_all_engines() {
+    let mut rng = SmallRng::seed_from_u64(0x5eed_1234);
+    for round in 0..60 {
+        let m = rng.gen_range(1..200usize);
+        let n = rng.gen_range(1..200usize);
+        let input: Vec<u64> = (0..m * n).map(|_| rng.gen()).collect();
+        let want = reference_transpose(&input, m, n, Layout::RowMajor);
+
+        let mut a = input.clone();
+        ipt_core::c2r(&mut a, m, n, &mut Scratch::new());
+        assert_eq!(a, want, "core {m}x{n} round {round}");
+
+        let mut b = input.clone();
+        ipt_parallel::c2r_parallel(&mut b, m, n, &ParOptions::default());
+        assert_eq!(b, want, "parallel {m}x{n} round {round}");
+
+        let mut c = input.clone();
+        ipt_baselines::transpose_sung(&mut c, m, n);
+        assert_eq!(c, want, "sung {m}x{n} round {round}");
+
+        let mut d = input.clone();
+        ipt_aos_soa::transpose_skinny_c2r(&mut d, m, n);
+        assert_eq!(d, want, "skinny {m}x{n} round {round}");
+    }
+}
+
+#[test]
+fn random_layout_and_algorithm_combinations() {
+    let mut rng = SmallRng::seed_from_u64(0xfeed_beef);
+    for _ in 0..40 {
+        let rows = rng.gen_range(1..150usize);
+        let cols = rng.gen_range(1..150usize);
+        let layout = if rng.gen() { Layout::RowMajor } else { Layout::ColMajor };
+        let alg = match rng.gen_range(0..3) {
+            0 => Algorithm::C2r,
+            1 => Algorithm::R2c,
+            _ => Algorithm::Auto,
+        };
+        let input: Vec<u32> = (0..rows * cols).map(|_| rng.gen()).collect();
+        let want = reference_transpose(&input, rows, cols, layout);
+        let mut got = input.clone();
+        transpose_with(&mut got, rows, cols, layout, alg, &mut Scratch::new());
+        assert_eq!(got, want, "{rows}x{cols} {layout:?} {alg:?}");
+    }
+}
+
+#[test]
+fn repeated_transposes_walk_back_to_identity() {
+    // T(T(x)) = x for any chain of implementations, many times over.
+    let mut rng = SmallRng::seed_from_u64(7);
+    let (m, n) = (37usize, 53usize);
+    let orig: Vec<u64> = (0..m * n).map(|_| rng.gen()).collect();
+    let mut data = orig.clone();
+    for round in 0..10 {
+        // forward with a random engine...
+        match round % 3 {
+            0 => ipt_core::c2r(&mut data, m, n, &mut Scratch::new()),
+            1 => ipt_parallel::c2r_parallel(&mut data, m, n, &ParOptions::default()),
+            _ => {
+                ipt_baselines::transpose_gustavson(&mut data, m, n);
+            }
+        }
+        // ...and back with another.
+        match round % 2 {
+            0 => ipt_core::r2c(&mut data, m, n, &mut Scratch::new()),
+            _ => ipt_parallel::r2c_parallel(&mut data, m, n, &ParOptions::plain()),
+        }
+        assert_eq!(data, orig, "round {round}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_parallel_equals_sequential(m in 1usize..120, n in 1usize..120, seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let input: Vec<u64> = (0..m * n).map(|_| rng.gen()).collect();
+        let mut seq = input.clone();
+        let mut par = input;
+        ipt_core::c2r(&mut seq, m, n, &mut Scratch::new());
+        ipt_parallel::c2r_parallel(&mut par, m, n, &ParOptions::default());
+        prop_assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn prop_aos_soa_round_trip(n_structs in 1usize..500, fields in 1usize..40, seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let orig: Vec<f32> = (0..n_structs * fields).map(|_| rng.gen()).collect();
+        let mut data = orig.clone();
+        aos_to_soa(&mut data, n_structs, fields);
+        // Field k of struct i must land at k * n_structs + i.
+        let probe_i = n_structs / 2;
+        let probe_k = fields / 2;
+        prop_assert_eq!(
+            data[probe_k * n_structs + probe_i],
+            orig[probe_i * fields + probe_k]
+        );
+        soa_to_aos(&mut data, n_structs, fields);
+        prop_assert_eq!(data, orig);
+    }
+
+    #[test]
+    fn prop_warp_coalesced_roundtrip(
+        s in 1usize..24,
+        seed in any::<u64>(),
+        strategy in 0usize..3,
+    ) {
+        let lanes = 32usize;
+        let strat = match strategy {
+            0 => AccessStrategy::Direct,
+            1 => AccessStrategy::Vector { width_bytes: 16 },
+            _ => AccessStrategy::C2r,
+        };
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let orig: Vec<u64> = (0..lanes * 2 * s).map(|_| rng.gen()).collect();
+        let mut data = orig.clone();
+        let mut ptr = CoalescedPtr::new(&mut data, s, MemoryConfig::default());
+        let vals = ptr.load_unit_stride(lanes / 2, lanes, strat);
+        for l in 0..lanes {
+            let base = (lanes / 2 + l) * s;
+            prop_assert_eq!(&vals[l * s..(l + 1) * s], &orig[base..base + s]);
+        }
+        ptr.store_unit_stride(lanes / 2, lanes, &vals, strat);
+        prop_assert_eq!(data, orig);
+    }
+}
