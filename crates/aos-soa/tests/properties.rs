@@ -1,63 +1,84 @@
 //! Property tests for the AoS ⇄ SoA conversion and the skinny kernels.
+//!
+//! Cases are drawn from the deterministic `ipt_core::check::Rng` (fixed
+//! seeds), so every run exercises the same shapes and payloads.
 
 use ipt_aos_soa::{aos_to_soa, soa_to_aos, transpose_skinny_c2r, transpose_skinny_r2c, SoaView};
-use ipt_core::check::fill_pattern;
+use ipt_core::check::{fill_pattern, Rng};
 use ipt_core::Scratch;
-use proptest::prelude::*;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: usize = 128;
 
-    #[test]
-    fn conversion_places_every_field(n in 1usize..300, s in 1usize..33, seed in any::<u64>()) {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let orig: Vec<u64> = (0..n * s).map(|_| rng.gen()).collect();
+#[test]
+fn conversion_places_every_field() {
+    let mut rng = Rng::new(0xa05a_0001);
+    for case in 0..CASES {
+        let n = rng.range(1..300);
+        let s = rng.range(1..33);
+        let orig: Vec<u64> = (0..n * s).map(|_| rng.next_u64()).collect();
         let mut data = orig.clone();
         aos_to_soa(&mut data, n, s);
         for i in 0..n {
             for k in 0..s {
-                prop_assert_eq!(data[k * n + i], orig[i * s + k], "struct {} field {}", i, k);
+                assert_eq!(
+                    data[k * n + i],
+                    orig[i * s + k],
+                    "case {case}: n={n} s={s} struct {i} field {k}"
+                );
             }
         }
         soa_to_aos(&mut data, n, s);
-        prop_assert_eq!(data, orig);
+        assert_eq!(data, orig, "case {case}: n={n} s={s}");
     }
+}
 
-    #[test]
-    fn skinny_kernels_equal_core_for_any_shape(m in 1usize..64, n in 1usize..200) {
+#[test]
+fn skinny_kernels_equal_core_for_any_shape() {
+    let mut rng = Rng::new(0xa05a_0002);
+    for case in 0..CASES {
+        let m = rng.range(1..64);
+        let n = rng.range(1..200);
         let mut a = vec![0u64; m * n];
         fill_pattern(&mut a);
         let mut b = a.clone();
         transpose_skinny_c2r(&mut a, m, n);
         ipt_core::c2r(&mut b, m, n, &mut Scratch::new());
-        prop_assert_eq!(&a, &b);
+        assert_eq!(&a, &b, "case {case}: c2r {m}x{n}");
 
         let mut a = vec![0u32; m * n];
         fill_pattern(&mut a);
         let mut b = a.clone();
         transpose_skinny_r2c(&mut a, m, n);
         ipt_core::r2c(&mut b, m, n, &mut Scratch::new());
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}: r2c {m}x{n}");
     }
+}
 
-    #[test]
-    fn view_and_buffer_agree(n in 1usize..100, s in 1usize..16) {
+#[test]
+fn view_and_buffer_agree() {
+    let mut rng = Rng::new(0xa05a_0003);
+    for case in 0..CASES {
+        let n = rng.range(1..100);
+        let s = rng.range(1..16);
         let mut data = vec![0u32; n * s];
         fill_pattern(&mut data);
         let view = SoaView::new(&data, s, n);
         for k in 0..s {
-            prop_assert_eq!(view.field(k), &data[k * n..(k + 1) * n]);
+            assert_eq!(view.field(k), &data[k * n..(k + 1) * n], "case {case}: n={n} s={s} k={k}");
             for i in 0..n {
-                prop_assert_eq!(view.get(i, k), data[k * n + i]);
+                assert_eq!(view.get(i, k), data[k * n + i], "case {case}: n={n} s={s} ({i},{k})");
             }
         }
-        prop_assert_eq!(view.is_empty(), n == 0);
+        assert_eq!(view.is_empty(), n == 0, "case {case}");
     }
+}
 
-    #[test]
-    fn conversion_commutes_with_per_field_maps(n in 1usize..120, s in 2usize..12) {
+#[test]
+fn conversion_commutes_with_per_field_maps() {
+    let mut rng = Rng::new(0xa05a_0004);
+    for case in 0..CASES {
+        let n = rng.range(1..120);
+        let s = rng.range(2..12);
         // Mapping field k in AoS then converting equals converting then
         // mapping the k-th array: the layouts describe the same data.
         let mut via_aos: Vec<u64> = (0..(n * s) as u64).collect();
@@ -72,7 +93,7 @@ proptest! {
         for v in &mut via_soa[k * n..(k + 1) * n] {
             *v = v.wrapping_mul(3);
         }
-        prop_assert_eq!(via_aos, via_soa);
+        assert_eq!(via_aos, via_soa, "case {case}: n={n} s={s}");
     }
 }
 

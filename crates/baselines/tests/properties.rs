@@ -3,86 +3,117 @@
 //! Baselines exist to be *compared against*, so their correctness is as
 //! load-bearing as the main algorithm's: a silently wrong baseline makes
 //! every benchmark comparison meaningless.
+//!
+//! Cases are drawn from the deterministic `ipt_core::check::Rng`
+//! (fixed seeds), so the suite runs the same shapes every time and a
+//! failure's `case` index reproduces it exactly.
 
 use ipt_baselines::cycle_follow::{cycle_stats, transpose_cycle_following};
 use ipt_baselines::tiled::tiled_transpose;
 use ipt_baselines::{
     transpose_cycle_following_marked, transpose_gustavson, transpose_sung,
 };
-use ipt_core::check::{fill_pattern, reference_transpose};
+use ipt_core::check::{fill_pattern, reference_transpose, Rng};
 use ipt_core::Layout;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+const CASES: usize = 96;
 
-    #[test]
-    fn cycle_following_minimal_matches_reference(m in 1usize..48, n in 1usize..48) {
+#[test]
+fn cycle_following_minimal_matches_reference() {
+    let mut rng = Rng::new(0xba5e_0001);
+    for case in 0..CASES {
+        let (m, n) = (rng.range(1..48), rng.range(1..48));
         let mut a = vec![0u64; m * n];
         fill_pattern(&mut a);
         let want = reference_transpose(&a, m, n, Layout::RowMajor);
         transpose_cycle_following(&mut a, m, n);
-        prop_assert_eq!(a, want);
+        assert_eq!(a, want, "case {case}: {m}x{n}");
     }
+}
 
-    #[test]
-    fn cycle_following_marked_matches_reference(m in 1usize..64, n in 1usize..64) {
+#[test]
+fn cycle_following_marked_matches_reference() {
+    let mut rng = Rng::new(0xba5e_0002);
+    for case in 0..CASES {
+        let (m, n) = (rng.range(1..64), rng.range(1..64));
         let mut a = vec![0u32; m * n];
         fill_pattern(&mut a);
         let want = reference_transpose(&a, m, n, Layout::RowMajor);
         transpose_cycle_following_marked(&mut a, m, n);
-        prop_assert_eq!(a, want);
+        assert_eq!(a, want, "case {case}: {m}x{n}");
     }
+}
 
-    #[test]
-    fn gustavson_matches_reference(m in 1usize..80, n in 1usize..80) {
+#[test]
+fn gustavson_matches_reference() {
+    let mut rng = Rng::new(0xba5e_0003);
+    for case in 0..CASES {
+        let (m, n) = (rng.range(1..80), rng.range(1..80));
         let mut a = vec![0u64; m * n];
         fill_pattern(&mut a);
         let want = reference_transpose(&a, m, n, Layout::RowMajor);
         transpose_gustavson(&mut a, m, n);
-        prop_assert_eq!(a, want);
+        assert_eq!(a, want, "case {case}: {m}x{n}");
     }
+}
 
-    #[test]
-    fn sung_matches_reference(m in 1usize..80, n in 1usize..80) {
+#[test]
+fn sung_matches_reference() {
+    let mut rng = Rng::new(0xba5e_0004);
+    for case in 0..CASES {
+        let (m, n) = (rng.range(1..80), rng.range(1..80));
         let mut a = vec![0u64; m * n];
         fill_pattern(&mut a);
         let want = reference_transpose(&a, m, n, Layout::RowMajor);
         transpose_sung(&mut a, m, n);
-        prop_assert_eq!(a, want);
+        assert_eq!(a, want, "case {case}: {m}x{n}");
     }
+}
 
-    #[test]
-    fn tiled_with_arbitrary_divisor_tiles(
-        grid_r in 1usize..10,
-        grid_c in 1usize..10,
-        tr in 1usize..6,
-        tc in 1usize..6,
-    ) {
+#[test]
+fn tiled_with_arbitrary_divisor_tiles() {
+    let mut rng = Rng::new(0xba5e_0005);
+    for case in 0..CASES {
         // Any (tr | m, tc | n) pair must work, not just the heuristics'.
+        let (grid_r, grid_c) = (rng.range(1..10), rng.range(1..10));
+        let (tr, tc) = (rng.range(1..6), rng.range(1..6));
         let (m, n) = (grid_r * tr, grid_c * tc);
         let mut a = vec![0u32; m * n];
         fill_pattern(&mut a);
         let want = reference_transpose(&a, m, n, Layout::RowMajor);
         tiled_transpose(&mut a, m, n, tr, tc);
-        prop_assert_eq!(a, want);
+        assert_eq!(a, want, "case {case}: {m}x{n} tile {tr}x{tc}");
     }
+}
 
-    #[test]
-    fn cycle_stats_account_for_the_permutation(m in 2usize..40, n in 2usize..40) {
+#[test]
+fn cycle_stats_account_for_the_permutation() {
+    let mut rng = Rng::new(0xba5e_0006);
+    for case in 0..CASES {
+        let (m, n) = (rng.range(2..40), rng.range(2..40));
         let stats = cycle_stats(m, n);
         // Each non-trivial cycle has length >= 2 and all moved elements
         // fit strictly inside the permutation's domain minus the two
         // fixed endpoints.
-        prop_assert!(stats.moved <= m * n - 2);
-        prop_assert!(stats.longest <= m * n - 2 || m * n < 4);
+        assert!(stats.moved <= m * n - 2, "case {case}: {m}x{n} {stats:?}");
+        assert!(
+            stats.longest <= m * n - 2 || m * n < 4,
+            "case {case}: {m}x{n} {stats:?}"
+        );
         if m == n {
-            prop_assert!(stats.longest <= 2, "square transposition is an involution");
+            assert!(
+                stats.longest <= 2,
+                "case {case}: square transposition is an involution ({stats:?})"
+            );
         }
     }
+}
 
-    #[test]
-    fn baselines_agree_with_each_other(m in 2usize..48, n in 2usize..48) {
+#[test]
+fn baselines_agree_with_each_other() {
+    let mut rng = Rng::new(0xba5e_0007);
+    for case in 0..CASES {
+        let (m, n) = (rng.range(2..48), rng.range(2..48));
         let mut a = vec![0u64; m * n];
         fill_pattern(&mut a);
         let mut b = a.clone();
@@ -90,8 +121,8 @@ proptest! {
         transpose_cycle_following_marked(&mut a, m, n);
         transpose_gustavson(&mut b, m, n);
         transpose_sung(&mut c, m, n);
-        prop_assert_eq!(&a, &b);
-        prop_assert_eq!(&a, &c);
+        assert_eq!(&a, &b, "case {case}: {m}x{n}");
+        assert_eq!(&a, &c, "case {case}: {m}x{n}");
     }
 }
 

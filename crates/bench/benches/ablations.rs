@@ -10,7 +10,8 @@
 //! * §6.1 skinny specialization vs the general engine on AoS shapes;
 //! * §5.2 C2R/R2C heuristic vs always picking one direction.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ipt_bench::micro::{Criterion, Throughput};
+use ipt_bench::{criterion_group, criterion_main};
 use ipt_core::index::{naive, C2rParams};
 use ipt_core::{permute, Scratch};
 use ipt_parallel::ParOptions;

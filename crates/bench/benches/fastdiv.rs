@@ -2,7 +2,8 @@
 //! division, across divisor classes (general magic, 65-bit magic with
 //! add-indicator, power of two).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ipt_bench::micro::{BenchmarkId, Criterion, Throughput};
+use ipt_bench::{criterion_group, criterion_main};
 use ipt_core::fastdiv::FastDivMod;
 use std::hint::black_box;
 

@@ -1,9 +1,10 @@
-//! Criterion benchmarks of every transposition engine on representative
+//! Microbenchmarks of every transposition engine on representative
 //! shapes: the large near-square case of Figures 3–6, the skinny AoS case
 //! of Figure 7, and an awkward prime-dimension case where tiled baselines
 //! degenerate.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ipt_bench::micro::{BenchmarkId, Criterion, Throughput};
+use ipt_bench::{criterion_group, criterion_main};
 use ipt_core::Scratch;
 use ipt_parallel::ParOptions;
 use std::hint::black_box;

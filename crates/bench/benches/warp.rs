@@ -2,7 +2,8 @@
 //! strategies (the compute half of Figures 8–9; the transaction half is
 //! the `fig8_unit_stride` / `fig9_random_access` harnesses).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ipt_bench::micro::{BenchmarkId, Criterion, Throughput};
+use ipt_bench::{criterion_group, criterion_main};
 use memsim::MemoryConfig;
 use std::hint::black_box;
 use warp_sim::{c2r_in_register, r2c_in_register, AccessStrategy, CoalescedPtr, Warp};

@@ -29,9 +29,9 @@ fn main() {
     if args.max_dim == 0 {
         args.max_dim = if args.full { 10000 } else { 1200 };
     }
-    let threads = rayon::current_num_threads();
+    let threads = ipt_pool::num_threads();
     println!(
-        "Figure 3 / Table 1: {} samples, m,n in [{}, {}), f64, {} rayon threads",
+        "Figure 3 / Table 1: {} samples, m,n in [{}, {}), f64, {} pool threads",
         args.samples, args.min_dim, args.max_dim, threads
     );
 

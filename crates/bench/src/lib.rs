@@ -3,9 +3,12 @@
 //! Each binary in `src/bin/` regenerates one table or figure of the
 //! paper's evaluation (see the experiment index in `DESIGN.md`); the
 //! shared workload generation, timing, histogram and CSV machinery lives
-//! in [`harness`].
+//! in [`harness`]. The criterion-style microbenchmarks under `benches/`
+//! run on the in-repo [`micro`] harness (enable the `criterion` feature:
+//! `cargo bench --features criterion`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod micro;

@@ -1,0 +1,268 @@
+//! A minimal, dependency-free micro-benchmark harness with a
+//! criterion-compatible surface.
+//!
+//! The four `benches/*.rs` files were written against criterion's API
+//! (`benchmark_group`, `Throughput`, `BenchmarkId`, `b.iter`). To keep
+//! the workspace buildable with zero external crates, this module
+//! re-implements the slice of that API the benches use: calibrated
+//! batches (doubling the iteration count until a batch crosses a target
+//! wall-time), a fixed number of timed samples, and a median-based
+//! report with optional throughput annotation.
+//!
+//! It is intentionally much simpler than criterion — no outlier
+//! rejection, no regression against saved baselines, no plots. For
+//! publication-grade numbers use the `src/bin/` harnesses, which follow
+//! the paper's own measurement protocol.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Minimum wall-time per timed batch; batches shorter than this double
+/// their iteration count so timer resolution stays negligible.
+const TARGET_BATCH_NANOS: u128 = 5_000_000;
+
+/// Hard cap on iterations per batch (guards against pathologically fast
+/// closures overflowing the calibration loop).
+const MAX_BATCH_ITERS: u64 = 1 << 30;
+
+/// Workload size attached to a benchmark group, used to report
+/// throughput alongside raw time per iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration (reported as GB/s).
+    Bytes(u64),
+    /// Elements processed per iteration (reported as Melem/s).
+    Elements(u64),
+}
+
+/// A benchmark identifier within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a single parameter value (criterion's
+    /// `BenchmarkId::from_parameter`).
+    pub fn from_parameter(p: impl Display) -> BenchmarkId {
+        BenchmarkId { id: p.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Top-level driver; hands out [`BenchmarkGroup`]s.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: 20,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing a throughput annotation and sample
+/// count.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Annotate every benchmark in the group with a per-iteration
+    /// workload size.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Set the number of timed samples per benchmark (minimum 5).
+    pub fn sample_size(&mut self, n: usize) {
+        self.sample_size = n.max(5);
+    }
+
+    /// Measure one closure and print a one-line report.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F)
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut b);
+        assert!(
+            !b.samples_ns.is_empty(),
+            "benchmark {}/{} never called Bencher::iter",
+            self.name,
+            id.id
+        );
+        b.samples_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = b.samples_ns[b.samples_ns.len() / 2];
+        let min = b.samples_ns[0];
+        let max = b.samples_ns[b.samples_ns.len() - 1];
+        let extra = match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:8.3} GB/s", n as f64 / median)
+            }
+            Some(Throughput::Elements(n)) => {
+                format!("  {:8.2} Melem/s", n as f64 * 1e3 / median)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{:<24} median {}  [{} .. {}]{}",
+            self.name,
+            id.id,
+            fmt_ns(median),
+            fmt_ns(min),
+            fmt_ns(max),
+            extra
+        );
+    }
+
+    /// End the group (criterion compatibility; nothing to flush here).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] does the timing.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `f`: calibrate a batch size whose wall-time crosses
+    /// [`TARGET_BATCH_NANOS`], then record `sample_size` batches of
+    /// per-iteration nanoseconds.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let mut iters = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let dt = t0.elapsed().as_nanos();
+            if dt >= TARGET_BATCH_NANOS || iters >= MAX_BATCH_ITERS {
+                break;
+            }
+            // Jump close to the target in one step once we have a
+            // signal; plain doubling otherwise.
+            iters = if dt > 0 {
+                (iters.saturating_mul((TARGET_BATCH_NANOS / dt) as u64 + 1)).min(MAX_BATCH_ITERS)
+            } else {
+                iters.saturating_mul(2).min(MAX_BATCH_ITERS)
+            };
+        }
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let dt = t0.elapsed().as_nanos();
+            self.samples_ns.push(dt as f64 / iters as f64);
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Define a function `$name` that runs each benchmark function against a
+/// fresh [`Criterion`] (criterion's `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::micro::Criterion::default();
+            $( $f(&mut c); )+
+        }
+    };
+}
+
+/// Define `main` running one or more groups (criterion's
+/// `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($name:path),+ $(,)?) => {
+        fn main() {
+            $( $name(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_requested_samples() {
+        let mut b = Bencher {
+            sample_size: 7,
+            samples_ns: Vec::new(),
+        };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert_eq!(b.samples_ns.len(), 7);
+        assert!(b.samples_ns.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("micro-self-test");
+        g.throughput(Throughput::Bytes(8));
+        g.sample_size(5);
+        let mut acc = 0u64;
+        g.bench_function(BenchmarkId::from_parameter("noop"), |b| {
+            b.iter(|| {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                acc
+            })
+        });
+        g.bench_function("str-id", |b| b.iter(|| 42u64));
+        g.finish();
+    }
+
+    #[test]
+    fn id_conversions() {
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+        assert_eq!(BenchmarkId::from("x").id, "x");
+        assert_eq!(BenchmarkId::from(String::from("y")).id, "y");
+    }
+}

@@ -230,8 +230,8 @@ mod tests {
 
     #[test]
     fn pseudo_random_pairs() {
-        // Cheap xorshift so this hot loop needs no external crate here;
-        // the heavier randomized coverage lives in the proptest suite.
+        // Cheap xorshift so this hot loop stays self-contained; the
+        // heavier randomized coverage lives in `tests/properties.rs`.
         let mut state = 0x9e3779b97f4a7c15u64;
         let mut next = move || {
             state ^= state << 13;

@@ -8,7 +8,6 @@
 //! * column-major: `l_cm(i, j) = i + j*m`, `i_cm(l) = l % m`, `j_cm(l) = l / m`
 
 /// Storage order of a linearized matrix.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Layout {
     /// Elements of a row are contiguous: `A[i][j]` lives at `j + i*cols`.

@@ -160,7 +160,6 @@ pub fn transpose_with<T: Copy>(
 }
 
 /// Which of the two decomposed transposes to run.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Algorithm {
     /// Columns-to-Rows (paper Algorithm 1).

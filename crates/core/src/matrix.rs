@@ -11,7 +11,6 @@ use crate::layout::Layout;
 use crate::scratch::Scratch;
 
 /// An owned dense matrix with explicit storage order.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Matrix<T> {
     data: Vec<T>,

@@ -4,207 +4,297 @@
 //! randomized shapes and data rather than hand-picked examples:
 //! Theorems 1–5 and 7 (correctness), the inverse relationships between the
 //! gather/scatter index functions, and the strength-reduced arithmetic.
+//!
+//! Randomness comes from the deterministic [`Rng`] in `ipt_core::check`
+//! (SplitMix64, fixed per-test seeds), so every run of the suite executes
+//! exactly the same cases — a failure message's `case` index pins the
+//! reproduction with no shrinking or regression files needed.
 
-use ipt_core::check::{fill_pattern, reference_transpose};
+use ipt_core::check::{fill_pattern, reference_transpose, Rng};
 use ipt_core::fastdiv::FastDivMod;
 use ipt_core::gcd::{cab, gcd, mmi};
 use ipt_core::rotate::rotate_left_cycles;
 use ipt_core::{c2r, r2c, transpose, Algorithm, C2rParams, Layout, Scratch};
-use proptest::prelude::*;
 
-/// Shapes are kept modest so a property case runs in microseconds; the
-/// scale-out coverage lives in the benchmark harnesses' --verify mode.
-fn shape() -> impl Strategy<Value = (usize, usize)> {
-    (1usize..96, 1usize..96)
+const CASES: usize = 256;
+
+/// Shapes are kept modest so a case runs in microseconds; the scale-out
+/// coverage lives in the benchmark harnesses' --verify mode.
+fn shape(rng: &mut Rng) -> (usize, usize) {
+    (rng.range(1..96), rng.range(1..96))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn layout(rng: &mut Rng) -> Layout {
+    if rng.chance(1, 2) {
+        Layout::RowMajor
+    } else {
+        Layout::ColMajor
+    }
+}
 
-    #[test]
-    fn c2r_equals_reference_transpose((m, n) in shape(), seed in any::<u64>()) {
+#[test]
+fn c2r_equals_reference_transpose() {
+    let mut rng = Rng::new(0xc2f0_0001);
+    for case in 0..CASES {
+        let (m, n) = shape(&mut rng);
+        let seed = rng.next_u64();
         let mut data: Vec<u64> = (0..(m * n) as u64).map(|i| i.wrapping_mul(seed | 1)).collect();
         let want = reference_transpose(&data, m, n, Layout::RowMajor);
         c2r(&mut data, m, n, &mut Scratch::new());
-        prop_assert_eq!(data, want);
+        assert_eq!(data, want, "case {case}: {m}x{n} seed={seed}");
     }
+}
 
-    #[test]
-    fn r2c_with_swapped_dims_equals_reference((m, n) in shape()) {
+#[test]
+fn r2c_with_swapped_dims_equals_reference() {
+    let mut rng = Rng::new(0xc2f0_0002);
+    for case in 0..CASES {
+        let (m, n) = shape(&mut rng);
         let mut data = vec![0u64; m * n];
         fill_pattern(&mut data);
         let want = reference_transpose(&data, m, n, Layout::RowMajor);
         r2c(&mut data, n, m, &mut Scratch::new());
-        prop_assert_eq!(data, want);
+        assert_eq!(data, want, "case {case}: {m}x{n}");
     }
+}
 
-    #[test]
-    fn r2c_inverts_c2r((m, n) in shape(), seed in any::<u32>()) {
+#[test]
+fn r2c_inverts_c2r() {
+    let mut rng = Rng::new(0xc2f0_0003);
+    for case in 0..CASES {
+        let (m, n) = shape(&mut rng);
+        let seed = rng.next_u64() as u32;
         let mut data: Vec<u32> = (0..(m * n) as u32).map(|i| i ^ seed).collect();
         let orig = data.clone();
         let mut s = Scratch::new();
         c2r(&mut data, m, n, &mut s);
         r2c(&mut data, m, n, &mut s);
-        prop_assert_eq!(data, orig);
+        assert_eq!(data, orig, "case {case}: {m}x{n} seed={seed}");
     }
+}
 
-    #[test]
-    fn transpose_twice_is_identity(
-        (m, n) in shape(),
-        layout in prop_oneof![Just(Layout::RowMajor), Just(Layout::ColMajor)],
-    ) {
+#[test]
+fn transpose_twice_is_identity() {
+    let mut rng = Rng::new(0xc2f0_0004);
+    for case in 0..CASES {
+        let (m, n) = shape(&mut rng);
+        let layout = layout(&mut rng);
         let mut data = vec![0u32; m * n];
         fill_pattern(&mut data);
         let orig = data.clone();
         let mut s = Scratch::new();
         transpose(&mut data, m, n, layout, &mut s);
         transpose(&mut data, n, m, layout, &mut s);
-        prop_assert_eq!(data, orig);
+        assert_eq!(data, orig, "case {case}: {m}x{n} {layout:?}");
     }
+}
 
-    #[test]
-    fn both_algorithms_agree_on_both_layouts(
-        (m, n) in shape(),
-        layout in prop_oneof![Just(Layout::RowMajor), Just(Layout::ColMajor)],
-    ) {
+#[test]
+fn both_algorithms_agree_on_both_layouts() {
+    let mut rng = Rng::new(0xc2f0_0005);
+    for case in 0..CASES {
+        let (m, n) = shape(&mut rng);
+        let layout = layout(&mut rng);
         let mut a = vec![0u64; m * n];
         fill_pattern(&mut a);
         let mut b = a.clone();
         let mut s = Scratch::new();
         ipt_core::transpose_with(&mut a, m, n, layout, Algorithm::C2r, &mut s);
         ipt_core::transpose_with(&mut b, m, n, layout, Algorithm::R2c, &mut s);
-        prop_assert_eq!(&a, &b);
+        assert_eq!(&a, &b, "case {case}: {m}x{n} {layout:?}");
         let mut want = vec![0u64; m * n];
         fill_pattern(&mut want);
         let want = reference_transpose(&want, m, n, layout);
-        prop_assert_eq!(a, want);
+        assert_eq!(a, want, "case {case}: {m}x{n} {layout:?}");
     }
+}
 
-    #[test]
-    fn d_is_bijective_and_inverted_by_d_inv((m, n) in shape(), i in 0usize..96) {
-        let i = i % m;
+#[test]
+fn d_is_bijective_and_inverted_by_d_inv() {
+    let mut rng = Rng::new(0xc2f0_0006);
+    for case in 0..CASES {
+        let (m, n) = shape(&mut rng);
+        let i = rng.range(0..m);
         let p = C2rParams::new(m, n);
         let mut seen = vec![false; n];
         for j in 0..n {
             let t = p.d(i, j);
-            prop_assert!(t < n);
-            prop_assert!(!seen[t]);
+            assert!(t < n, "case {case}: {m}x{n} i={i} j={j}");
+            assert!(!seen[t], "case {case}: {m}x{n} i={i} j={j}");
             seen[t] = true;
-            prop_assert_eq!(p.d_inv(i, t), j);
+            assert_eq!(p.d_inv(i, t), j, "case {case}: {m}x{n} i={i}");
         }
     }
+}
 
-    #[test]
-    fn q_bijective_q_inv_inverts((m, n) in shape()) {
+#[test]
+fn q_bijective_q_inv_inverts() {
+    let mut rng = Rng::new(0xc2f0_0007);
+    for case in 0..CASES {
+        let (m, n) = shape(&mut rng);
         let p = C2rParams::new(m, n);
         let mut seen = vec![false; m];
         for i in 0..m {
             let t = p.q(i);
-            prop_assert!(t < m);
-            prop_assert!(!seen[t]);
+            assert!(t < m, "case {case}: {m}x{n} i={i}");
+            assert!(!seen[t], "case {case}: {m}x{n} i={i}");
             seen[t] = true;
-            prop_assert_eq!(p.q_inv(t), i);
+            assert_eq!(p.q_inv(t), i, "case {case}: {m}x{n}");
         }
     }
+}
 
-    #[test]
-    fn s_decomposition_identity((m, n) in shape(), j in 0usize..96, i in 0usize..96) {
-        let (j, i) = (j % n, i % m);
+#[test]
+fn s_decomposition_identity() {
+    let mut rng = Rng::new(0xc2f0_0008);
+    for case in 0..CASES {
+        let (m, n) = shape(&mut rng);
+        let (j, i) = (rng.range(0..n), rng.range(0..m));
         let p = C2rParams::new(m, n);
-        prop_assert_eq!(p.p(j, p.q(i)), p.s(j, i));
+        assert_eq!(p.p(j, p.q(i)), p.s(j, i), "case {case}: {m}x{n} i={i} j={j}");
     }
+}
 
-    #[test]
-    fn fastdiv_matches_hardware(x in any::<u64>(), d in 1u64..) {
+#[test]
+fn fastdiv_matches_hardware() {
+    let mut rng = Rng::new(0xc2f0_0009);
+    for case in 0..CASES {
+        let x = rng.next_u64();
+        let d = rng.next_u64().max(1);
         let f = FastDivMod::new(d);
-        prop_assert_eq!(f.div(x), x / d);
-        prop_assert_eq!(f.rem(x), x % d);
+        assert_eq!(f.div(x), x / d, "case {case}: x={x} d={d}");
+        assert_eq!(f.rem(x), x % d, "case {case}: x={x} d={d}");
         let (q, r) = f.divrem(x);
-        prop_assert_eq!((q, r), (x / d, x % d));
+        assert_eq!((q, r), (x / d, x % d), "case {case}: x={x} d={d}");
     }
+    // Divisor edge cases a uniform draw essentially never hits.
+    for d in [1u64, 2, 3, u64::MAX - 1, u64::MAX] {
+        for x in [0u64, 1, d.wrapping_mul(3), u64::MAX] {
+            let f = FastDivMod::new(d);
+            assert_eq!(f.divrem(x), (x / d, x % d), "x={x} d={d}");
+        }
+    }
+}
 
-    #[test]
-    fn gcd_properties(a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn gcd_properties() {
+    let mut rng = Rng::new(0xc2f0_000a);
+    for case in 0..CASES {
+        // Mix full-range and small draws so both code paths are hit.
+        let a = if rng.chance(1, 2) { rng.next_u64() } else { rng.next_u64() % 1000 };
+        let b = if rng.chance(1, 2) { rng.next_u64() } else { rng.next_u64() % 1000 };
         let g = gcd(a, b);
         if a != 0 || b != 0 {
-            prop_assert!(g > 0);
-            if a != 0 { prop_assert_eq!(a % g, 0); }
-            if b != 0 { prop_assert_eq!(b % g, 0); }
+            assert!(g > 0, "case {case}: a={a} b={b}");
+            if a != 0 {
+                assert_eq!(a % g, 0, "case {case}: a={a} b={b}");
+            }
+            if b != 0 {
+                assert_eq!(b % g, 0, "case {case}: a={a} b={b}");
+            }
         } else {
-            prop_assert_eq!(g, 0);
+            assert_eq!(g, 0, "case {case}");
         }
-        prop_assert_eq!(g, gcd(b, a));
+        assert_eq!(g, gcd(b, a), "case {case}: a={a} b={b}");
     }
+    assert_eq!(gcd(0, 0), 0);
+}
 
-    #[test]
-    fn mmi_property(v in 1u64..10_000, m in 2u64..10_000) {
-        prop_assume!(gcd(v, m) == 1);
+#[test]
+fn mmi_property() {
+    let mut rng = Rng::new(0xc2f0_000b);
+    let mut checked = 0usize;
+    while checked < CASES {
+        let v = rng.range(1..10_000) as u64;
+        let m = rng.range(2..10_000) as u64;
+        if gcd(v, m) != 1 {
+            continue;
+        }
+        checked += 1;
         let inv = mmi(v, m);
-        prop_assert_eq!((v % m) * inv % m, 1);
+        assert_eq!((v % m) * inv % m, 1, "v={v} m={m}");
     }
+}
 
-    #[test]
-    fn cab_reconstructs_dims(m in 1usize..100_000, n in 1usize..100_000) {
+#[test]
+fn cab_reconstructs_dims() {
+    let mut rng = Rng::new(0xc2f0_000c);
+    for case in 0..CASES {
+        let m = rng.range(1..100_000);
+        let n = rng.range(1..100_000);
         let (c, a, b) = cab(m, n);
-        prop_assert_eq!(a * c, m);
-        prop_assert_eq!(b * c, n);
-        prop_assert_eq!(gcd(a as u64, b as u64), 1);
+        assert_eq!(a * c, m, "case {case}: {m}x{n}");
+        assert_eq!(b * c, n, "case {case}: {m}x{n}");
+        assert_eq!(gcd(a as u64, b as u64), 1, "case {case}: {m}x{n}");
     }
+}
 
-    #[test]
-    fn rotation_matches_slice_rotate(len in 0usize..200, r in 0usize..400) {
+#[test]
+fn rotation_matches_slice_rotate() {
+    let mut rng = Rng::new(0xc2f0_000d);
+    for case in 0..CASES {
+        let len = rng.range(0..200);
+        let r = rng.range(0..400);
         let mut ours: Vec<u32> = (0..len as u32).collect();
         let mut std_rot = ours.clone();
         rotate_left_cycles(&mut ours, r);
         if len > 0 {
             std_rot.rotate_left(r % len);
         }
-        prop_assert_eq!(ours, std_rot);
+        assert_eq!(ours, std_rot, "case {case}: len={len} r={r}");
     }
+}
 
-    #[test]
-    fn matrix_owned_transpose_matches_reference(
-        (m, n) in shape(),
-        layout in prop_oneof![Just(Layout::RowMajor), Just(Layout::ColMajor)],
-    ) {
+#[test]
+fn matrix_owned_transpose_matches_reference() {
+    let mut rng = Rng::new(0xc2f0_000e);
+    for case in 0..CASES {
+        let (m, n) = shape(&mut rng);
+        let layout = layout(&mut rng);
         let mat = ipt_core::Matrix::from_fn(m, n, layout, |i, j| (i * 1000 + j) as u64);
         let want = mat.transposed();
         let mut got = mat;
         got.transpose_in_place(&mut Scratch::new());
-        prop_assert_eq!(got.rows(), want.rows());
-        prop_assert_eq!(got.cols(), want.cols());
-        prop_assert_eq!(got.as_slice(), want.as_slice());
+        assert_eq!(got.rows(), want.rows(), "case {case}: {m}x{n} {layout:?}");
+        assert_eq!(got.cols(), want.cols(), "case {case}: {m}x{n} {layout:?}");
+        assert_eq!(got.as_slice(), want.as_slice(), "case {case}: {m}x{n} {layout:?}");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn noncopy_swaps_match_copy_path((m, n) in shape()) {
+#[test]
+fn noncopy_swaps_match_copy_path() {
+    let mut rng = Rng::new(0xc2f0_000f);
+    for case in 0..CASES / 2 {
+        let (m, n) = shape(&mut rng);
         let mut a = vec![0u64; m * n];
         fill_pattern(&mut a);
         let mut b = a.clone();
         ipt_core::noncopy::c2r_swaps(&mut a, m, n);
         c2r(&mut b, m, n, &mut Scratch::new());
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}: {m}x{n}");
     }
+}
 
-    #[test]
-    fn noncopy_r2c_inverts_noncopy_c2r((m, n) in shape()) {
+#[test]
+fn noncopy_r2c_inverts_noncopy_c2r() {
+    let mut rng = Rng::new(0xc2f0_0010);
+    for case in 0..CASES / 2 {
+        let (m, n) = shape(&mut rng);
         // On a genuinely non-Copy type.
         let orig: Vec<String> = (0..m * n).map(|i| i.to_string()).collect();
         let mut a = orig.clone();
         ipt_core::noncopy::c2r_swaps(&mut a, m, n);
         ipt_core::noncopy::r2c_swaps(&mut a, m, n);
-        prop_assert_eq!(a, orig);
+        assert_eq!(a, orig, "case {case}: {m}x{n}");
     }
+}
 
-    #[test]
-    fn erased_matches_typed_for_all_element_sizes(
-        (m, n) in (1usize..32, 1usize..32),
-        elem in 1usize..12,
-    ) {
+#[test]
+fn erased_matches_typed_for_all_element_sizes() {
+    let mut rng = Rng::new(0xc2f0_0011);
+    for case in 0..CASES / 2 {
+        let (m, n) = (rng.range(1..32), rng.range(1..32));
+        let elem = rng.range(1..12);
         // Type-erased transpose vs moving (index-tagged) chunks manually.
         let orig: Vec<u8> = (0..m * n * elem).map(|x| (x % 251) as u8).collect();
         let mut got = orig.clone();
@@ -213,22 +303,31 @@ proptest! {
             for j in 0..m {
                 let dst = (i * m + j) * elem;
                 let src = (j * n + i) * elem;
-                prop_assert_eq!(&got[dst..dst + elem], &orig[src..src + elem]);
+                assert_eq!(
+                    &got[dst..dst + elem],
+                    &orig[src..src + elem],
+                    "case {case}: {m}x{n} elem={elem} ({i},{j})"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn erased_round_trip((m, n) in shape(), elem in 1usize..9) {
+#[test]
+fn erased_round_trip() {
+    let mut rng = Rng::new(0xc2f0_0012);
+    for case in 0..CASES / 2 {
+        let (m, n) = shape(&mut rng);
+        let elem = rng.range(1..9);
         let orig: Vec<u8> = (0..m * n * elem).map(|x| x as u8).collect();
         let mut a = orig.clone();
         ipt_core::erased::c2r_erased(&mut a, m, n, elem);
         ipt_core::erased::r2c_erased(&mut a, m, n, elem);
-        prop_assert_eq!(a, orig);
+        assert_eq!(a, orig, "case {case}: {m}x{n} elem={elem}");
     }
 }
 
-/// Non-proptest randomized sweep over a wider shape range, with shapes that
+/// Non-randomized sweep over a wider shape range, with shapes that
 /// specifically stress the gcd structure (c == 1, c == min, prime dims).
 #[test]
 fn structured_shape_sweep() {

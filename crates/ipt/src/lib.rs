@@ -7,7 +7,7 @@
 //! | re-export | crate | contents |
 //! |---|---|---|
 //! | [`core`] | `ipt-core` | the algorithm: index math, C2R/R2C, sequential transpose |
-//! | [`parallel`] | `ipt-parallel` | rayon-parallel + cache-aware implementations |
+//! | [`parallel`] | `ipt-parallel` | thread-parallel (via `ipt-pool`) + cache-aware implementations |
 //! | [`aos_soa`] | `ipt-aos-soa` | AoS ⇄ SoA conversion for skinny matrices |
 //! | [`baselines`] | `ipt-baselines` | cycle-following / Gustavson / Sung comparators |
 //! | [`warp`] | `warp-sim` | in-register SIMD transpose + coalesced AoS access |

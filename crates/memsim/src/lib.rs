@@ -38,7 +38,6 @@ pub mod model;
 /// Defaults approximate the Tesla K20c of the paper's evaluation: 128-byte
 /// cache lines (the coalescing granularity of GK110) and 208 GB/s peak
 /// DRAM bandwidth.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemoryConfig {
     /// Transaction granularity in bytes.
@@ -57,7 +56,6 @@ impl Default for MemoryConfig {
 }
 
 /// Running counters of a simulation.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Stats {
     /// Warp-wide read instructions issued.

@@ -34,7 +34,6 @@
 /// let interior = k20c.c2r_gbps(20_000, 20_000, 8);
 /// assert!(banded > interior);
 /// ```
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeviceModel {
     /// Transaction granularity in bytes.

@@ -1,7 +1,30 @@
 //! Property tests of the transaction model's invariants.
+//!
+//! Cases are drawn from a deterministic SplitMix64 generator (fixed
+//! seeds), so every run exercises the same access patterns and a failure's
+//! `case` index reproduces it exactly.
 
 use memsim::{Memory, MemoryConfig};
-use proptest::prelude::*;
+
+const CASES: usize = 256;
+
+/// Local copy of `ipt_core::check::Rng` (SplitMix64) — memsim deliberately
+/// depends on nothing, including ipt-core.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next_u64() % (hi - lo)
+    }
+}
 
 fn cfg(line: u64) -> MemoryConfig {
     MemoryConfig {
@@ -10,18 +33,21 @@ fn cfg(line: u64) -> MemoryConfig {
     }
 }
 
-fn arb_accesses() -> impl Strategy<Value = Vec<(u64, u32)>> {
-    proptest::collection::vec((0u64..1_000_000, 0u32..512), 1..64)
+/// 1–63 accesses of (address < 1 MB, size < 512 B) — the distribution the
+/// old proptest strategy drew from.
+fn arb_accesses(rng: &mut Rng) -> Vec<(u64, u32)> {
+    let count = rng.range(1, 64) as usize;
+    (0..count)
+        .map(|_| (rng.range(0, 1_000_000), rng.range(0, 512) as u32))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn transactions_bounded_by_access_footprint(
-        accesses in arb_accesses(),
-        line_pow in 4u32..10,
-    ) {
+#[test]
+fn transactions_bounded_by_access_footprint() {
+    let mut rng = Rng(0x3e30_0001);
+    for case in 0..CASES {
+        let accesses = arb_accesses(&mut rng);
+        let line_pow = rng.range(4, 10) as u32;
         let line = 1u64 << line_pow;
         let mut mem = Memory::new(cfg(line));
         let t = mem.record_read(&accesses);
@@ -33,16 +59,38 @@ proptest! {
             .sum();
         let bytes: u64 = accesses.iter().map(|&(_, s)| s as u64).sum();
         let lower = bytes.div_ceil(line * accesses.len() as u64).min(1);
-        prop_assert!(t <= upper, "t={t} upper={upper}");
-        prop_assert!(t >= lower);
+        assert!(t <= upper, "case {case}: t={t} upper={upper}");
+        assert!(t >= lower, "case {case}: t={t} lower={lower}");
     }
+}
 
-    #[test]
-    fn efficiency_bounded_for_disjoint_accesses(
-        sizes in proptest::collection::vec(1u32..512, 1..64),
-        gap in 0u64..64,
-        line_pow in 4u32..10,
-    ) {
+/// Regression pinned from a previously shrunk counterexample: two
+/// overlapping accesses whose second starts below the first but extends
+/// past it (line size 16). Caught an over-tight transaction upper bound.
+#[test]
+fn overlapping_unordered_accesses_respect_footprint_bound() {
+    let accesses: Vec<(u64, u32)> = vec![(619_040, 370), (618_544, 511)];
+    let line = 1u64 << 4;
+    let mut mem = Memory::new(cfg(line));
+    let t = mem.record_read(&accesses);
+    let upper: u64 = accesses
+        .iter()
+        .map(|&(_, s)| (s as u64).div_ceil(line) + 1)
+        .sum();
+    let bytes: u64 = accesses.iter().map(|&(_, s)| s as u64).sum();
+    let lower = bytes.div_ceil(line * accesses.len() as u64).min(1);
+    assert!(t <= upper, "t={t} upper={upper}");
+    assert!(t >= lower, "t={t} lower={lower}");
+}
+
+#[test]
+fn efficiency_bounded_for_disjoint_accesses() {
+    let mut rng = Rng(0x3e30_0002);
+    for case in 0..CASES {
+        let count = rng.range(1, 64) as usize;
+        let sizes: Vec<u32> = (0..count).map(|_| rng.range(1, 512) as u32).collect();
+        let gap = rng.range(0, 64);
+        let line_pow = rng.range(4, 10) as u32;
         // Efficiency can only exceed 1.0 when lanes re-read the same
         // bytes (broadcast); for disjoint accesses it is a true ratio.
         let mut mem = Memory::new(cfg(1u64 << line_pow));
@@ -56,30 +104,45 @@ proptest! {
             })
             .collect();
         mem.record_read(&accesses);
-        prop_assert!(mem.read_efficiency() <= 1.0 + 1e-12);
+        assert!(
+            mem.read_efficiency() <= 1.0 + 1e-12,
+            "case {case}: eff={}",
+            mem.read_efficiency()
+        );
         if gap == 0 {
             // Contiguous accesses waste at most the two boundary lines.
             let bytes: u64 = sizes.iter().map(|&s| s as u64).sum();
             let line = 1u64 << line_pow;
-            prop_assert!(mem.stats().read_transactions <= bytes.div_ceil(line) + 1);
+            assert!(
+                mem.stats().read_transactions <= bytes.div_ceil(line) + 1,
+                "case {case}"
+            );
         }
     }
+}
 
-    #[test]
-    fn transactions_invariant_under_access_order(
-        accesses in arb_accesses(),
-    ) {
+#[test]
+fn transactions_invariant_under_access_order() {
+    let mut rng = Rng(0x3e30_0003);
+    for case in 0..CASES {
+        let accesses = arb_accesses(&mut rng);
         let mut fwd = Memory::new(cfg(128));
         let mut rev = Memory::new(cfg(128));
         let mut reversed = accesses.clone();
         reversed.reverse();
-        prop_assert_eq!(fwd.record_read(&accesses), rev.record_read(&reversed));
+        assert_eq!(
+            fwd.record_read(&accesses),
+            rev.record_read(&reversed),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn splitting_a_request_never_reduces_transactions(
-        accesses in arb_accesses(),
-    ) {
+#[test]
+fn splitting_a_request_never_reduces_transactions() {
+    let mut rng = Rng(0x3e30_0004);
+    for case in 0..CASES {
+        let accesses = arb_accesses(&mut rng);
         // Issuing the same addresses as two warp instructions can only
         // cost >= the single coalesced instruction.
         let mid = accesses.len() / 2;
@@ -87,34 +150,48 @@ proptest! {
         let single = one.record_read(&accesses);
         let mut two = Memory::new(cfg(128));
         let split = two.record_read(&accesses[..mid]) + two.record_read(&accesses[mid..]);
-        prop_assert!(split >= single, "split={split} single={single}");
+        assert!(split >= single, "case {case}: split={split} single={single}");
         // Total bytes identical either way.
-        prop_assert_eq!(one.stats().bytes_read, two.stats().bytes_read);
+        assert_eq!(one.stats().bytes_read, two.stats().bytes_read, "case {case}");
     }
+}
 
-    #[test]
-    fn throughput_scales_with_peak(accesses in arb_accesses(), peak in 1.0f64..1000.0) {
+#[test]
+fn throughput_scales_with_peak() {
+    let mut rng = Rng(0x3e30_0005);
+    for case in 0..CASES {
+        let accesses = arb_accesses(&mut rng);
+        let peak = 1.0 + (rng.next_u64() % 999_000) as f64 / 1000.0;
         let mut a = Memory::new(MemoryConfig { line_bytes: 128, peak_gbps: peak });
         let mut b = Memory::new(MemoryConfig { line_bytes: 128, peak_gbps: 2.0 * peak });
         a.record_write(&accesses);
         b.record_write(&accesses);
         let (ta, tb) = (a.estimated_throughput_gbps(), b.estimated_throughput_gbps());
-        prop_assert!((tb - 2.0 * ta).abs() < 1e-9 * tb.max(1.0));
+        assert!(
+            (tb - 2.0 * ta).abs() < 1e-9 * tb.max(1.0),
+            "case {case}: peak={peak} ta={ta} tb={tb}"
+        );
     }
+}
 
-    #[test]
-    fn contiguous_full_line_reads_are_perfectly_efficient(
-        lines in 1u64..32,
-        base_line in 0u64..100,
-    ) {
+#[test]
+fn contiguous_full_line_reads_are_perfectly_efficient() {
+    let mut rng = Rng(0x3e30_0006);
+    for case in 0..CASES {
+        let lines = rng.range(1, 32);
+        let base_line = rng.range(0, 100);
         let line = 128u64;
         let mut mem = Memory::new(cfg(line));
         let accesses: Vec<(u64, u32)> = (0..lines)
             .map(|k| ((base_line + k) * line, line as u32))
             .collect();
         let t = mem.record_read(&accesses);
-        prop_assert_eq!(t, lines);
-        prop_assert!((mem.read_efficiency() - 1.0).abs() < 1e-12);
+        assert_eq!(t, lines, "case {case}: lines={lines} base={base_line}");
+        assert!(
+            (mem.read_efficiency() - 1.0).abs() < 1e-12,
+            "case {case}: eff={}",
+            mem.read_efficiency()
+        );
     }
 }
 

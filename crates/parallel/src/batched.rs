@@ -5,12 +5,12 @@
 //! shape. Transposing them shares everything the decomposition
 //! precomputes — the `C2rParams` (gcd structure, modular inverses,
 //! strength-reduced reciprocals) are built **once** — and the batch
-//! dimension is embarrassingly parallel, so each rayon task transposes
+//! dimension is embarrassingly parallel, so each worker transposes
 //! whole matrices with its own scratch row.
 
+use crate::group_grain;
 use ipt_core::index::C2rParams;
 use ipt_core::{permute, Layout};
-use rayon::prelude::*;
 
 /// C2R-transpose `batch` contiguous `m x n` row-major matrices in place;
 /// each becomes its `n x m` row-major transpose.
@@ -35,9 +35,12 @@ pub fn c2r_batched<T: Copy + Send + Sync>(data: &mut [T], batch: usize, m: usize
     }
     let p = C2rParams::new(m, n);
     let fill = data[0];
-    data.par_chunks_exact_mut(m * n).for_each_init(
+    ipt_pool::par_chunks_exact_mut(
+        data,
+        m * n,
+        group_grain(m * n),
         || vec![fill; m.max(n)],
-        |tmp, mat| {
+        |tmp, _b, mat| {
             permute::prerotate_cycles(mat, &p);
             permute::row_shuffle_gather(mat, &p, tmp);
             permute::col_shuffle_decomposed(mat, &p, tmp);
@@ -55,9 +58,12 @@ pub fn r2c_batched<T: Copy + Send + Sync>(data: &mut [T], batch: usize, m: usize
     }
     let p = C2rParams::new(m, n);
     let fill = data[0];
-    data.par_chunks_exact_mut(m * n).for_each_init(
+    ipt_pool::par_chunks_exact_mut(
+        data,
+        m * n,
+        group_grain(m * n),
         || vec![fill; m.max(n)],
-        |tmp, mat| {
+        |tmp, _b, mat| {
             permute::row_permute_inverse(mat, &p, tmp);
             permute::col_rotate_inverse(mat, &p);
             permute::row_shuffle_gather_forward(mat, &p, tmp);
@@ -95,6 +101,7 @@ mod tests {
 
     #[test]
     fn batched_equals_per_matrix_transpose() {
+        crate::force_multithreaded_pool();
         let (batch, m, n) = (7usize, 6usize, 10usize);
         let mut a = vec![0u64; batch * m * n];
         fill_pattern(&mut a);
@@ -109,6 +116,7 @@ mod tests {
 
     #[test]
     fn batched_round_trip() {
+        crate::force_multithreaded_pool();
         let (batch, m, n) = (5usize, 9usize, 12usize);
         let mut a = vec![0u32; batch * m * n];
         fill_pattern(&mut a);

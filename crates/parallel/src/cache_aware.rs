@@ -27,11 +27,11 @@
 //!   saving one full read+write pass over the array.
 
 use crate::cols::row_permute_groups;
+use crate::group_grain;
 use crate::unsafe_slice::UnsafeSlice;
 use ipt_core::cycles::CycleSet;
 use ipt_core::gcd::gcd;
 use ipt_core::index::C2rParams;
-use rayon::prelude::*;
 
 /// Rotate every column `j` left by `amount(j)` using the two-phase
 /// cache-aware scheme, column groups of width `w` in parallel.
@@ -53,11 +53,13 @@ pub fn rotate_columns_cache_aware<T, A>(
     let h = block_rows.max(1);
     let us = UnsafeSlice::new(data);
     let groups = n.div_ceil(w);
-    (0..groups).into_par_iter().for_each(|g| {
-        let j0 = g * w;
-        let gw = w.min(n - j0);
-        let amounts: Vec<usize> = (j0..j0 + gw).map(|j| amount(j) % m).collect();
-        rotate_group(us, m, n, j0, gw, &amounts, h);
+    ipt_pool::par_chunks(0..groups, group_grain(m * w), |sub| {
+        for g in sub {
+            let j0 = g * w;
+            let gw = w.min(n - j0);
+            let amounts: Vec<usize> = (j0..j0 + gw).map(|j| amount(j) % m).collect();
+            rotate_group(us, m, n, j0, gw, &amounts, h);
+        }
     });
 }
 
@@ -364,15 +366,19 @@ pub fn col_shuffle_fused<T: Copy + Send + Sync>(data: &mut [T], p: &C2rParams, w
     let fill = data[0];
     let us = UnsafeSlice::new(data);
     let groups = n.div_ceil(w);
-    (0..groups).into_par_iter().for_each_init(
+    ipt_pool::par_chunks_init(
+        0..groups,
+        group_grain(m * w),
         || (vec![false; m], vec![fill; w]),
-        |(visited, buf), g| {
-            let j0 = g * w;
-            let gw = w.min(n - j0);
-            let residuals: Vec<usize> = (0..gw).map(|k| k % m).collect();
-            fine_rotate_left(us, m, n, j0, gw, &residuals, h);
-            let j0m = j0 % m;
-            permute_subrows(us, m, n, j0, gw, |i| (p.q(i) + j0m) % m, visited, buf);
+        |(visited, buf), sub| {
+            for g in sub {
+                let j0 = g * w;
+                let gw = w.min(n - j0);
+                let residuals: Vec<usize> = (0..gw).map(|k| k % m).collect();
+                fine_rotate_left(us, m, n, j0, gw, &residuals, h);
+                let j0m = j0 % m;
+                permute_subrows(us, m, n, j0, gw, |i| (p.q(i) + j0m) % m, visited, buf);
+            }
         },
     );
 }
@@ -394,24 +400,28 @@ pub fn col_shuffle_fused_inverse<T: Copy + Send + Sync>(
     let fill = data[0];
     let us = UnsafeSlice::new(data);
     let groups = n.div_ceil(w);
-    (0..groups).into_par_iter().for_each_init(
+    ipt_pool::par_chunks_init(
+        0..groups,
+        group_grain(m * w),
         || (vec![false; m], vec![fill; w]),
-        |(visited, buf), g| {
-            let j0 = g * w;
-            let gw = w.min(n - j0);
-            let j0m = j0 % m;
-            permute_subrows(
-                us,
-                m,
-                n,
-                j0,
-                gw,
-                |i| p.q_inv((i + m - j0m) % m),
-                visited,
-                buf,
-            );
-            let residuals: Vec<usize> = (0..gw).map(|k| k % m).collect();
-            fine_rotate_right(us, m, n, j0, gw, &residuals, h);
+        |(visited, buf), sub| {
+            for g in sub {
+                let j0 = g * w;
+                let gw = w.min(n - j0);
+                let j0m = j0 % m;
+                permute_subrows(
+                    us,
+                    m,
+                    n,
+                    j0,
+                    gw,
+                    |i| p.q_inv((i + m - j0m) % m),
+                    visited,
+                    buf,
+                );
+                let residuals: Vec<usize> = (0..gw).map(|k| k % m).collect();
+                fine_rotate_right(us, m, n, j0, gw, &residuals, h);
+            }
         },
     );
 }
@@ -435,6 +445,7 @@ mod tests {
 
     #[test]
     fn cache_aware_rotation_matches_reference() {
+        crate::force_multithreaded_pool();
         for (m, n) in [(8usize, 12usize), (13, 29), (64, 40), (5, 100), (100, 5)] {
             for w in [1usize, 3, 8, 16] {
                 for h in [2usize, 7, 256] {
@@ -502,6 +513,7 @@ mod tests {
 
     #[test]
     fn fused_matches_separate_col_shuffle() {
+        crate::force_multithreaded_pool();
         for (m, n) in [(4usize, 8usize), (9, 6), (12, 18), (21, 35), (64, 40), (7, 100)] {
             for w in [1usize, 4, 16, 64] {
                 let p = C2rParams::new(m, n);
@@ -518,6 +530,7 @@ mod tests {
 
     #[test]
     fn fused_inverse_inverts_fused() {
+        crate::force_multithreaded_pool();
         for (m, n) in [(4usize, 8usize), (9, 6), (13, 21), (40, 64)] {
             let p = C2rParams::new(m, n);
             let mut a = vec![0u64; m * n];
@@ -531,6 +544,7 @@ mod tests {
 
     #[test]
     fn step_wrappers_match_sequential_permute() {
+        crate::force_multithreaded_pool();
         for (m, n) in [(4usize, 8usize), (9, 6), (12, 18), (21, 35)] {
             let p = C2rParams::new(m, n);
             let mut a = vec![0u32; m * n];

@@ -7,41 +7,50 @@
 //! [`crate::cache_aware`] exist precisely to fix that; these plain
 //! versions are the ablation baseline and the correctness reference.
 //!
-//! Safety: each rayon task touches only its own column group's indices;
-//! see `unsafe_slice` for the disjointness argument.
+//! Safety: each worker touches only its own column groups' indices; see
+//! `unsafe_slice` for the disjointness argument. Per-worker scratch comes
+//! from [`ipt_pool::Scratch`], created once per worker and reused across
+//! all the groups that worker owns.
 
+use crate::group_grain;
 use crate::unsafe_slice::UnsafeSlice;
 use ipt_core::cycles::CycleSet;
 use ipt_core::index::C2rParams;
-use rayon::prelude::*;
+use ipt_pool::Scratch;
 
-/// Iterate `groups(width w over n columns)` in parallel, handing each task
-/// the group's starting column and width.
+/// Iterate `groups(width w over n columns)` in parallel, handing each call
+/// a per-worker scratch, the group's starting column and its width.
 fn par_groups<T, F>(data: &mut [T], n: usize, w: usize, f: F)
 where
     T: Copy + Send + Sync,
-    F: Fn(UnsafeSlice<'_, T>, usize, usize) + Send + Sync,
+    F: Fn(&mut Scratch<T>, UnsafeSlice<'_, T>, usize, usize) + Sync,
 {
+    if data.is_empty() || n == 0 {
+        return;
+    }
+    let m = data.len() / n;
     let us = UnsafeSlice::new(data);
     let groups = n.div_ceil(w);
-    (0..groups).into_par_iter().for_each(|g| {
-        let j0 = g * w;
-        let gw = w.min(n - j0);
-        f(us, j0, gw);
+    ipt_pool::par_chunks_init(0..groups, group_grain(m * w), Scratch::new, |scratch, sub| {
+        for g in sub {
+            let j0 = g * w;
+            let gw = w.min(n - j0);
+            f(scratch, us, j0, gw);
+        }
     });
 }
 
 /// Rotate every column `j` left by `amount(j)` (gather:
 /// `col[i] = old[(i + amount) mod m]`), columns processed in parallel
-/// groups, each through an `m`-element task-local buffer.
+/// groups, each through an `m`-element worker-local buffer.
 pub fn rotate_columns_parallel<T, A>(data: &mut [T], m: usize, n: usize, w: usize, amount: A)
 where
     T: Copy + Send + Sync,
     A: Fn(usize) -> usize + Send + Sync,
 {
     assert_eq!(data.len(), m * n);
-    par_groups(data, n, w, |us, j0, gw| {
-        let mut buf = vec![unsafe { us.get(0) }; m];
+    par_groups(data, n, w, |scratch, us, j0, gw| {
+        let buf = scratch.uninit_buf(m, unsafe { us.get(0) });
         for j in j0..j0 + gw {
             let k = amount(j) % m;
             if k == 0 {
@@ -50,7 +59,7 @@ where
             for (i, slot) in buf.iter_mut().enumerate() {
                 let src = i + k - if i + k >= m { m } else { 0 };
                 // SAFETY: index src*n + j belongs to column j of this
-                // task's group; bounds: src < m, j < n.
+                // worker's group; bounds: src < m, j < n.
                 *slot = unsafe { us.get(src * n + j) };
             }
             for (i, &v) in buf.iter().enumerate() {
@@ -72,8 +81,8 @@ pub fn prerotate_parallel<T: Copy + Send + Sync>(data: &mut [T], p: &C2rParams, 
 /// Step 3 of parallel C2R: the direct column shuffle with `s'_j` (Eq. 26).
 pub fn col_shuffle_parallel<T: Copy + Send + Sync>(data: &mut [T], p: &C2rParams, w: usize) {
     let (m, n) = (p.m, p.n);
-    par_groups(data, n, w, |us, j0, gw| {
-        let mut buf = vec![unsafe { us.get(0) }; m];
+    par_groups(data, n, w, |scratch, us, j0, gw| {
+        let buf = scratch.uninit_buf(m, unsafe { us.get(0) });
         for j in j0..j0 + gw {
             for (i, slot) in buf.iter_mut().enumerate() {
                 // SAFETY: s'_j(i) < m, so the index is in column j.
@@ -95,7 +104,7 @@ pub fn row_permute_inverse_parallel<T: Copy + Send + Sync>(data: &mut [T], p: &C
 }
 
 /// Shared sub-row cycle follower: apply the gather row permutation `perm`
-/// to every column group in parallel, one `w`-element buffer per task.
+/// to every column group in parallel, one `w`-element buffer per worker.
 pub(crate) fn row_permute_groups<T, P>(
     data: &mut [T],
     m: usize,
@@ -109,11 +118,11 @@ pub(crate) fn row_permute_groups<T, P>(
 {
     assert_eq!(data.len(), m * n);
     debug_assert_eq!(cycles.domain(), m);
-    par_groups(data, n, w, |us, j0, gw| {
-        let mut buf = vec![unsafe { us.get(0) }; gw];
+    par_groups(data, n, w, |scratch, us, j0, gw| {
+        let buf = scratch.uninit_buf(gw, unsafe { us.get(0) });
         for &leader in &cycles.leaders {
             for (k, slot) in buf.iter_mut().enumerate() {
-                // SAFETY: (leader, j0+k) is in this task's group.
+                // SAFETY: (leader, j0+k) is in this worker's group.
                 *slot = unsafe { us.get(leader * n + j0 + k) };
             }
             let mut i = leader;
@@ -137,46 +146,52 @@ pub(crate) fn row_permute_groups<T, P>(
 }
 
 /// Process disjoint column blocks of a row-major `m x n` matrix in
-/// parallel through task-local copies — the safe building block for
+/// parallel through worker-local copies — the safe building block for
 /// "on-chip" fused column operations (paper §6.1).
 ///
 /// For each block of `w` columns starting at `j0`, the block's `m x gw`
-/// submatrix is gathered into a task-local row-major buffer, `f(j0,
+/// submatrix is gathered into a worker-local row-major buffer, `f(j0,
 /// block, gw, scratch)` transforms it in place (with an equally-sized
 /// reusable scratch buffer for out-of-place permutation steps), and the
-/// result is scattered back. Blocks partition the columns, so tasks never
-/// overlap; the block and scratch buffers are reused across a task's
-/// blocks, so the steady state is allocation-free.
+/// result is scattered back. Blocks partition the columns, so workers
+/// never overlap; the block and scratch buffers are created once per
+/// worker and reused across its blocks, so the steady state is
+/// allocation-free.
 pub fn par_process_column_blocks<T, F>(data: &mut [T], m: usize, n: usize, w: usize, f: F)
 where
     T: Copy + Send + Sync,
-    F: Fn(usize, &mut [T], usize, &mut [T]) + Send + Sync,
+    F: Fn(usize, &mut [T], usize, &mut [T]) + Sync,
 {
     assert_eq!(data.len(), m * n, "buffer length must be m * n");
     if m == 0 || n == 0 {
         return;
     }
+    let fill = data[0];
     let us = UnsafeSlice::new(data);
     let groups = n.div_ceil(w);
-    // SAFETY (throughout): task g touches only columns [g*w, g*w + gw).
-    let fill = unsafe { us.get(0) };
-    (0..groups).into_par_iter().for_each_init(
+    // SAFETY (throughout): the worker owning group g touches only columns
+    // [g*w, g*w + gw).
+    ipt_pool::par_chunks_init(
+        0..groups,
+        group_grain(m * w),
         || (vec![fill; m * w], vec![fill; m * w]),
-        |(block, scratch), g| {
-            let j0 = g * w;
-            let gw = w.min(n - j0);
-            let block = &mut block[..m * gw];
-            for i in 0..m {
-                for (k, slot) in block[i * gw..(i + 1) * gw].iter_mut().enumerate() {
-                    // SAFETY: column-ownership (see above).
-                    *slot = unsafe { us.get(i * n + j0 + k) };
+        |(block, scratch), sub| {
+            for g in sub {
+                let j0 = g * w;
+                let gw = w.min(n - j0);
+                let block = &mut block[..m * gw];
+                for i in 0..m {
+                    for (k, slot) in block[i * gw..(i + 1) * gw].iter_mut().enumerate() {
+                        // SAFETY: column-ownership (see above).
+                        *slot = unsafe { us.get(i * n + j0 + k) };
+                    }
                 }
-            }
-            f(j0, block, gw, &mut scratch[..m * gw]);
-            for i in 0..m {
-                for (k, &v) in block[i * gw..(i + 1) * gw].iter().enumerate() {
-                    // SAFETY: column-ownership, as above.
-                    unsafe { us.set(i * n + j0 + k, v) };
+                f(j0, block, gw, &mut scratch[..m * gw]);
+                for i in 0..m {
+                    for (k, &v) in block[i * gw..(i + 1) * gw].iter().enumerate() {
+                        // SAFETY: column-ownership, as above.
+                        unsafe { us.set(i * n + j0 + k, v) };
+                    }
                 }
             }
         },
@@ -206,6 +221,7 @@ mod tests {
 
     #[test]
     fn parallel_prerotate_matches_sequential() {
+        crate::force_multithreaded_pool();
         for (m, n) in [(4usize, 8usize), (6, 9), (12, 18), (10, 25)] {
             for w in [1usize, 3, 8, 64] {
                 let p = C2rParams::new(m, n);
@@ -221,6 +237,7 @@ mod tests {
 
     #[test]
     fn parallel_col_shuffle_matches_sequential() {
+        crate::force_multithreaded_pool();
         for (m, n) in [(4usize, 8usize), (6, 9), (7, 7), (15, 40)] {
             let p = C2rParams::new(m, n);
             let mut a = vec![0u32; m * n];
@@ -235,6 +252,7 @@ mod tests {
 
     #[test]
     fn parallel_inverse_steps_match_sequential() {
+        crate::force_multithreaded_pool();
         for (m, n) in [(4usize, 8usize), (9, 6), (12, 18)] {
             let p = C2rParams::new(m, n);
             let mut a = vec![0u64; m * n];
@@ -258,6 +276,7 @@ mod tests {
 
     #[test]
     fn column_blocks_visit_every_column_once() {
+        crate::force_multithreaded_pool();
         let (m, n) = (5usize, 17usize);
         let mut a = vec![0u32; m * n];
         fill_pattern(&mut a);
@@ -279,6 +298,7 @@ mod tests {
 
     #[test]
     fn column_blocks_can_permute_within_block() {
+        crate::force_multithreaded_pool();
         // Reverse the rows of each block: a column-local operation.
         let (m, n) = (4usize, 10usize);
         let mut a = vec![0u16; m * n];
@@ -300,6 +320,7 @@ mod tests {
 
     #[test]
     fn generic_rotation_with_odd_group_width() {
+        crate::force_multithreaded_pool();
         let (m, n) = (9usize, 14usize);
         let mut a = vec![0u16; m * n];
         fill_pattern(&mut a);

@@ -7,9 +7,10 @@
 //!
 //! This crate layers onto `ipt-core`:
 //!
-//! * [`c2r_parallel`] / [`r2c_parallel`] / [`transpose_parallel`] — rayon
-//!   data-parallel versions of the three-step algorithm (the paper's §5.1
-//!   OpenMP CPU implementation, and the thread-grid skeleton of its GPU
+//! * [`c2r_parallel`] / [`r2c_parallel`] / [`transpose_parallel`] —
+//!   data-parallel versions of the three-step algorithm on the workspace's
+//!   own `ipt-pool` scoped-thread executor (the paper's §5.1 OpenMP CPU
+//!   implementation, and the thread-grid skeleton of its GPU
 //!   implementation);
 //! * [`cache_aware`] — the §4.6 two-phase (coarse cycle-following + fine
 //!   blocked) column rotation and the §4.7 sub-row cycle-following row
@@ -40,6 +41,34 @@ mod unsafe_slice;
 
 use ipt_core::index::C2rParams;
 use ipt_core::Layout;
+
+/// Elements of matrix data one worker should own before another thread is
+/// worth spawning — roughly one L1 cache's worth of moves. Below this, the
+/// `ipt-pool` primitives run inline on the calling thread.
+const PAR_MIN_ELEMS: usize = 4096;
+
+/// `min_grain` (in rows) for row-wise parallel loops over `n`-element rows.
+pub(crate) fn row_grain(n: usize) -> usize {
+    (PAR_MIN_ELEMS / n.max(1)).max(1)
+}
+
+/// `min_grain` (in groups/blocks) for loops whose unit of work moves
+/// `unit_elems` elements.
+pub(crate) fn group_grain(unit_elems: usize) -> usize {
+    (PAR_MIN_ELEMS / unit_elems.max(1)).max(1)
+}
+
+/// Widen the global pool to at least two workers so tests exercise the
+/// real multi-threaded paths even on single-CPU machines.
+#[cfg(test)]
+pub(crate) fn force_multithreaded_pool() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        if ipt_pool::num_threads() < 2 {
+            ipt_pool::set_num_threads(2);
+        }
+    });
+}
 
 /// Tuning knobs for the parallel/cache-aware implementations.
 #[derive(Debug, Clone, Copy)]
@@ -88,7 +117,7 @@ impl ParOptions {
 }
 
 /// Parallel C2R: transpose an `m x n` row-major buffer in place into its
-/// `n x m` row-major transpose, using all rayon worker threads.
+/// `n x m` row-major transpose, using the global `ipt_pool` thread count.
 pub fn c2r_parallel<T: Copy + Send + Sync>(data: &mut [T], m: usize, n: usize, opts: &ParOptions) {
     assert_eq!(data.len(), m * n, "buffer length must be m * n");
     if m <= 1 || n <= 1 {
@@ -206,6 +235,7 @@ mod tests {
 
     #[test]
     fn parallel_c2r_matches_sequential() {
+        crate::force_multithreaded_pool();
         for opts in [ParOptions::default(), ParOptions::plain()] {
             for (m, n) in sizes() {
                 let mut a = vec![0u64; m * n];
@@ -220,6 +250,7 @@ mod tests {
 
     #[test]
     fn parallel_r2c_matches_sequential() {
+        crate::force_multithreaded_pool();
         for opts in [ParOptions::default(), ParOptions::plain()] {
             for (m, n) in sizes() {
                 let mut a = vec![0u32; m * n];
@@ -234,6 +265,7 @@ mod tests {
 
     #[test]
     fn parallel_transpose_both_layouts() {
+        crate::force_multithreaded_pool();
         for layout in [Layout::RowMajor, Layout::ColMajor] {
             for (m, n) in sizes() {
                 let mut a = vec![0u64; m * n];
@@ -249,6 +281,7 @@ mod tests {
 
     #[test]
     fn tiny_group_widths_still_correct() {
+        crate::force_multithreaded_pool();
         for w in [1usize, 2, 3, 5] {
             let opts = ParOptions {
                 col_group: w,
@@ -285,6 +318,7 @@ mod tests {
 
     #[test]
     fn roundtrip_parallel() {
+        crate::force_multithreaded_pool();
         let (m, n) = (40usize, 72usize);
         let mut a = vec![0u64; m * n];
         fill_pattern(&mut a);

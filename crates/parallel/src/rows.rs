@@ -1,14 +1,15 @@
 //! Parallel row shuffles (paper §5.1, §4.5).
 //!
 //! Rows of the matrix are contiguous in row-major storage and the row
-//! shuffle permutes each row independently, so `par_chunks_exact_mut`
-//! expresses the parallelism safely. Each rayon task keeps its own
-//! `n`-element scratch row (`for_each_init`), which is the CPU analogue of
-//! the paper's §4.5 "on-chip" shuffle: the temporary never leaves the
-//! worker's cache, and the whole shuffle is a single pass over memory.
+//! shuffle permutes each row independently, so `ipt_pool`'s contiguous
+//! chunk splitting expresses the parallelism safely. Each worker keeps its
+//! own `n`-element scratch row (the `init` state), which is the CPU
+//! analogue of the paper's §4.5 "on-chip" shuffle: the temporary never
+//! leaves the worker's cache, and the whole shuffle is a single pass over
+//! memory.
 
+use crate::row_grain;
 use ipt_core::index::C2rParams;
-use rayon::prelude::*;
 
 /// Parallel row shuffle with **incrementally generated** indices.
 ///
@@ -26,49 +27,50 @@ pub fn row_shuffle_incremental<T: Copy + Send + Sync>(
 ) {
     let (m, n, b) = (p.m, p.n, p.b);
     let m_red = m % n; // per-column stride of `base`, reduced mod n
-    data.par_chunks_exact_mut(n)
-        .enumerate()
-        .for_each_init(
-            || Vec::with_capacity(n),
-            |tmp, (i, row)| {
-                tmp.clear();
-                tmp.extend_from_slice(row);
-                // State: rot = (i + j/b) mod m; rot_red = rot mod n (kept
-                // separately so the sum stays < 2n even when m > n);
-                // base = (j*m) mod n.
-                let mut rot = i % m;
-                let mut rot_red = rot % n;
-                let mut base = 0usize;
-                let mut until_bump = b;
-                for (j, &v) in tmp.iter().enumerate() {
-                    let mut d = rot_red + base;
-                    if d >= n {
-                        d -= n;
-                    }
-                    if scatter {
-                        row[d] = v;
-                    } else {
-                        row[j] = tmp[d];
-                    }
-                    base += m_red;
-                    if base >= n {
-                        base -= n;
-                    }
-                    until_bump -= 1;
-                    if until_bump == 0 {
-                        until_bump = b;
-                        rot += 1;
-                        rot_red += 1;
-                        if rot == m {
-                            rot = 0;
-                            rot_red = 0;
-                        } else if rot_red == n {
-                            rot_red = 0;
-                        }
+    ipt_pool::par_chunks_exact_mut(
+        data,
+        n,
+        row_grain(n),
+        || Vec::with_capacity(n),
+        |tmp: &mut Vec<T>, i, row| {
+            tmp.clear();
+            tmp.extend_from_slice(row);
+            // State: rot = (i + j/b) mod m; rot_red = rot mod n (kept
+            // separately so the sum stays < 2n even when m > n);
+            // base = (j*m) mod n.
+            let mut rot = i % m;
+            let mut rot_red = rot % n;
+            let mut base = 0usize;
+            let mut until_bump = b;
+            for (j, &v) in tmp.iter().enumerate() {
+                let mut d = rot_red + base;
+                if d >= n {
+                    d -= n;
+                }
+                if scatter {
+                    row[d] = v;
+                } else {
+                    row[j] = tmp[d];
+                }
+                base += m_red;
+                if base >= n {
+                    base -= n;
+                }
+                until_bump -= 1;
+                if until_bump == 0 {
+                    until_bump = b;
+                    rot += 1;
+                    rot_red += 1;
+                    if rot == m {
+                        rot = 0;
+                        rot_red = 0;
+                    } else if rot_red == n {
+                        rot_red = 0;
                     }
                 }
-            },
-        );
+            }
+        },
+    );
 }
 
 /// Parallel C2R row shuffle: row `i` becomes `row[j] = old[d'^-1_i(j)]`
@@ -82,16 +84,17 @@ pub fn row_shuffle_parallel<T: Copy + Send + Sync>(data: &mut [T], p: &C2rParams
 /// [`row_shuffle_parallel`]'s incremental indexing.
 pub fn row_shuffle_parallel_fastdiv<T: Copy + Send + Sync>(data: &mut [T], p: &C2rParams) {
     let n = p.n;
-    data.par_chunks_exact_mut(n)
-        .enumerate()
-        .for_each_init(
-            || Vec::with_capacity(n),
-            |tmp, (i, row)| {
-                tmp.clear();
-                tmp.extend((0..n).map(|j| row[p.d_inv(i, j)]));
-                row.copy_from_slice(tmp);
-            },
-        );
+    ipt_pool::par_chunks_exact_mut(
+        data,
+        n,
+        row_grain(n),
+        || Vec::with_capacity(n),
+        |tmp: &mut Vec<T>, i, row| {
+            tmp.clear();
+            tmp.extend((0..n).map(|j| row[p.d_inv(i, j)]));
+            row.copy_from_slice(tmp);
+        },
+    );
 }
 
 /// Parallel R2C row shuffle: gather with `d'_i` directly (§4.3),

@@ -1,11 +1,12 @@
 //! A shared-mutable slice handle for provably disjoint parallel access.
 //!
-//! Rayon can split a slice into disjoint *contiguous* chunks safely, but
-//! the decomposition's column operations partition a row-major matrix into
-//! disjoint **column groups** — strided, interleaved index sets that the
-//! borrow checker cannot express. This module provides the one `unsafe`
-//! building block in the workspace: a `Send + Sync` pointer wrapper whose
-//! soundness argument is purely about index disjointness.
+//! `ipt_pool` can split a slice into disjoint *contiguous* chunks safely
+//! (`par_chunks_exact_mut`), but the decomposition's column operations
+//! partition a row-major matrix into disjoint **column groups** — strided,
+//! interleaved index sets that the borrow checker cannot express. This
+//! module provides the one `unsafe` building block in the workspace: a
+//! `Send + Sync` pointer wrapper whose soundness argument is purely about
+//! index disjointness.
 //!
 //! # Safety contract
 //!
@@ -18,7 +19,7 @@
 
 use std::marker::PhantomData;
 
-/// A raw view of a `&mut [T]` that can be copied into rayon closures.
+/// A raw view of a `&mut [T]` that can be copied into worker closures.
 ///
 /// Callers must guarantee that concurrently running closures touch
 /// disjoint index sets (see module docs).
@@ -83,20 +84,22 @@ impl<'a, T: Copy> UnsafeSlice<'a, T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rayon::prelude::*;
 
     #[test]
     fn disjoint_column_writes_from_parallel_tasks() {
-        // 8 x 16 matrix; each task owns two columns and writes a tag.
+        // 8 x 16 matrix; each worker owns whole column pairs and writes a
+        // tag.
         let (m, n) = (8usize, 16usize);
         let mut data = vec![0u32; m * n];
         let us = UnsafeSlice::new(&mut data);
-        (0..n / 2).into_par_iter().for_each(|g| {
-            for j in [2 * g, 2 * g + 1] {
-                for i in 0..m {
-                    // SAFETY: group g touches only columns {2g, 2g+1};
-                    // groups are disjoint.
-                    unsafe { us.set(i * n + j, (j * 100 + i) as u32) };
+        ipt_pool::Pool::new(4).par_chunks(0..n / 2, 1, |sub| {
+            for g in sub {
+                for j in [2 * g, 2 * g + 1] {
+                    for i in 0..m {
+                        // SAFETY: group g touches only columns {2g, 2g+1};
+                        // groups are disjoint.
+                        unsafe { us.set(i * n + j, (j * 100 + i) as u32) };
+                    }
                 }
             }
         });

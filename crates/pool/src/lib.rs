@@ -1,0 +1,347 @@
+//! # ipt-pool — a zero-dependency scoped-thread parallel executor
+//!
+//! The decomposition's parallel structure (paper §1, §5.1) is as regular
+//! as data parallelism gets: every row permutation is independent of every
+//! other row, every column group independent of every other group, and all
+//! units cost the same. Work-stealing buys nothing here — a static split
+//! of the index range over a handful of scoped threads achieves the same
+//! perfect load balance with no external dependencies, no global runtime
+//! and no startup cost beyond the `std::thread::scope` spawns themselves.
+//!
+//! Three primitives cover every parallel loop in the workspace:
+//!
+//! * [`par_chunks`] — chunked for-each over an index range (column groups,
+//!   batch indices);
+//! * [`par_chunks_init`] — the same, with a lazily created per-worker
+//!   state value (scratch buffers, cycle masks) reused across the worker's
+//!   whole subrange — the CPU analogue of the paper's §4.5 "on-chip" row
+//!   staging;
+//! * [`par_chunks_exact_mut`] — contiguous `chunk_len`-sized blocks of a
+//!   mutable slice (matrix rows, batched matrices), each handed to exactly
+//!   one worker, with per-worker state.
+//!
+//! All primitives fall back to a plain sequential loop on the calling
+//! thread when the range is smaller than `min_grain` or only one thread is
+//! configured, so tiny matrices never pay spawn overhead.
+//!
+//! Thread count resolution: [`Pool::new`]\(t) with `t > 0` is explicit;
+//! `t == 0` (and the module-level free functions) resolve the global
+//! default — [`set_num_threads`] if called, else the `IPT_THREADS`
+//! environment variable, else [`std::thread::available_parallelism`].
+//!
+//! Panics in any worker propagate to the caller when the scope joins, so a
+//! failed parallel loop is never silently dropped.
+//!
+//! ```
+//! use ipt_pool::Pool;
+//!
+//! let mut squares = vec![0usize; 1000];
+//! // Safe disjoint mutation: split the slice, not the indices.
+//! Pool::new(4).par_chunks_exact_mut(&mut squares, 1, 64, || (), |_, i, cell| {
+//!     cell[0] = i * i;
+//! });
+//! assert_eq!(squares[31], 961);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod scratch;
+
+pub use scratch::Scratch;
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Process-wide thread-count override set by [`set_num_threads`]
+/// (0 = unset).
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// `IPT_THREADS` parsed once.
+static ENV_THREADS: OnceLock<Option<usize>> = OnceLock::new();
+
+fn env_threads() -> Option<usize> {
+    *ENV_THREADS.get_or_init(|| {
+        std::env::var("IPT_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+    })
+}
+
+/// The number of worker threads the global (default) pool uses.
+///
+/// Resolution order: [`set_num_threads`] override, then the `IPT_THREADS`
+/// environment variable, then [`std::thread::available_parallelism`]
+/// (falling back to 1 if unavailable).
+pub fn num_threads() -> usize {
+    let forced = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    if let Some(n) = env_threads() {
+        return n;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Override the global pool's thread count for the whole process
+/// (`0` clears the override, restoring env/hardware resolution).
+///
+/// Intended for binaries and test harnesses; library code that needs a
+/// specific width should carry an explicit [`Pool`] instead.
+pub fn set_num_threads(threads: usize) {
+    GLOBAL_THREADS.store(threads, Ordering::Relaxed);
+}
+
+/// A parallel executor handle: a thread count plus the chunking policy.
+///
+/// `Pool` is `Copy` and stateless — threads are scoped per call (no
+/// persistent workers to manage or shut down), so a `Pool` is cheap to
+/// create, store in options structs, or share between threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Default for Pool {
+    fn default() -> Pool {
+        Pool::global()
+    }
+}
+
+impl Pool {
+    /// A pool of exactly `threads` workers; `0` means "resolve the global
+    /// default at each call" (see [`num_threads`]).
+    pub const fn new(threads: usize) -> Pool {
+        Pool { threads }
+    }
+
+    /// The pool every module-level free function uses.
+    pub const fn global() -> Pool {
+        Pool::new(0)
+    }
+
+    /// The worker count a call on this pool will use right now.
+    pub fn threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            num_threads()
+        }
+    }
+
+    /// Split `range` into per-worker subranges of at least `min_grain`
+    /// indices (final worker may get more) — at most `threads` parts.
+    fn partition(&self, range: &Range<usize>, min_grain: usize) -> usize {
+        let len = range.end.saturating_sub(range.start);
+        let grain = min_grain.max(1);
+        (len / grain).clamp(1, self.threads().max(1))
+    }
+
+    /// Chunked parallel for-each over `range`: `body` is invoked once per
+    /// worker with that worker's contiguous subrange. Runs `body(range)`
+    /// inline on the calling thread when the range is shorter than
+    /// `min_grain` or the pool has one thread.
+    pub fn par_chunks<F>(&self, range: Range<usize>, min_grain: usize, body: F)
+    where
+        F: Fn(Range<usize>) + Sync,
+    {
+        self.par_chunks_init(range, min_grain, || (), |(), sub| body(sub));
+    }
+
+    /// [`Pool::par_chunks`] with per-worker state: each worker calls
+    /// `init` exactly once and hands the value to `body` alongside its
+    /// subrange. The sequential fallback also initializes exactly once.
+    pub fn par_chunks_init<S, I, F>(&self, range: Range<usize>, min_grain: usize, init: I, body: F)
+    where
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, Range<usize>) + Sync,
+    {
+        if range.is_empty() {
+            return;
+        }
+        let parts = self.partition(&range, min_grain);
+        if parts == 1 {
+            body(&mut init(), range);
+            return;
+        }
+        let len = range.end - range.start;
+        let base = len / parts;
+        let rem = len % parts;
+        std::thread::scope(|scope| {
+            let mut lo = range.start;
+            let mut main_part = None;
+            for k in 0..parts {
+                let hi = lo + base + usize::from(k < rem);
+                if k == 0 {
+                    // The calling thread takes the first part itself: one
+                    // fewer spawn, and it stays busy while workers run.
+                    main_part = Some(lo..hi);
+                } else {
+                    let sub = lo..hi;
+                    let (init, body) = (&init, &body);
+                    scope.spawn(move || body(&mut init(), sub));
+                }
+                lo = hi;
+            }
+            debug_assert_eq!(lo, range.end);
+            if let Some(sub) = main_part {
+                body(&mut init(), sub);
+            }
+            // Scope exit joins all workers and propagates any panic.
+        });
+    }
+
+    /// Parallel for-each over the leading `len / chunk_len` contiguous
+    /// `chunk_len`-sized blocks of `data` (a trailing remainder shorter
+    /// than `chunk_len` is left untouched, mirroring
+    /// `chunks_exact_mut`). Each worker owns a contiguous run of blocks
+    /// — obtained by splitting the slice, so no unsafe aliasing is
+    /// involved — and calls `body(state, block_index, block)` once per
+    /// block with its own `init`-created state.
+    ///
+    /// `min_grain` is in **blocks**: a worker is only spun up per
+    /// `min_grain` blocks of work.
+    pub fn par_chunks_exact_mut<T, S, I, F>(
+        &self,
+        data: &mut [T],
+        chunk_len: usize,
+        min_grain: usize,
+        init: I,
+        body: F,
+    ) where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, &mut [T]) + Sync,
+    {
+        assert!(chunk_len > 0, "chunk_len must be positive");
+        let blocks = data.len() / chunk_len;
+        if blocks == 0 {
+            return;
+        }
+        let parts = self.partition(&(0..blocks), min_grain);
+        if parts == 1 {
+            let mut state = init();
+            for (b, chunk) in data.chunks_exact_mut(chunk_len).enumerate() {
+                body(&mut state, b, chunk);
+            }
+            return;
+        }
+        let base = blocks / parts;
+        let rem = blocks % parts;
+        std::thread::scope(|scope| {
+            let mut tail = data;
+            let mut b0 = 0usize;
+            let mut main_part: Option<(usize, &mut [T])> = None;
+            for k in 0..parts {
+                let nblocks = base + usize::from(k < rem);
+                let (head, rest) = std::mem::take(&mut tail).split_at_mut(nblocks * chunk_len);
+                tail = rest;
+                if k == 0 {
+                    main_part = Some((b0, head));
+                } else {
+                    let (init, body) = (&init, &body);
+                    let start = b0;
+                    scope.spawn(move || {
+                        let mut state = init();
+                        for (b, chunk) in head.chunks_exact_mut(chunk_len).enumerate() {
+                            body(&mut state, start + b, chunk);
+                        }
+                    });
+                }
+                b0 += nblocks;
+            }
+            if let Some((start, head)) = main_part {
+                let mut state = init();
+                for (b, chunk) in head.chunks_exact_mut(chunk_len).enumerate() {
+                    body(&mut state, start + b, chunk);
+                }
+            }
+        });
+    }
+}
+
+/// [`Pool::par_chunks`] on the global pool.
+pub fn par_chunks<F>(range: Range<usize>, min_grain: usize, body: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    Pool::global().par_chunks(range, min_grain, body);
+}
+
+/// [`Pool::par_chunks_init`] on the global pool.
+pub fn par_chunks_init<S, I, F>(range: Range<usize>, min_grain: usize, init: I, body: F)
+where
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, Range<usize>) + Sync,
+{
+    Pool::global().par_chunks_init(range, min_grain, init, body);
+}
+
+/// [`Pool::par_chunks_exact_mut`] on the global pool.
+pub fn par_chunks_exact_mut<T, S, I, F>(
+    data: &mut [T],
+    chunk_len: usize,
+    min_grain: usize,
+    init: I,
+    body: F,
+) where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &mut [T]) + Sync,
+{
+    Pool::global().par_chunks_exact_mut(data, chunk_len, min_grain, init, body);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Mutex;
+
+    #[test]
+    fn thread_count_resolution() {
+        assert!(Pool::new(3).threads() == 3);
+        assert!(Pool::global().threads() >= 1);
+    }
+
+    #[test]
+    fn empty_range_is_a_noop() {
+        let hits = AtomicUsize::new(0);
+        Pool::new(4).par_chunks(5..5, 1, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn small_range_runs_inline_as_one_chunk() {
+        let subs = Mutex::new(Vec::new());
+        Pool::new(8).par_chunks(10..14, 100, |sub| {
+            subs.lock().unwrap().push(sub);
+        });
+        assert_eq!(*subs.lock().unwrap(), vec![10..14]);
+    }
+
+    #[test]
+    fn grain_bounds_worker_count() {
+        // 100 indices, grain 30 -> at most 3 parts even on a wide pool.
+        let subs = Mutex::new(Vec::new());
+        Pool::new(16).par_chunks(0..100, 30, |sub| {
+            subs.lock().unwrap().push(sub);
+        });
+        let mut subs = subs.lock().unwrap().clone();
+        subs.sort_by_key(|r| r.start);
+        assert_eq!(subs.len(), 3);
+        assert!(subs.iter().all(|r| r.end - r.start >= 30));
+    }
+
+    #[test]
+    fn remainder_blocks_left_untouched() {
+        let mut data = vec![0u8; 10];
+        Pool::new(2).par_chunks_exact_mut(&mut data, 3, 1, || (), |_, _, c| c.fill(1));
+        assert_eq!(data, [1, 1, 1, 1, 1, 1, 1, 1, 1, 0]);
+    }
+}

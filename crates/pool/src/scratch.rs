@@ -1,0 +1,96 @@
+//! Reusable per-worker scratch storage.
+//!
+//! Every column-wise step of the decomposition stages data through a small
+//! temporary buffer — the CPU stand-in for the paper's §4.5 on-chip row
+//! staging. Workers need one such buffer each, sized per call and reused
+//! across all the chunks a worker processes. [`Scratch`] wraps that
+//! pattern: a growable buffer that hands out exactly-sized slices without
+//! reallocating in steady state, so the per-chunk cost after warm-up is a
+//! `fill` (or nothing, via [`Scratch::uninit_buf`]'s overwrite contract).
+
+/// A reusable, growable scratch buffer for `Copy` elements.
+///
+/// ```
+/// use ipt_pool::Scratch;
+///
+/// let mut s: Scratch<u64> = Scratch::new();
+/// let buf = s.filled_buf(16, 0);
+/// assert_eq!(buf.len(), 16);
+/// buf[3] = 7;
+/// // Subsequent requests reuse the same allocation.
+/// assert_eq!(s.filled_buf(8, 1), &[1; 8]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Scratch<T> {
+    storage: Vec<T>,
+}
+
+impl<T: Copy> Scratch<T> {
+    /// An empty scratch; storage is allocated on first use.
+    pub const fn new() -> Scratch<T> {
+        Scratch { storage: Vec::new() }
+    }
+
+    /// A scratch pre-sized for `len`-element requests.
+    pub fn with_capacity(len: usize) -> Scratch<T> {
+        Scratch {
+            storage: Vec::with_capacity(len),
+        }
+    }
+
+    /// A `len`-element slice, every element set to `fill`.
+    pub fn filled_buf(&mut self, len: usize, fill: T) -> &mut [T] {
+        self.storage.clear();
+        self.storage.resize(len, fill);
+        &mut self.storage[..]
+    }
+
+    /// A `len`-element slice with **unspecified contents** (whatever a
+    /// previous request left behind, `fill`-extended as needed). The
+    /// caller must overwrite before reading — the usual contract for a
+    /// gather destination.
+    pub fn uninit_buf(&mut self, len: usize, fill: T) -> &mut [T] {
+        if self.storage.len() < len {
+            self.storage.resize(len, fill);
+        }
+        &mut self.storage[..len]
+    }
+
+    /// Current backing capacity, in elements.
+    pub fn capacity(&self) -> usize {
+        self.storage.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_are_sized_and_filled() {
+        let mut s: Scratch<u32> = Scratch::new();
+        assert_eq!(s.filled_buf(4, 9), &[9, 9, 9, 9]);
+        s.filled_buf(4, 9)[0] = 1;
+        // A fresh filled_buf never shows stale data.
+        assert_eq!(s.filled_buf(4, 2), &[2; 4]);
+    }
+
+    #[test]
+    fn reuse_does_not_reallocate() {
+        let mut s: Scratch<u8> = Scratch::with_capacity(64);
+        let cap = s.capacity();
+        for _ in 0..10 {
+            s.filled_buf(64, 0);
+            s.uninit_buf(32, 0);
+        }
+        assert_eq!(s.capacity(), cap);
+    }
+
+    #[test]
+    fn uninit_buf_grows_on_demand() {
+        let mut s: Scratch<u16> = Scratch::new();
+        assert_eq!(s.uninit_buf(3, 5), &[5, 5, 5]);
+        s.uninit_buf(3, 5)[2] = 8;
+        assert_eq!(s.uninit_buf(6, 1)[3..], [1, 1, 1]);
+    }
+}

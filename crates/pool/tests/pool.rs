@@ -1,0 +1,165 @@
+//! Behavioral contract of the executor: sequential equivalence, exact
+//! range coverage, worker-private state, panic propagation.
+
+use ipt_pool::{Pool, Scratch};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A parallel map must equal the plain sequential loop, for every thread
+/// count — in particular `threads == 1`, which must take the inline path.
+#[test]
+fn one_thread_equals_sequential() {
+    let n = 10_007usize;
+    let mut want = vec![0u64; n];
+    for (i, v) in want.iter_mut().enumerate() {
+        *v = (i as u64).wrapping_mul(0x9e3779b97f4a7c15);
+    }
+    for threads in [1usize, 2, 3, 8] {
+        let mut got = vec![0u64; n];
+        Pool::new(threads).par_chunks_exact_mut(&mut got, 1, 1, || (), |_, i, cell| {
+            cell[0] = (i as u64).wrapping_mul(0x9e3779b97f4a7c15);
+        });
+        assert_eq!(got, want, "threads={threads}");
+    }
+}
+
+/// Every index in the range is visited exactly once, whatever the grain
+/// and thread count — no gaps, no overlaps at chunk boundaries.
+#[test]
+fn chunks_cover_range_exactly_once() {
+    for (start, end) in [(0usize, 1usize), (0, 97), (13, 14), (5, 1000), (0, 64)] {
+        for threads in [1usize, 2, 4, 7] {
+            for grain in [1usize, 3, 50, 1000] {
+                let len = end - start;
+                let visits: Vec<AtomicUsize> = (0..len).map(|_| AtomicUsize::new(0)).collect();
+                Pool::new(threads).par_chunks(start..end, grain, |sub| {
+                    for i in sub {
+                        visits[i - start].fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+                for (off, v) in visits.iter().enumerate() {
+                    assert_eq!(
+                        v.load(Ordering::Relaxed),
+                        1,
+                        "index {} visited wrong number of times \
+                         ({start}..{end}, threads={threads}, grain={grain})",
+                        start + off
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Subranges handed to workers must tile the range: sorted by start, each
+/// begins where the previous ended.
+#[test]
+fn chunk_boundaries_tile_the_range() {
+    let subs = Mutex::new(Vec::new());
+    Pool::new(5).par_chunks(100..1100, 1, |sub| {
+        subs.lock().unwrap().push(sub);
+    });
+    let mut subs = subs.lock().unwrap().clone();
+    subs.sort_by_key(|r| r.start);
+    assert_eq!(subs.len(), 5);
+    assert_eq!(subs.first().unwrap().start, 100);
+    assert_eq!(subs.last().unwrap().end, 1100);
+    for pair in subs.windows(2) {
+        assert_eq!(pair[0].end, pair[1].start, "gap or overlap: {pair:?}");
+    }
+}
+
+/// Each worker gets its own `init`-created state: mutations never leak
+/// between workers, and states are created once per worker, not per chunk.
+#[test]
+fn per_worker_state_is_not_shared() {
+    let threads = 4usize;
+    let blocks = 64usize;
+    let inits = AtomicUsize::new(0);
+    let mut data = vec![(0usize, 0usize); blocks]; // (worker id, per-worker seq)
+    Pool::new(threads).par_chunks_exact_mut(
+        &mut data,
+        1,
+        1,
+        || (inits.fetch_add(1, Ordering::Relaxed), 0usize),
+        |(id, seq), _, block| {
+            *seq += 1;
+            block[0] = (*id, *seq);
+        },
+    );
+    assert_eq!(inits.load(Ordering::Relaxed), threads, "one init per worker");
+    // Per worker id, the recorded sequence numbers must be 1..=k with no
+    // interleaving from other workers — the state was private and reused.
+    let mut per_worker: Vec<Vec<usize>> = vec![Vec::new(); threads];
+    for &(id, seq) in &data {
+        per_worker[id].push(seq);
+    }
+    for (id, seqs) in per_worker.iter().enumerate() {
+        assert!(!seqs.is_empty(), "worker {id} did no work");
+        let want: Vec<usize> = (1..=seqs.len()).collect();
+        assert_eq!(seqs, &want, "worker {id} state was shared or re-created");
+    }
+}
+
+/// Scratch buffers stay worker-local too: concurrent workers hammering
+/// their own scratch never observe each other's contents.
+#[test]
+fn per_worker_scratch_buffers_are_private() {
+    let n = 256usize;
+    let mut out = vec![0u64; n];
+    Pool::new(4).par_chunks_exact_mut(
+        &mut out,
+        1,
+        1,
+        Scratch::<u64>::new,
+        |scratch, i, cell| {
+            let tag = i as u64 + 1;
+            let buf = scratch.filled_buf(32, tag);
+            // If another worker shared this scratch, some slot would hold
+            // a foreign tag.
+            assert!(buf.iter().all(|&v| v == tag));
+            cell[0] = buf.iter().sum::<u64>();
+        },
+    );
+    for (i, &v) in out.iter().enumerate() {
+        assert_eq!(v, 32 * (i as u64 + 1));
+    }
+}
+
+/// A panic in any worker must reach the caller, not disappear into a
+/// detached thread.
+#[test]
+fn worker_panics_propagate() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        Pool::new(4).par_chunks(0..1000, 1, |sub| {
+            if sub.contains(&777) {
+                panic!("boom in worker");
+            }
+        });
+    }));
+    assert!(result.is_err(), "worker panic was swallowed");
+
+    // Inline (single-chunk) path propagates too.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        Pool::new(1).par_chunks(0..10, 1, |_| panic!("boom inline"));
+    }));
+    assert!(result.is_err());
+}
+
+/// The global free functions honor `set_num_threads`.
+#[test]
+fn global_pool_width_is_configurable() {
+    // Note: the override is process-global; restore it before returning so
+    // parallel-running tests in this binary see the default again.
+    ipt_pool::set_num_threads(2);
+    assert_eq!(Pool::global().threads(), 2);
+    let workers = Mutex::new(Vec::new());
+    ipt_pool::par_chunks(0..1000, 1, |sub| {
+        workers.lock().unwrap().push(sub);
+    });
+    let count = workers.lock().unwrap().len();
+    ipt_pool::set_num_threads(0);
+    assert_eq!(count, 2);
+    assert!(Pool::global().threads() >= 1);
+}

@@ -1,45 +1,56 @@
 //! Property tests for the warp register-file machine and the coalesced
 //! access strategies.
+//!
+//! Cases come from the deterministic `ipt_core::check::Rng` (fixed seeds):
+//! every run sees the same sequence, and a failing `case` index pins the
+//! reproduction.
 
+use ipt_core::check::Rng;
 use ipt_core::Scratch;
 use memsim::MemoryConfig;
-use proptest::prelude::*;
 use warp_sim::transpose::{c2r_in_register_with, r2c_in_register_with, ShuffleKind};
 use warp_sim::{AccessStrategy, CoalescedPtr, Warp};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: usize = 128;
 
-    #[test]
-    fn in_register_c2r_equals_memory_c2r(
-        m in 1usize..24,
-        lanes in 1usize..48,
-        shared in any::<bool>(),
-    ) {
+#[test]
+fn in_register_c2r_equals_memory_c2r() {
+    let mut rng = Rng::new(0x3a59_0001);
+    for case in 0..CASES {
+        let m = rng.range(1..24);
+        let lanes = rng.range(1..48);
+        let shared = rng.chance(1, 2);
         let data: Vec<u32> = (0..(m * lanes) as u32).collect();
         let mut warp = Warp::from_matrix(&data, m, lanes);
         let kind = if shared { ShuffleKind::SharedMemory } else { ShuffleKind::Hardware };
         c2r_in_register_with(&mut warp, kind);
         let mut want = data;
         ipt_core::c2r(&mut want, m, lanes, &mut Scratch::new());
-        prop_assert_eq!(warp.as_matrix(), &want[..]);
+        assert_eq!(warp.as_matrix(), &want[..], "case {case}: m={m} lanes={lanes} shared={shared}");
     }
+}
 
-    #[test]
-    fn in_register_r2c_inverts_c2r(m in 1usize..24, lanes in 1usize..48) {
+#[test]
+fn in_register_r2c_inverts_c2r() {
+    let mut rng = Rng::new(0x3a59_0002);
+    for case in 0..CASES {
+        let m = rng.range(1..24);
+        let lanes = rng.range(1..48);
         let data: Vec<u64> = (0..(m * lanes) as u64).collect();
         let mut warp = Warp::from_matrix(&data, m, lanes);
         c2r_in_register_with(&mut warp, ShuffleKind::Hardware);
         r2c_in_register_with(&mut warp, ShuffleKind::Hardware);
-        prop_assert_eq!(warp.as_matrix(), &data[..]);
+        assert_eq!(warp.as_matrix(), &data[..], "case {case}: m={m} lanes={lanes}");
     }
+}
 
-    #[test]
-    fn dynamic_rotation_matches_per_lane_reference(
-        m in 1usize..20,
-        lanes in 1usize..20,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn dynamic_rotation_matches_per_lane_reference() {
+    let mut rng = Rng::new(0x3a59_0003);
+    for case in 0..CASES {
+        let m = rng.range(1..20);
+        let lanes = rng.range(1..20);
+        let seed = rng.next_u64();
         let data: Vec<u32> = (0..(m * lanes) as u32).collect();
         let mut warp = Warp::from_matrix(&data, m, lanes);
         // Arbitrary per-lane amounts derived from the seed.
@@ -48,17 +59,23 @@ proptest! {
         for l in 0..lanes {
             for r in 0..m {
                 let k = amount(l) % m;
-                prop_assert_eq!(warp.get(r, l), data[((r + k) % m) * lanes + l]);
+                assert_eq!(
+                    warp.get(r, l),
+                    data[((r + k) % m) * lanes + l],
+                    "case {case}: m={m} lanes={lanes} seed={seed} (r={r}, l={l})"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn shuffle_then_inverse_shuffle_is_identity(
-        m in 1usize..10,
-        lanes in 2usize..33,
-        shift in 0usize..40,
-    ) {
+#[test]
+fn shuffle_then_inverse_shuffle_is_identity() {
+    let mut rng = Rng::new(0x3a59_0004);
+    for case in 0..CASES {
+        let m = rng.range(1..10);
+        let lanes = rng.range(2..33);
+        let shift = rng.range(0..40);
         let data: Vec<u16> = (0..(m * lanes) as u16).collect();
         let mut warp = Warp::from_matrix(&data, m, lanes);
         let s = shift % lanes;
@@ -68,16 +85,18 @@ proptest! {
         for r in 0..m {
             warp.shfl(r, move |l| (l + lanes - s) % lanes);
         }
-        prop_assert_eq!(warp.as_matrix(), &data[..]);
+        assert_eq!(warp.as_matrix(), &data[..], "case {case}: m={m} lanes={lanes} shift={shift}");
     }
+}
 
-    #[test]
-    fn gather_returns_requested_structs(
-        s in 1usize..20,
-        total_log in 5usize..9,
-        seed in any::<u64>(),
-        strat in 0usize..3,
-    ) {
+#[test]
+fn gather_returns_requested_structs() {
+    let mut rng = Rng::new(0x3a59_0005);
+    for case in 0..CASES {
+        let s = rng.range(1..20);
+        let total_log = rng.range(5..9);
+        let seed = rng.next_u64();
+        let strat = rng.range(0..3);
         let lanes = 32usize;
         let total = 1usize << total_log;
         let strategy = match strat {
@@ -93,15 +112,21 @@ proptest! {
         let mut ptr = CoalescedPtr::new(&mut data, s, MemoryConfig::default());
         let vals = ptr.gather(&indices, strategy);
         for (l, &ix) in indices.iter().enumerate() {
-            prop_assert_eq!(&vals[l * s..(l + 1) * s], &orig[ix * s..(ix + 1) * s]);
+            assert_eq!(
+                &vals[l * s..(l + 1) * s],
+                &orig[ix * s..(ix + 1) * s],
+                "case {case}: s={s} total={total} strat={strat} lane {l}"
+            );
         }
     }
+}
 
-    #[test]
-    fn unit_stride_c2r_efficiency_is_perfect_for_aligned_elements(
-        s in 1usize..32,
-        warps in 1usize..4,
-    ) {
+#[test]
+fn unit_stride_c2r_efficiency_is_perfect_for_aligned_elements() {
+    let mut rng = Rng::new(0x3a59_0006);
+    for case in 0..CASES {
+        let s = rng.range(1..32);
+        let warps = rng.range(1..4);
         let lanes = 32usize;
         let mut data: Vec<f64> = (0..warps * lanes * s).map(|i| i as f64).collect();
         let mut ptr = CoalescedPtr::new(&mut data, s, MemoryConfig::default());
@@ -110,11 +135,17 @@ proptest! {
         }
         // 32 lanes x 8 B = 256 B of consecutive bytes per pass: every
         // transaction is full.
-        prop_assert!((ptr.memory().read_efficiency() - 1.0).abs() < 1e-12);
+        assert!(
+            (ptr.memory().read_efficiency() - 1.0).abs() < 1e-12,
+            "case {case}: s={s} warps={warps} eff={}",
+            ptr.memory().read_efficiency()
+        );
     }
+}
 
-    #[test]
-    fn strategies_never_beat_c2r_on_unit_stride(s in 1usize..32) {
+#[test]
+fn strategies_never_beat_c2r_on_unit_stride() {
+    for s in 1usize..32 {
         let lanes = 32usize;
         let eff = |strategy| {
             let mut data: Vec<f32> = (0..lanes * s).map(|i| i as f32).collect();
@@ -125,8 +156,8 @@ proptest! {
         let c2r = eff(AccessStrategy::C2r);
         let direct = eff(AccessStrategy::Direct);
         let vector = eff(AccessStrategy::Vector { width_bytes: 16 });
-        prop_assert!(direct <= c2r + 1e-12);
-        prop_assert!(vector <= c2r + 1e-12);
+        assert!(direct <= c2r + 1e-12, "s={s}: direct={direct} c2r={c2r}");
+        assert!(vector <= c2r + 1e-12, "s={s}: vector={vector} c2r={c2r}");
     }
 }
 

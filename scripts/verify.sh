@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the workspace must build and pass its test suite
+# hermetically — no registry (crates.io or mirror) access of any kind.
+#
+# Two belts:
+#   * CARGO_NET_OFFLINE=true forbids network access outright (cargo
+#     accepts only the literal strings `true`/`false` here);
+#   * a throwaway CARGO_HOME presents an empty registry cache, so even a
+#     dependency that happens to be cached locally fails resolution.
+# Any reintroduced external dependency therefore breaks this script at
+# `cargo build`, not at the next network outage.
+#
+# Usage: scripts/verify.sh  (from anywhere; cd's to the repo root)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CARGO_HOME_TMP="$(mktemp -d)"
+trap 'rm -rf "$CARGO_HOME_TMP"' EXIT
+
+export CARGO_NET_OFFLINE=true
+export CARGO_HOME="$CARGO_HOME_TMP"
+
+echo "== tier-1: hermetic build (offline, empty registry cache) =="
+cargo build --release
+
+echo "== tier-1: test suite =="
+cargo test -q
+
+echo "== tier-1: OK =="

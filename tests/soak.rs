@@ -4,21 +4,21 @@
 //! These push far more shapes, sizes and engine combinations than the
 //! default suites (minutes, not seconds). They exist for pre-release
 //! confidence sweeps and for reproducing rare shape-dependent bugs.
+//! Shapes and payloads come from the deterministic
+//! `ipt_core::check::Rng`, so every sweep is reproducible.
 
 use ipt::prelude::*;
-use ipt_core::check::reference_transpose;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use ipt_core::check::{reference_transpose, Rng};
 
 #[test]
 #[ignore = "soak: minutes of randomized sweeps; run with -- --ignored"]
 fn soak_every_engine_thousands_of_shapes() {
-    let mut rng = SmallRng::seed_from_u64(0xdead_5eed);
+    let mut rng = Rng::new(0xdead_5eed);
     let mut scratch = Scratch::new();
     for round in 0..2000 {
-        let m = rng.gen_range(1..300usize);
-        let n = rng.gen_range(1..300usize);
-        let input: Vec<u64> = (0..m * n).map(|_| rng.gen()).collect();
+        let m = rng.range(1..300);
+        let n = rng.range(1..300);
+        let input: Vec<u64> = (0..m * n).map(|_| rng.next_u64()).collect();
         let want = reference_transpose(&input, m, n, Layout::RowMajor);
 
         let mut a = input.clone();
@@ -52,18 +52,18 @@ fn soak_every_engine_thousands_of_shapes() {
 #[test]
 #[ignore = "soak: large-matrix stress; run with -- --ignored"]
 fn soak_large_matrices() {
-    let mut rng = SmallRng::seed_from_u64(42);
+    let mut rng = Rng::new(42);
     let mut scratch = Scratch::new();
     for _ in 0..8 {
-        let m = rng.gen_range(1000..4000usize);
-        let n = rng.gen_range(1000..4000usize);
+        let m = rng.range(1000..4000);
+        let n = rng.range(1000..4000);
         let mut a: Vec<u64> = (0..m * n).map(|i| i as u64).collect();
         let orig = a.clone();
         ipt_parallel::c2r_parallel(&mut a, m, n, &ParOptions::default());
         // Spot-check the permutation without a full reference buffer.
         for _ in 0..1000 {
-            let i = rng.gen_range(0..m);
-            let j = rng.gen_range(0..n);
+            let i = rng.range(0..m);
+            let j = rng.range(0..n);
             assert_eq!(a[j * m + i], orig[i * n + j], "{m}x{n} ({i},{j})");
         }
         ipt_core::r2c(&mut a, m, n, &mut scratch);
@@ -74,11 +74,11 @@ fn soak_large_matrices() {
 #[test]
 #[ignore = "soak: erased element-size sweep; run with -- --ignored"]
 fn soak_erased_all_element_sizes() {
-    let mut rng = SmallRng::seed_from_u64(7);
+    let mut rng = Rng::new(7);
     for elem in 1..=64usize {
-        let m = rng.gen_range(2..60usize);
-        let n = rng.gen_range(2..60usize);
-        let orig: Vec<u8> = (0..m * n * elem).map(|_| rng.gen()).collect();
+        let m = rng.range(2..60);
+        let n = rng.range(2..60);
+        let orig: Vec<u8> = (0..m * n * elem).map(|_| rng.next_u64() as u8).collect();
         let mut a = orig.clone();
         ipt_core::erased::transpose_erased(&mut a, m, n, elem, Layout::RowMajor);
         for i in 0..n {

@@ -3,9 +3,8 @@
 //! structurally, not just numerically.
 
 use ipt::prelude::*;
+use ipt_core::check::Rng;
 use memsim::Stats;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 const LANES: usize = 32;
 
@@ -55,12 +54,12 @@ fn vector_sits_between_direct_and_c2r() {
 
 #[test]
 fn random_gather_c2r_efficiency_grows_toward_line_size() {
-    let mut rng = SmallRng::seed_from_u64(42);
+    let mut rng = Rng::new(42);
     let total = 4096usize;
     let mut prev = 0.0f64;
     for s in [2usize, 4, 8, 16] {
         let mut data: Vec<f64> = (0..total * s).map(|i| i as f64).collect();
-        let indices: Vec<usize> = (0..LANES).map(|_| rng.gen_range(0..total)).collect();
+        let indices: Vec<usize> = (0..LANES).map(|_| rng.range(0..total)).collect();
         let mut ptr = CoalescedPtr::new(&mut data, s, MemoryConfig::default());
         ptr.gather(&indices, AccessStrategy::C2r);
         let eff = ptr.memory().read_efficiency();
@@ -74,11 +73,11 @@ fn random_gather_c2r_efficiency_grows_toward_line_size() {
 
 #[test]
 fn random_gather_direct_stays_at_element_efficiency() {
-    let mut rng = SmallRng::seed_from_u64(43);
+    let mut rng = Rng::new(43);
     let total = 4096usize;
     for s in [4usize, 16] {
         let mut data: Vec<f64> = (0..total * s).map(|i| i as f64).collect();
-        let indices: Vec<usize> = (0..LANES).map(|_| rng.gen_range(0..total)).collect();
+        let indices: Vec<usize> = (0..LANES).map(|_| rng.range(0..total)).collect();
         let mut ptr = CoalescedPtr::new(&mut data, s, MemoryConfig::default());
         ptr.gather(&indices, AccessStrategy::Direct);
         let eff = ptr.memory().read_efficiency();
