@@ -53,38 +53,64 @@ impl Default for Args {
     }
 }
 
+/// Why [`Args::try_parse`] stopped: the caller decides how to exit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgsError {
+    /// `--help`/`-h` was given; print usage and exit 0.
+    Help,
+    /// A flag was unknown, missing its value, or malformed; print the
+    /// message (plus usage) and exit nonzero.
+    Bad(String),
+}
+
 impl Args {
     /// Parse `std::env::args`, starting from defaults supplied by the
     /// binary (which then get overridden by `--full` or explicit flags).
+    ///
+    /// Process-exiting wrapper around [`Args::try_parse`].
     pub fn parse(usage: &str) -> Args {
+        match Args::try_parse(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(ArgsError::Help) => {
+                println!("{usage}");
+                std::process::exit(0);
+            }
+            Err(ArgsError::Bad(msg)) => {
+                eprintln!("{msg}\n{usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parse an explicit flag stream (no `argv[0]`). Pure — never prints
+    /// or exits — so flag handling is unit-testable.
+    pub fn try_parse(it: impl IntoIterator<Item = String>) -> Result<Args, ArgsError> {
+        fn num<T: std::str::FromStr>(name: &str, v: String) -> Result<T, ArgsError> {
+            v.parse()
+                .map_err(|_| ArgsError::Bad(format!("invalid value {v:?} for {name}")))
+        }
         let mut args = Args::default();
-        let mut it = std::env::args().skip(1);
+        let mut it = it.into_iter();
         while let Some(flag) = it.next() {
             let mut grab = |name: &str| {
                 it.next()
-                    .unwrap_or_else(|| panic!("missing value for {name}\n{usage}"))
+                    .ok_or_else(|| ArgsError::Bad(format!("missing value for {name}")))
             };
             match flag.as_str() {
-                "--samples" => args.samples = grab("--samples").parse().expect("--samples"),
-                "--min" => args.min_dim = grab("--min").parse().expect("--min"),
-                "--max" => args.max_dim = grab("--max").parse().expect("--max"),
-                "--seed" => args.seed = grab("--seed").parse().expect("--seed"),
-                "--csv" => args.csv = Some(grab("--csv")),
-                "--alg" => args.alg = Some(grab("--alg")),
-                "--mode" => args.mode = Some(grab("--mode")),
+                "--samples" => args.samples = num("--samples", grab("--samples")?)?,
+                "--min" => args.min_dim = num("--min", grab("--min")?)?,
+                "--max" => args.max_dim = num("--max", grab("--max")?)?,
+                "--seed" => args.seed = num("--seed", grab("--seed")?)?,
+                "--csv" => args.csv = Some(grab("--csv")?),
+                "--alg" => args.alg = Some(grab("--alg")?),
+                "--mode" => args.mode = Some(grab("--mode")?),
                 "--full" => args.full = true,
                 "--verify" => args.verify = true,
-                "--help" | "-h" => {
-                    println!("{usage}");
-                    std::process::exit(0);
-                }
-                other => {
-                    eprintln!("unknown flag {other}\n{usage}");
-                    std::process::exit(2);
-                }
+                "--help" | "-h" => return Err(ArgsError::Help),
+                other => return Err(ArgsError::Bad(format!("unknown flag {other}"))),
             }
         }
-        args
+        Ok(args)
     }
 }
 
@@ -267,6 +293,57 @@ mod tests {
             assert_eq!(x, b.range(10, 20));
             assert!((10..20).contains(&x));
         }
+    }
+
+    fn flags(list: &[&str]) -> Result<Args, ArgsError> {
+        Args::try_parse(list.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn try_parse_accepts_the_full_flag_set() {
+        let a = flags(&[
+            "--samples", "12", "--min", "4", "--max", "99", "--seed", "7", "--full", "--verify",
+            "--csv", "out.csv", "--alg", "c2r", "--mode", "measured",
+        ])
+        .unwrap();
+        assert_eq!(a.samples, 12);
+        assert_eq!(a.min_dim, 4);
+        assert_eq!(a.max_dim, 99);
+        assert_eq!(a.seed, 7);
+        assert!(a.full && a.verify);
+        assert_eq!(a.csv.as_deref(), Some("out.csv"));
+        assert_eq!(a.alg.as_deref(), Some("c2r"));
+        assert_eq!(a.mode.as_deref(), Some("measured"));
+    }
+
+    #[test]
+    fn try_parse_empty_is_defaults() {
+        let a = flags(&[]).unwrap();
+        assert_eq!(a.seed, Args::default().seed);
+        assert!(!a.full);
+    }
+
+    #[test]
+    fn try_parse_rejects_unknown_flags() {
+        match flags(&["--bogus"]) {
+            Err(ArgsError::Bad(msg)) => assert!(msg.contains("--bogus"), "{msg}"),
+            other => panic!("expected Bad, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_parse_rejects_missing_and_malformed_values() {
+        assert!(matches!(flags(&["--samples"]), Err(ArgsError::Bad(_))));
+        match flags(&["--samples", "lots"]) {
+            Err(ArgsError::Bad(msg)) => assert!(msg.contains("lots"), "{msg}"),
+            other => panic!("expected Bad, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_parse_reports_help() {
+        assert!(matches!(flags(&["--help"]), Err(ArgsError::Help)));
+        assert!(matches!(flags(&["-h"]), Err(ArgsError::Help)));
     }
 
     #[test]

@@ -6,9 +6,16 @@
 //! in [`harness`]. The criterion-style microbenchmarks under `benches/`
 //! run on the in-repo [`micro`] harness (enable the `criterion` feature:
 //! `cargo bench --features criterion`).
+//!
+//! Machine-readable output: [`json`] is a dependency-free JSON
+//! serializer/parser with deterministic key order, and [`report`] defines
+//! the `BENCH_*.json` baseline schema plus the regression [`report::compare`]
+//! used by `ipt-cli bench --compare`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod json;
 pub mod micro;
+pub mod report;

@@ -14,9 +14,17 @@
 //! publication-grade numbers use the `src/bin/` harnesses, which follow
 //! the paper's own measurement protocol.
 
+use crate::json::Json;
+use std::cell::RefCell;
 use std::fmt::Display;
 use std::hint::black_box;
+use std::rc::Rc;
 use std::time::Instant;
+
+/// Schema tag for the machine-readable micro-benchmark dump (see
+/// [`Criterion`]; distinct from the suite-level `ipt-bench-report-v1`
+/// emitted by `ipt-cli bench`).
+pub const MICRO_SCHEMA: &str = "ipt-micro-report-v1";
 
 /// Minimum wall-time per timed batch; batches shorter than this double
 /// their iteration count so timer resolution stays negligible.
@@ -63,9 +71,15 @@ impl From<String> for BenchmarkId {
 }
 
 /// Top-level driver; hands out [`BenchmarkGroup`]s.
+///
+/// Besides the human-readable per-benchmark lines on stdout, the driver
+/// can dump every result as JSON (schema [`MICRO_SCHEMA`]): set the
+/// `IPT_BENCH_JSON` environment variable to a path and the file is
+/// written when the `Criterion` drops, e.g.
+/// `IPT_BENCH_JSON=BENCH_micro.json cargo bench --features criterion`.
 #[derive(Debug, Default)]
 pub struct Criterion {
-    _priv: (),
+    records: Rc<RefCell<Vec<Json>>>,
 }
 
 impl Criterion {
@@ -75,6 +89,27 @@ impl Criterion {
             name: name.into(),
             throughput: None,
             sample_size: 20,
+            records: Rc::clone(&self.records),
+        }
+    }
+}
+
+impl Drop for Criterion {
+    /// Write the JSON dump if `IPT_BENCH_JSON` names a path.
+    fn drop(&mut self) {
+        let Ok(path) = std::env::var("IPT_BENCH_JSON") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        let doc = Json::obj(vec![
+            ("schema", Json::Str(MICRO_SCHEMA.to_string())),
+            ("benchmarks", Json::Arr(self.records.borrow().clone())),
+        ]);
+        match std::fs::write(&path, doc.render()) {
+            Ok(()) => eprintln!("wrote micro-benchmark JSON to {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
         }
     }
 }
@@ -86,6 +121,7 @@ pub struct BenchmarkGroup {
     name: String,
     throughput: Option<Throughput>,
     sample_size: usize,
+    records: Rc<RefCell<Vec<Json>>>,
 }
 
 impl BenchmarkGroup {
@@ -131,6 +167,26 @@ impl BenchmarkGroup {
             }
             None => String::new(),
         };
+        let mut record = vec![
+            ("group".to_string(), Json::Str(self.name.clone())),
+            ("id".to_string(), Json::Str(id.id.clone())),
+            ("median_ns".to_string(), Json::Num(median)),
+            ("min_ns".to_string(), Json::Num(min)),
+            ("max_ns".to_string(), Json::Num(max)),
+        ];
+        match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                record.push(("gbps".to_string(), Json::Num(n as f64 / median)));
+            }
+            Some(Throughput::Elements(n)) => {
+                record.push((
+                    "melem_per_s".to_string(),
+                    Json::Num(n as f64 * 1e3 / median),
+                ));
+            }
+            None => {}
+        }
+        self.records.borrow_mut().push(Json::Obj(record));
         println!(
             "{}/{:<24} median {}  [{} .. {}]{}",
             self.name,
@@ -154,9 +210,9 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Time `f`: calibrate a batch size whose wall-time crosses
-    /// [`TARGET_BATCH_NANOS`], then record `sample_size` batches of
-    /// per-iteration nanoseconds.
+    /// Time `f`: calibrate a batch size whose wall-time crosses the
+    /// 5 ms target, then record `sample_size` batches of per-iteration
+    /// nanoseconds.
     pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
         let mut iters = 1u64;
         loop {
@@ -257,6 +313,23 @@ mod tests {
         });
         g.bench_function("str-id", |b| b.iter(|| 42u64));
         g.finish();
+    }
+
+    #[test]
+    fn results_are_recorded_as_json_objects() {
+        let mut c = Criterion::default();
+        let records = Rc::clone(&c.records);
+        let mut g = c.benchmark_group("json-record-test");
+        g.throughput(Throughput::Bytes(1000));
+        g.sample_size(5);
+        g.bench_function("noop", |b| b.iter(|| 1u64));
+        g.finish();
+        let recs = records.borrow();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].get("group").unwrap().as_str(), Some("json-record-test"));
+        assert_eq!(recs[0].get("id").unwrap().as_str(), Some("noop"));
+        assert!(recs[0].get("median_ns").unwrap().as_f64().unwrap() >= 0.0);
+        assert!(recs[0].get("gbps").is_some());
     }
 
     #[test]

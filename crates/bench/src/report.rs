@@ -1,0 +1,387 @@
+//! Machine-readable benchmark baselines: the `BENCH_*.json` schema.
+//!
+//! The repo keeps committed performance baselines at the repo root
+//! (`BENCH_transpose.json`, `BENCH_parallel.json`) so regressions show up
+//! in review instead of in production. This module defines the typed
+//! report ([`BenchReport`] / [`BenchEntry`]), its stable JSON encoding
+//! (schema tag `ipt-bench-report-v1`, built on [`crate::json`]), and the
+//! [`compare`] routine behind `ipt-cli bench --compare`, which flags any
+//! entry whose median throughput (the paper's Eq. 37 metric) dropped by
+//! more than a threshold.
+
+use crate::json::Json;
+
+/// Schema tag written into (and required from) every report file.
+pub const SCHEMA: &str = "ipt-bench-report-v1";
+
+/// Wall time attributed to one decomposition phase during an entry's
+/// measurement (from `ipt_pool::stats` deltas around the timed region).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseBreak {
+    /// Phase name (`pre_rotate`, `row_shuffle`, `col_shuffle`,
+    /// `post_rotate`).
+    pub name: String,
+    /// Number of times the phase ran while this entry was measured.
+    pub calls: u64,
+    /// Total wall time in nanoseconds across those runs.
+    pub nanos: u64,
+}
+
+/// One measured configuration: an algorithm on a fixed shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Algorithm label (e.g. `c2r`, `r2c`, `c2r_parallel`).
+    pub algorithm: String,
+    /// Matrix rows.
+    pub m: usize,
+    /// Matrix columns.
+    pub n: usize,
+    /// Element size in bytes.
+    pub elem_bytes: usize,
+    /// Number of timed samples the statistics summarize.
+    pub samples: usize,
+    /// Median throughput in GB/s (Eq. 37: `2*m*n*s / t`).
+    pub median_gbps: f64,
+    /// 10th-percentile throughput in GB/s (a slow-tail indicator).
+    pub p10_gbps: f64,
+    /// 90th-percentile throughput in GB/s.
+    pub p90_gbps: f64,
+    /// Per-phase wall-time breakdown (empty when the algorithm doesn't
+    /// report phases, e.g. single-threaded cycle-following).
+    pub phases: Vec<PhaseBreak>,
+}
+
+impl BenchEntry {
+    /// The identity key entries are matched on across two reports.
+    pub fn key(&self) -> (String, usize, usize, usize) {
+        (self.algorithm.clone(), self.m, self.n, self.elem_bytes)
+    }
+
+    fn to_json(&self) -> Json {
+        let phase_total: u64 = self.phases.iter().map(|p| p.nanos).sum();
+        let phases = self
+            .phases
+            .iter()
+            .map(|p| {
+                Json::obj(vec![
+                    ("name", Json::Str(p.name.clone())),
+                    ("calls", Json::Num(p.calls as f64)),
+                    ("nanos", Json::Num(p.nanos as f64)),
+                    (
+                        "fraction",
+                        Json::Num(if phase_total > 0 {
+                            p.nanos as f64 / phase_total as f64
+                        } else {
+                            0.0
+                        }),
+                    ),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("algorithm", Json::Str(self.algorithm.clone())),
+            ("m", Json::Num(self.m as f64)),
+            ("n", Json::Num(self.n as f64)),
+            ("elem_bytes", Json::Num(self.elem_bytes as f64)),
+            ("samples", Json::Num(self.samples as f64)),
+            ("median_gbps", Json::Num(self.median_gbps)),
+            ("p10_gbps", Json::Num(self.p10_gbps)),
+            ("p90_gbps", Json::Num(self.p90_gbps)),
+            ("phases", Json::Arr(phases)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<BenchEntry, String> {
+        let field = |k: &str| v.get(k).ok_or_else(|| format!("entry missing {k:?}"));
+        let num = |k: &str| field(k)?.as_f64().ok_or_else(|| format!("{k:?} not a number"));
+        let int = |k: &str| {
+            field(k)?
+                .as_u64()
+                .ok_or_else(|| format!("{k:?} not a non-negative integer"))
+        };
+        let phases = match v.get("phases") {
+            None => Vec::new(),
+            Some(p) => p
+                .as_arr()
+                .ok_or("\"phases\" not an array")?
+                .iter()
+                .map(|p| {
+                    Ok(PhaseBreak {
+                        name: p
+                            .get("name")
+                            .and_then(Json::as_str)
+                            .ok_or("phase missing \"name\"")?
+                            .to_string(),
+                        calls: p.get("calls").and_then(Json::as_u64).unwrap_or(0),
+                        nanos: p.get("nanos").and_then(Json::as_u64).unwrap_or(0),
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+        };
+        Ok(BenchEntry {
+            algorithm: field("algorithm")?
+                .as_str()
+                .ok_or("\"algorithm\" not a string")?
+                .to_string(),
+            m: int("m")? as usize,
+            n: int("n")? as usize,
+            elem_bytes: int("elem_bytes")? as usize,
+            samples: int("samples")? as usize,
+            median_gbps: num("median_gbps")?,
+            p10_gbps: num("p10_gbps")?,
+            p90_gbps: num("p90_gbps")?,
+            phases,
+        })
+    }
+}
+
+/// A full benchmark report: one suite run on one machine configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Suite name (`transpose`, `parallel`, ...); `BENCH_<name>.json`.
+    pub name: String,
+    /// Worker thread count the suite ran with.
+    pub threads: usize,
+    /// One entry per measured (algorithm, shape) pair.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchReport {
+    /// Encode as a [`Json`] document (stable key and entry order).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema", Json::Str(SCHEMA.to_string())),
+            ("name", Json::Str(self.name.clone())),
+            ("threads", Json::Num(self.threads as f64)),
+            (
+                "entries",
+                Json::Arr(self.entries.iter().map(BenchEntry::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Decode from a parsed [`Json`] document, checking the schema tag.
+    pub fn from_json(v: &Json) -> Result<BenchReport, String> {
+        match v.get("schema").and_then(Json::as_str) {
+            Some(SCHEMA) => {}
+            Some(other) => return Err(format!("unsupported schema {other:?} (want {SCHEMA:?})")),
+            None => return Err(format!("missing \"schema\" tag (want {SCHEMA:?})")),
+        }
+        Ok(BenchReport {
+            name: v
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("missing \"name\"")?
+                .to_string(),
+            threads: v
+                .get("threads")
+                .and_then(Json::as_u64)
+                .ok_or("missing \"threads\"")? as usize,
+            entries: v
+                .get("entries")
+                .and_then(Json::as_arr)
+                .ok_or("missing \"entries\"")?
+                .iter()
+                .map(BenchEntry::from_json)
+                .collect::<Result<Vec<_>, String>>()?,
+        })
+    }
+
+    /// Serialize and write to `path`.
+    pub fn save(&self, path: &str) -> Result<(), String> {
+        std::fs::write(path, self.to_json().render())
+            .map_err(|e| format!("writing {path}: {e}"))
+    }
+
+    /// Read and parse `path`.
+    pub fn load(path: &str) -> Result<BenchReport, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let doc = Json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+        BenchReport::from_json(&doc).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+/// The comparison of one entry across two reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareRow {
+    /// Algorithm label.
+    pub algorithm: String,
+    /// Matrix rows.
+    pub m: usize,
+    /// Matrix columns.
+    pub n: usize,
+    /// Baseline (old) median throughput, GB/s.
+    pub old_gbps: f64,
+    /// Candidate (new) median throughput, GB/s.
+    pub new_gbps: f64,
+    /// Relative change in percent (`+` is faster, `-` is slower).
+    pub change_pct: f64,
+    /// Whether the slowdown exceeds the threshold.
+    pub regressed: bool,
+}
+
+/// Match entries of `new` against `old` by (algorithm, m, n, elem_bytes)
+/// and flag any whose median throughput dropped by more than
+/// `threshold_pct` percent. Entries present in only one report are
+/// skipped — adding or removing a configuration is not a regression.
+pub fn compare(old: &BenchReport, new: &BenchReport, threshold_pct: f64) -> Vec<CompareRow> {
+    let mut rows = Vec::new();
+    for e_new in &new.entries {
+        let Some(e_old) = old.entries.iter().find(|e| e.key() == e_new.key()) else {
+            continue;
+        };
+        let change_pct = if e_old.median_gbps > 0.0 {
+            (e_new.median_gbps - e_old.median_gbps) / e_old.median_gbps * 100.0
+        } else {
+            0.0
+        };
+        rows.push(CompareRow {
+            algorithm: e_new.algorithm.clone(),
+            m: e_new.m,
+            n: e_new.n,
+            old_gbps: e_old.median_gbps,
+            new_gbps: e_new.median_gbps,
+            change_pct,
+            regressed: change_pct < -threshold_pct,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(alg: &str, m: usize, n: usize, median: f64) -> BenchEntry {
+        BenchEntry {
+            algorithm: alg.to_string(),
+            m,
+            n,
+            elem_bytes: 8,
+            samples: 5,
+            median_gbps: median,
+            p10_gbps: median * 0.9,
+            p90_gbps: median * 1.1,
+            phases: vec![
+                PhaseBreak {
+                    name: "row_shuffle".to_string(),
+                    calls: 5,
+                    nanos: 1_000,
+                },
+                PhaseBreak {
+                    name: "col_shuffle".to_string(),
+                    calls: 5,
+                    nanos: 3_000,
+                },
+            ],
+        }
+    }
+
+    fn report(entries: Vec<BenchEntry>) -> BenchReport {
+        BenchReport {
+            name: "test".to_string(),
+            threads: 4,
+            entries,
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json_text() {
+        let r = report(vec![entry("c2r", 192, 256, 3.25), entry("r2c", 64, 64, 1.5)]);
+        let text = r.to_json().render();
+        let back = BenchReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, r);
+        // Stable output: re-rendering the parsed document is byte-identical.
+        assert_eq!(back.to_json().render(), text);
+    }
+
+    #[test]
+    fn json_keys_appear_in_schema_order() {
+        let text = report(vec![entry("c2r", 8, 4, 1.0)]).to_json().render();
+        let order = [
+            "\"schema\"",
+            "\"name\"",
+            "\"threads\"",
+            "\"entries\"",
+            "\"algorithm\"",
+            "\"m\"",
+            "\"n\"",
+            "\"elem_bytes\"",
+            "\"samples\"",
+            "\"median_gbps\"",
+            "\"p10_gbps\"",
+            "\"p90_gbps\"",
+            "\"phases\"",
+            "\"fraction\"",
+        ];
+        let mut last = 0;
+        for key in order {
+            let at = text.find(key).unwrap_or_else(|| panic!("{key} missing"));
+            assert!(at > last, "{key} out of order in:\n{text}");
+            last = at;
+        }
+    }
+
+    #[test]
+    fn phase_fractions_sum_to_one() {
+        let doc = entry("c2r", 8, 4, 1.0).to_json();
+        let fractions: Vec<f64> = doc
+            .get("phases")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|p| p.get("fraction").unwrap().as_f64().unwrap())
+            .collect();
+        assert_eq!(fractions, vec![0.25, 0.75]);
+    }
+
+    #[test]
+    fn rejects_wrong_schema() {
+        let doc = Json::obj(vec![("schema", Json::Str("other-v9".to_string()))]);
+        assert!(BenchReport::from_json(&doc).is_err());
+        assert!(BenchReport::from_json(&Json::obj(vec![])).is_err());
+    }
+
+    #[test]
+    fn compare_flags_only_regressions_past_threshold() {
+        let old = report(vec![
+            entry("c2r", 192, 256, 10.0),
+            entry("r2c", 192, 256, 10.0),
+            entry("gone", 8, 8, 1.0),
+        ]);
+        let new = report(vec![
+            entry("c2r", 192, 256, 8.5),  // -15%: regression
+            entry("r2c", 192, 256, 9.5),  // -5%: within threshold
+            entry("added", 8, 8, 1.0),    // no baseline: skipped
+        ]);
+        let rows = compare(&old, &new, 10.0);
+        assert_eq!(rows.len(), 2);
+        let c2r = rows.iter().find(|r| r.algorithm == "c2r").unwrap();
+        assert!(c2r.regressed);
+        assert!((c2r.change_pct + 15.0).abs() < 1e-9);
+        let r2c = rows.iter().find(|r| r.algorithm == "r2c").unwrap();
+        assert!(!r2c.regressed);
+    }
+
+    #[test]
+    fn improvements_never_flag() {
+        let old = report(vec![entry("c2r", 8, 8, 1.0)]);
+        let new = report(vec![entry("c2r", 8, 8, 5.0)]);
+        let rows = compare(&old, &new, 10.0);
+        assert!(!rows[0].regressed);
+        assert!(rows[0].change_pct > 0.0);
+    }
+
+    #[test]
+    fn save_and_load_files() {
+        let dir = std::env::temp_dir().join("ipt_bench_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_roundtrip.json");
+        let path = path.to_str().unwrap();
+        let r = report(vec![entry("c2r", 16, 16, 2.0)]);
+        r.save(path).unwrap();
+        assert_eq!(BenchReport::load(path).unwrap(), r);
+        assert!(BenchReport::load("/nonexistent/x.json").is_err());
+    }
+}

@@ -1,0 +1,337 @@
+//! `ipt bench` — the fixed benchmark suite behind the committed
+//! `BENCH_*.json` baselines.
+//!
+//! Two modes:
+//!
+//! * **Run** (`--suite transpose|parallel`): measure a fixed,
+//!   laptop-scale set of shapes and algorithms, print a table, and write
+//!   an `ipt-bench-report-v1` JSON report (default `BENCH_<suite>.json`).
+//!   Each entry carries median/p10/p90 throughput (the paper's Eq. 37
+//!   metric, `2*m*n*s / t`) and the per-phase wall-time split collected
+//!   from `ipt_pool::stats` — which decomposition pass (pre-rotate, row
+//!   shuffle, column shuffle, post-rotate) the time went to.
+//! * **Compare** (`--compare OLD NEW`): diff two reports entry-by-entry
+//!   and exit 3 if any matching entry's median throughput dropped by more
+//!   than `--threshold` percent (default 10). This is the CI/review
+//!   regression gate; `scripts/bench.sh` ends with a self-compare as a
+//!   sanity check.
+
+use std::process::ExitCode;
+
+use ipt_bench::harness;
+use ipt_bench::report::{compare, BenchEntry, BenchReport, PhaseBreak};
+use ipt_core::{transpose_with, Algorithm, Layout, Scratch};
+use ipt_parallel::{c2r_parallel, phases, r2c_parallel, ParOptions};
+
+pub const BENCH_USAGE: &str = "\
+ipt bench — run the fixed benchmark suite / compare two reports
+
+USAGE:
+  ipt bench --suite transpose|parallel [--out PATH] [--samples N]
+            [--threads N] [--quick]
+  ipt bench --compare OLD.json NEW.json [--threshold PCT]
+
+Run mode measures a fixed laptop-scale set of shapes and writes an
+ipt-bench-report-v1 JSON file (default BENCH_<suite>.json in the current
+directory). The `transpose` suite pins the pool to 1 thread (override
+with --threads); the `parallel` suite uses the pool default (IPT_THREADS
+or all cores). --quick shrinks the suite for smoke tests.
+
+Compare mode exits 0 when every entry of NEW is within PCT percent
+(default 10) of its OLD median throughput, and 3 when any entry
+regressed. Entries present in only one file are ignored.";
+
+/// The fixed shapes (rows x cols, u64 elements). Deliberately a mix: two
+/// coprime-free shapes exercising the pre-rotation (gcd > 1), one
+/// coprime shape that skips it (gcd = 1, paper §4.1), and one square.
+const SHAPES: [(usize, usize); 4] = [(192, 256), (320, 96), (257, 131), (512, 512)];
+
+/// The `--quick` subset: small enough that a debug-build smoke run
+/// finishes in well under two seconds.
+const QUICK_SHAPES: [(usize, usize); 2] = [(96, 64), (60, 48)];
+
+struct BenchOpts {
+    suite: Option<String>,
+    out: Option<String>,
+    samples: usize,
+    threads: Option<usize>,
+    quick: bool,
+    compare: Option<(String, String)>,
+    threshold: f64,
+}
+
+fn parse(args: &[String]) -> Result<BenchOpts, String> {
+    let mut o = BenchOpts {
+        suite: None,
+        out: None,
+        samples: 7,
+        threads: None,
+        quick: false,
+        compare: None,
+        threshold: 10.0,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut grab = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--suite" => o.suite = Some(grab("--suite")?),
+            "--out" => o.out = Some(grab("--out")?),
+            "--samples" => {
+                o.samples = grab("--samples")?
+                    .parse()
+                    .map_err(|e| format!("--samples: {e}"))?;
+                if o.samples == 0 {
+                    return Err("--samples must be at least 1".to_string());
+                }
+            }
+            "--threads" => {
+                o.threads = Some(
+                    grab("--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?,
+                )
+            }
+            "--quick" => o.quick = true,
+            "--compare" => o.compare = Some((grab("--compare")?, grab("--compare")?)),
+            "--threshold" => {
+                o.threshold = grab("--threshold")?
+                    .parse()
+                    .map_err(|e| format!("--threshold: {e}"))?
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if o.suite.is_some() == o.compare.is_some() {
+        return Err("exactly one of --suite or --compare is required".to_string());
+    }
+    Ok(o)
+}
+
+/// Entry point for the `bench` subcommand (exit 0 ok, 2 usage/IO error,
+/// 3 regression found).
+pub fn main(args: &[String]) -> ExitCode {
+    let opts = match parse(args) {
+        Ok(o) => o,
+        Err(msg) if msg.is_empty() => {
+            println!("{BENCH_USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{BENCH_USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some((old, new)) = &opts.compare {
+        return run_compare(old, new, opts.threshold);
+    }
+    let suite = opts.suite.as_deref().unwrap();
+    let report = match run_suite(suite, &opts) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let out = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| format!("BENCH_{suite}.json"));
+    if let Err(msg) = report.save(&out) {
+        eprintln!("error: {msg}");
+        return ExitCode::from(2);
+    }
+    println!("wrote {} entries to {out}", report.entries.len());
+    ExitCode::SUCCESS
+}
+
+fn run_compare(old_path: &str, new_path: &str, threshold: f64) -> ExitCode {
+    let (old, new) = match (BenchReport::load(old_path), BenchReport::load(new_path)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let rows = compare(&old, &new, threshold);
+    if rows.is_empty() {
+        println!("no matching entries between {old_path} and {new_path}");
+        return ExitCode::SUCCESS;
+    }
+    println!(
+        "{:<24} {:>11} {:>12} {:>12} {:>9}",
+        "algorithm", "shape", "old GB/s", "new GB/s", "change"
+    );
+    let mut regressions = 0;
+    for r in &rows {
+        println!(
+            "{:<24} {:>5}x{:<5} {:>12.3} {:>12.3} {:>+8.1}%{}",
+            r.algorithm,
+            r.m,
+            r.n,
+            r.old_gbps,
+            r.new_gbps,
+            r.change_pct,
+            if r.regressed { "  REGRESSION" } else { "" }
+        );
+        regressions += r.regressed as u32;
+    }
+    if regressions > 0 {
+        eprintln!("{regressions} entr{} regressed by more than {threshold}% (median throughput)",
+            if regressions == 1 { "y" } else { "ies" });
+        return ExitCode::from(3);
+    }
+    println!("ok: no entry regressed by more than {threshold}%");
+    ExitCode::SUCCESS
+}
+
+fn run_suite(suite: &str, opts: &BenchOpts) -> Result<BenchReport, String> {
+    // The transpose suite measures the single-threaded algorithms, so it
+    // pins the pool to one worker unless --threads overrides; the
+    // parallel suite keeps the pool default (IPT_THREADS or all cores).
+    match (suite, opts.threads) {
+        (_, Some(t)) => ipt_pool::set_num_threads(t),
+        ("transpose", None) => ipt_pool::set_num_threads(1),
+        _ => {}
+    }
+    let threads = ipt_pool::num_threads();
+    let shapes: &[(usize, usize)] = if opts.quick { &QUICK_SHAPES } else { &SHAPES };
+    let samples = if opts.quick { opts.samples.min(3) } else { opts.samples };
+
+    let mut entries = Vec::new();
+    let algorithms: Vec<(&str, Box<dyn FnMut(&mut [u64], usize, usize)>)> = match suite {
+        "transpose" => {
+            let mut s1 = Scratch::new();
+            let mut s2 = Scratch::new();
+            vec![
+                (
+                    "c2r",
+                    Box::new(move |buf: &mut [u64], m, n| {
+                        transpose_with(buf, m, n, Layout::RowMajor, Algorithm::C2r, &mut s1)
+                    }),
+                ),
+                (
+                    "r2c",
+                    Box::new(move |buf: &mut [u64], m, n| {
+                        transpose_with(buf, m, n, Layout::RowMajor, Algorithm::R2c, &mut s2)
+                    }),
+                ),
+                (
+                    "c2r_parallel",
+                    Box::new(|buf: &mut [u64], m, n| {
+                        c2r_parallel(buf, m, n, &ParOptions::default())
+                    }),
+                ),
+                (
+                    "r2c_parallel",
+                    Box::new(|buf: &mut [u64], m, n| {
+                        r2c_parallel(buf, m, n, &ParOptions::default())
+                    }),
+                ),
+            ]
+        }
+        "parallel" => vec![
+            (
+                "c2r_parallel",
+                Box::new(|buf: &mut [u64], m, n| c2r_parallel(buf, m, n, &ParOptions::default()))
+                    as Box<dyn FnMut(&mut [u64], usize, usize)>,
+            ),
+            (
+                "r2c_parallel",
+                Box::new(|buf: &mut [u64], m, n| r2c_parallel(buf, m, n, &ParOptions::default())),
+            ),
+            (
+                "c2r_parallel_plain",
+                Box::new(|buf: &mut [u64], m, n| c2r_parallel(buf, m, n, &ParOptions::plain())),
+            ),
+            (
+                "r2c_parallel_plain",
+                Box::new(|buf: &mut [u64], m, n| r2c_parallel(buf, m, n, &ParOptions::plain())),
+            ),
+        ],
+        other => return Err(format!("unknown suite {other:?} (want transpose or parallel)")),
+    };
+
+    println!("suite {suite}: {} shapes x {} algorithms, {samples} samples, {threads} thread(s)",
+        shapes.len(), algorithms.len());
+    for (alg, mut run) in algorithms {
+        for &(m, n) in shapes {
+            let e = measure(alg, m, n, samples, &mut *run);
+            print_entry(&e);
+            entries.push(e);
+        }
+    }
+    Ok(BenchReport {
+        name: suite.to_string(),
+        threads,
+        entries,
+    })
+}
+
+/// Measure one (algorithm, shape) configuration: an untimed warm-up,
+/// then `samples` timed runs over freshly refilled data, with the
+/// per-phase wall-time delta collected around the timed region.
+fn measure(
+    alg: &str,
+    m: usize,
+    n: usize,
+    samples: usize,
+    run: &mut dyn FnMut(&mut [u64], usize, usize),
+) -> BenchEntry {
+    let mut buf = vec![0u64; m * n];
+    harness::fill_u64(&mut buf, 0);
+    run(&mut buf, m, n); // warm-up: page in the buffer, size scratch
+    let before = ipt_pool::stats::snapshot();
+    let mut tputs = Vec::with_capacity(samples);
+    for s in 0..samples {
+        harness::fill_u64(&mut buf, s as u64 + 1); // refill untimed
+        let secs = harness::time_secs(|| run(&mut buf, m, n));
+        tputs.push(harness::throughput_gbps(m, n, 8, secs));
+    }
+    let delta = ipt_pool::stats::snapshot().delta_since(&before);
+    let phases = phases::ALL
+        .iter()
+        .filter_map(|&name| {
+            delta.phase(name).map(|p| PhaseBreak {
+                name: name.to_string(),
+                calls: p.calls,
+                nanos: p.nanos,
+            })
+        })
+        .collect();
+    BenchEntry {
+        algorithm: alg.to_string(),
+        m,
+        n,
+        elem_bytes: 8,
+        samples,
+        median_gbps: harness::median(&tputs),
+        p10_gbps: harness::percentile(&tputs, 10.0),
+        p90_gbps: harness::percentile(&tputs, 90.0),
+        phases,
+    }
+}
+
+fn print_entry(e: &BenchEntry) {
+    let total: u64 = e.phases.iter().map(|p| p.nanos).sum();
+    let split = if total > 0 {
+        let parts: Vec<String> = e
+            .phases
+            .iter()
+            .map(|p| format!("{} {:.0}%", p.name, p.nanos as f64 / total as f64 * 100.0))
+            .collect();
+        format!("  [{}]", parts.join(", "))
+    } else {
+        String::new()
+    };
+    println!(
+        "  {:<20} {:>5}x{:<5} median {:8.3} GB/s  (p10 {:.3}, p90 {:.3}){split}",
+        e.algorithm, e.m, e.n, e.median_gbps, e.p10_gbps, e.p90_gbps
+    );
+}

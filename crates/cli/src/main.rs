@@ -12,11 +12,16 @@
 //! ipt gen        FILE --rows R --cols C --elem-size S [--seed X]
 //! ipt verify     FILE --rows R --cols C --elem-size S
 //! ipt info       FILE --elem-size S
+//! ipt bench      --suite transpose|parallel [...] | --compare OLD NEW
 //! ```
 //!
 //! `gen` writes a position-identifying pattern; `verify` checks that a
 //! file holds the transpose of that pattern — together they give an
-//! end-to-end smoke test of any pipeline built on these tools.
+//! end-to-end smoke test of any pipeline built on these tools. `bench`
+//! (see [`mod@bench`]) runs the fixed suite behind the committed
+//! `BENCH_*.json` baselines and diffs two such reports.
+
+mod bench;
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -34,15 +39,21 @@ USAGE:
   ipt gen       FILE --rows R --cols C --elem-size S [--seed X]
   ipt verify    FILE --rows R --cols C --elem-size S
   ipt info      FILE --elem-size S
+  ipt bench     --suite transpose|parallel [--out PATH] [--quick]
+  ipt bench     --compare OLD.json NEW.json [--threshold PCT]
 
 Matrices are dense binary dumps: rows x cols elements of elem-size bytes.
 `transpose` rewrites FILE in place unless --out is given. `gen` fills a
 file with a position pattern; `verify` accepts a file produced by
 `gen ... | transpose` and checks every element landed where the
-transpose says it must.";
+transpose says it must. `bench` runs the fixed benchmark suite and emits
+machine-readable BENCH_*.json baselines (see `ipt bench --help`).";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("bench") {
+        return bench::main(&args[1..]);
+    }
     match run(&args) {
         Ok(msg) => {
             println!("{msg}");

@@ -138,3 +138,80 @@ fn help_prints_usage() {
     assert_ok(&out);
     assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
 }
+
+#[test]
+fn bench_quick_emits_wellformed_report() {
+    let f = tmpfile("BENCH_smoke.json");
+    assert_ok(&ipt(&["bench", "--suite", "transpose", "--quick", "--samples", "1", "--out", &f]));
+    let report = ipt_bench::report::BenchReport::load(&f).expect("well-formed report");
+    assert_eq!(report.name, "transpose");
+    assert!(!report.entries.is_empty());
+    // The parallel entries carry the per-phase wall-time breakdown.
+    let phased = report
+        .entries
+        .iter()
+        .find(|e| e.algorithm == "c2r_parallel")
+        .expect("c2r_parallel entry");
+    assert!(
+        phased.phases.iter().any(|p| p.name == "row_shuffle" && p.nanos > 0),
+        "{:?}",
+        phased.phases
+    );
+    // Comparing a report against itself finds no regression: exit 0.
+    assert_ok(&ipt(&["bench", "--compare", &f, &f]));
+}
+
+#[test]
+fn bench_compare_flags_injected_regression() {
+    use ipt_bench::report::{BenchEntry, BenchReport};
+    let entry = |median: f64| BenchEntry {
+        algorithm: "c2r".to_string(),
+        m: 64,
+        n: 32,
+        elem_bytes: 8,
+        samples: 5,
+        median_gbps: median,
+        p10_gbps: median,
+        p90_gbps: median,
+        phases: Vec::new(),
+    };
+    let report = |median: f64| BenchReport {
+        name: "injected".to_string(),
+        threads: 1,
+        entries: vec![entry(median)],
+    };
+    let old = tmpfile("BENCH_old.json");
+    let new = tmpfile("BENCH_new.json");
+    report(10.0).save(&old).unwrap();
+
+    // An 11% drop must fail the default 10% gate, with a distinct exit code.
+    report(8.9).save(&new).unwrap();
+    let out = ipt(&["bench", "--compare", &old, &new]);
+    assert!(!out.status.success(), "11% regression must exit nonzero");
+    assert_eq!(out.status.code(), Some(3));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("regressed"));
+
+    // A 5% drop passes the default gate but fails a tighter one.
+    report(9.5).save(&new).unwrap();
+    assert_ok(&ipt(&["bench", "--compare", &old, &new]));
+    let out = ipt(&["bench", "--compare", &old, &new, "--threshold", "2"]);
+    assert_eq!(out.status.code(), Some(3));
+}
+
+#[test]
+fn bench_rejects_bad_flags() {
+    for args in [
+        &["bench"][..],
+        &["bench", "--suite", "nonsense"][..],
+        &["bench", "--suite", "transpose", "--compare", "a", "b"][..],
+        &["bench", "--bogus"][..],
+        &["bench", "--compare", "/nonexistent/a.json", "/nonexistent/b.json"][..],
+    ] {
+        let out = ipt(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?} should exit 2");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("error:"),
+            "{args:?} should explain itself"
+        );
+    }
+}

@@ -60,7 +60,7 @@
 //! | [`check`] | — | test-pattern and verification helpers |
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod c2r;
 pub mod check;

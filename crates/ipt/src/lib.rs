@@ -8,6 +8,7 @@
 //! |---|---|---|
 //! | [`core`] | `ipt-core` | the algorithm: index math, C2R/R2C, sequential transpose |
 //! | [`parallel`] | `ipt-parallel` | thread-parallel (via `ipt-pool`) + cache-aware implementations |
+//! | [`pool`] | `ipt-pool` | the in-repo scoped thread pool and its [`pool::stats`] observability |
 //! | [`aos_soa`] | `ipt-aos-soa` | AoS ⇄ SoA conversion for skinny matrices |
 //! | [`baselines`] | `ipt-baselines` | cycle-following / Gustavson / Sung comparators |
 //! | [`warp`] | `warp-sim` | in-register SIMD transpose + coalesced AoS access |
@@ -42,6 +43,7 @@ pub use ipt_aos_soa as aos_soa;
 pub use ipt_baselines as baselines;
 pub use ipt_core as core;
 pub use ipt_parallel as parallel;
+pub use ipt_pool as pool;
 pub use memsim as mem;
 pub use warp_sim as warp;
 

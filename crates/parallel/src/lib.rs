@@ -42,6 +42,42 @@ mod unsafe_slice;
 use ipt_core::index::C2rParams;
 use ipt_core::Layout;
 
+/// Phase names under which [`c2r_parallel`] / [`r2c_parallel`] attribute
+/// wall time to [`ipt_pool::stats`] (one [`ipt_pool::stats::phase`] call
+/// per pass over the matrix, so the instrumentation is always on and
+/// costs two clock reads per phase).
+///
+/// Snapshot deltas around a transpose split its cost across the
+/// decomposition's steps, the measurement the paper's §5–§6 analysis is
+/// built on:
+///
+/// ```
+/// use ipt_parallel::{c2r_parallel, phases, ParOptions};
+///
+/// let before = ipt_pool::stats::snapshot();
+/// let mut a: Vec<u64> = (0..96 * 64).collect();
+/// c2r_parallel(&mut a, 96, 64, &ParOptions::default());
+/// let delta = ipt_pool::stats::snapshot().delta_since(&before);
+/// assert!(delta.phase(phases::ROW_SHUFFLE).unwrap().calls >= 1);
+/// assert!(delta.phase(phases::COL_SHUFFLE).unwrap().calls >= 1);
+/// ```
+pub mod phases {
+    /// C2R step 1: pre-rotate columns by `floor(j/b)` (Eq. 23); skipped
+    /// when `gcd(m, n) = 1`.
+    pub const PRE_ROTATE: &str = "pre_rotate";
+    /// C2R step 2 / R2C step 3: permute within each row (Eqs. 24/31).
+    pub const ROW_SHUFFLE: &str = "row_shuffle";
+    /// C2R step 3 / R2C steps 1–2: permute within each column
+    /// (Eqs. 26/32–35).
+    pub const COL_SHUFFLE: &str = "col_shuffle";
+    /// R2C step 4: undo the pre-rotation (`r^-1_j`, Eq. 36); skipped when
+    /// `gcd(m, n) = 1`.
+    pub const POST_ROTATE: &str = "post_rotate";
+
+    /// Every phase name, in C2R execution order.
+    pub const ALL: [&str; 4] = [PRE_ROTATE, ROW_SHUFFLE, COL_SHUFFLE, POST_ROTATE];
+}
+
 /// Elements of matrix data one worker should own before another thread is
 /// worth spawning — roughly one L1 cache's worth of moves. Below this, the
 /// `ipt-pool` primitives run inline on the calling thread.
@@ -125,14 +161,19 @@ pub fn c2r_parallel<T: Copy + Send + Sync>(data: &mut [T], m: usize, n: usize, o
     }
     let p = C2rParams::new(m, n);
     let w = opts.group_width::<T>();
+    use ipt_pool::stats::phase;
     if opts.cache_aware {
-        cache_aware::prerotate(data, &p, w, opts.block_rows);
-        rows::row_shuffle_parallel(data, &p);
-        cache_aware::col_shuffle_fused(data, &p, w, opts.block_rows);
+        phase(phases::PRE_ROTATE, || {
+            cache_aware::prerotate(data, &p, w, opts.block_rows)
+        });
+        phase(phases::ROW_SHUFFLE, || rows::row_shuffle_parallel(data, &p));
+        phase(phases::COL_SHUFFLE, || {
+            cache_aware::col_shuffle_fused(data, &p, w, opts.block_rows)
+        });
     } else {
-        cols::prerotate_parallel(data, &p, w);
-        rows::row_shuffle_parallel(data, &p);
-        cols::col_shuffle_parallel(data, &p, w);
+        phase(phases::PRE_ROTATE, || cols::prerotate_parallel(data, &p, w));
+        phase(phases::ROW_SHUFFLE, || rows::row_shuffle_parallel(data, &p));
+        phase(phases::COL_SHUFFLE, || cols::col_shuffle_parallel(data, &p, w));
     }
 }
 
@@ -145,15 +186,28 @@ pub fn r2c_parallel<T: Copy + Send + Sync>(data: &mut [T], m: usize, n: usize, o
     }
     let p = C2rParams::new(m, n);
     let w = opts.group_width::<T>();
+    use ipt_pool::stats::phase;
     if opts.cache_aware {
-        cache_aware::col_shuffle_fused_inverse(data, &p, w, opts.block_rows);
-        rows::row_shuffle_forward_parallel(data, &p);
-        cache_aware::postrotate_inverse(data, &p, w, opts.block_rows);
+        phase(phases::COL_SHUFFLE, || {
+            cache_aware::col_shuffle_fused_inverse(data, &p, w, opts.block_rows)
+        });
+        phase(phases::ROW_SHUFFLE, || {
+            rows::row_shuffle_forward_parallel(data, &p)
+        });
+        phase(phases::POST_ROTATE, || {
+            cache_aware::postrotate_inverse(data, &p, w, opts.block_rows)
+        });
     } else {
-        cols::row_permute_inverse_parallel(data, &p, w);
-        cols::col_rotate_inverse_parallel(data, &p, w);
-        rows::row_shuffle_forward_parallel(data, &p);
-        cols::postrotate_inverse_parallel(data, &p, w);
+        phase(phases::COL_SHUFFLE, || {
+            cols::row_permute_inverse_parallel(data, &p, w);
+            cols::col_rotate_inverse_parallel(data, &p, w);
+        });
+        phase(phases::ROW_SHUFFLE, || {
+            rows::row_shuffle_forward_parallel(data, &p)
+        });
+        phase(phases::POST_ROTATE, || {
+            cols::postrotate_inverse_parallel(data, &p, w)
+        });
     }
 }
 
@@ -314,6 +368,27 @@ mod tests {
                 assert!(is_transposed_pattern(&a, r, c, layout), "{alg:?} {layout:?}");
             }
         }
+    }
+
+    #[test]
+    fn phases_are_attributed() {
+        crate::force_multithreaded_pool();
+        let (m, n) = (60usize, 48usize); // gcd > 1: pre/post rotations run
+        let before = ipt_pool::stats::snapshot();
+        let mut a = vec![0u64; m * n];
+        fill_pattern(&mut a);
+        let opts = ParOptions::default();
+        c2r_parallel(&mut a, m, n, &opts);
+        r2c_parallel(&mut a, m, n, &opts);
+        let d = ipt_pool::stats::snapshot().delta_since(&before);
+        for name in [phases::PRE_ROTATE, phases::POST_ROTATE] {
+            assert!(d.phase(name).unwrap().calls >= 1, "{name}: {d:?}");
+        }
+        for name in [phases::ROW_SHUFFLE, phases::COL_SHUFFLE] {
+            assert!(d.phase(name).unwrap().calls >= 2, "{name}: {d:?}");
+        }
+        assert!(d.tasks > 0, "pool dispatches recorded: {d:?}");
+        assert!(d.chunks > 0, "work items recorded: {d:?}");
     }
 
     #[test]

@@ -32,6 +32,12 @@
 //! Panics in any worker propagate to the caller when the scope joins, so a
 //! failed parallel loop is never silently dropped.
 //!
+//! Every primitive feeds the always-on [`stats`] counters (tasks
+//! dispatched, work items processed, scratch allocations vs. reuses, and
+//! named per-phase wall time) — see [`stats::snapshot`] and
+//! [`stats::phase`] for the observability surface the benchmark harness
+//! builds on.
+//!
 //! ```
 //! use ipt_pool::Pool;
 //!
@@ -43,10 +49,11 @@
 //! assert_eq!(squares[31], 961);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod scratch;
+pub mod stats;
 
 pub use scratch::Scratch;
 
@@ -144,6 +151,21 @@ impl Pool {
     /// worker with that worker's contiguous subrange. Runs `body(range)`
     /// inline on the calling thread when the range is shorter than
     /// `min_grain` or the pool has one thread.
+    ///
+    /// This is the paper's §5.1 `parallel for` over independent column
+    /// groups or batch indices — a static split suffices because the
+    /// decomposition gives every index identical cost.
+    ///
+    /// ```
+    /// use std::sync::atomic::{AtomicUsize, Ordering};
+    /// use ipt_pool::Pool;
+    ///
+    /// let sum = AtomicUsize::new(0);
+    /// Pool::new(4).par_chunks(0..100, 8, |sub| {
+    ///     sum.fetch_add(sub.sum::<usize>(), Ordering::Relaxed);
+    /// });
+    /// assert_eq!(sum.into_inner(), 4950);
+    /// ```
     pub fn par_chunks<F>(&self, range: Range<usize>, min_grain: usize, body: F)
     where
         F: Fn(Range<usize>) + Sync,
@@ -154,6 +176,33 @@ impl Pool {
     /// [`Pool::par_chunks`] with per-worker state: each worker calls
     /// `init` exactly once and hands the value to `body` alongside its
     /// subrange. The sequential fallback also initializes exactly once.
+    ///
+    /// The per-worker state is the CPU analogue of the paper's §4.5
+    /// "on-chip" row staging: a scratch buffer (or cycle mask) created
+    /// once per worker and reused across that worker's whole subrange, so
+    /// steady-state loop bodies allocate nothing.
+    ///
+    /// ```
+    /// use std::sync::Mutex;
+    /// use ipt_pool::{Pool, Scratch};
+    ///
+    /// let inits = Mutex::new(0usize);
+    /// Pool::new(2).par_chunks_init(
+    ///     0..64,
+    ///     1,
+    ///     || {
+    ///         *inits.lock().unwrap() += 1;
+    ///         Scratch::<u64>::new()
+    ///     },
+    ///     |scratch, sub| {
+    ///         let buf = scratch.filled_buf(16, 0); // reused across `sub`
+    ///         assert_eq!(buf.len(), 16);
+    ///         assert!(!sub.is_empty());
+    ///     },
+    /// );
+    /// // One state per worker part, not one per index.
+    /// assert!(*inits.lock().unwrap() <= 2);
+    /// ```
     pub fn par_chunks_init<S, I, F>(&self, range: Range<usize>, min_grain: usize, init: I, body: F)
     where
         I: Fn() -> S + Sync,
@@ -163,6 +212,7 @@ impl Pool {
             return;
         }
         let parts = self.partition(&range, min_grain);
+        stats::record_dispatch(parts as u64, (range.end - range.start) as u64);
         if parts == 1 {
             body(&mut init(), range);
             return;
@@ -204,6 +254,23 @@ impl Pool {
     ///
     /// `min_grain` is in **blocks**: a worker is only spun up per
     /// `min_grain` blocks of work.
+    ///
+    /// This is how the engine parallelizes the row shuffle (paper §5.1):
+    /// rows of a row-major matrix are exactly the `chunk_len = n` blocks
+    /// of the buffer, each permuted independently (Eq. 24/31), so
+    /// splitting the slice expresses the parallelism with no aliasing.
+    ///
+    /// ```
+    /// use ipt_pool::Pool;
+    ///
+    /// // "Transpose-like" per-row work: reverse each 4-element row.
+    /// let mut data: Vec<usize> = (0..16).collect();
+    /// Pool::new(2).par_chunks_exact_mut(&mut data, 4, 1, || (), |(), _i, row| {
+    ///     row.reverse();
+    /// });
+    /// assert_eq!(&data[..4], &[3, 2, 1, 0]);
+    /// assert_eq!(&data[12..], &[15, 14, 13, 12]);
+    /// ```
     pub fn par_chunks_exact_mut<T, S, I, F>(
         &self,
         data: &mut [T],
@@ -222,6 +289,7 @@ impl Pool {
             return;
         }
         let parts = self.partition(&(0..blocks), min_grain);
+        stats::record_dispatch(parts as u64, blocks as u64);
         if parts == 1 {
             let mut state = init();
             for (b, chunk) in data.chunks_exact_mut(chunk_len).enumerate() {

@@ -10,6 +10,13 @@
 
 /// A reusable, growable scratch buffer for `Copy` elements.
 ///
+/// Every buffer request is tallied as either an *allocation* (the request
+/// grew the backing storage) or a *reuse* (served entirely from existing
+/// capacity); the tallies are buffered locally — no atomics in the hot
+/// path — and flushed into [`crate::stats`] when the scratch drops, so
+/// [`crate::stats::snapshot`] shows whether workers reach allocation-free
+/// steady state.
+///
 /// ```
 /// use ipt_pool::Scratch;
 ///
@@ -20,26 +27,47 @@
 /// // Subsequent requests reuse the same allocation.
 /// assert_eq!(s.filled_buf(8, 1), &[1; 8]);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct Scratch<T> {
     storage: Vec<T>,
+    /// Requests that grew the backing allocation (flushed on drop).
+    allocs: u64,
+    /// Requests served from existing capacity (flushed on drop).
+    reuses: u64,
 }
 
 impl<T: Copy> Scratch<T> {
     /// An empty scratch; storage is allocated on first use.
     pub const fn new() -> Scratch<T> {
-        Scratch { storage: Vec::new() }
+        Scratch {
+            storage: Vec::new(),
+            allocs: 0,
+            reuses: 0,
+        }
     }
 
     /// A scratch pre-sized for `len`-element requests.
     pub fn with_capacity(len: usize) -> Scratch<T> {
         Scratch {
             storage: Vec::with_capacity(len),
+            allocs: 0,
+            reuses: 0,
+        }
+    }
+
+    /// Tally whether a `len`-element request grows the allocation.
+    #[inline]
+    fn note_request(&mut self, len: usize) {
+        if len > self.storage.capacity() {
+            self.allocs += 1;
+        } else {
+            self.reuses += 1;
         }
     }
 
     /// A `len`-element slice, every element set to `fill`.
     pub fn filled_buf(&mut self, len: usize, fill: T) -> &mut [T] {
+        self.note_request(len);
         self.storage.clear();
         self.storage.resize(len, fill);
         &mut self.storage[..]
@@ -50,6 +78,7 @@ impl<T: Copy> Scratch<T> {
     /// caller must overwrite before reading — the usual contract for a
     /// gather destination.
     pub fn uninit_buf(&mut self, len: usize, fill: T) -> &mut [T] {
+        self.note_request(len);
         if self.storage.len() < len {
             self.storage.resize(len, fill);
         }
@@ -59,6 +88,24 @@ impl<T: Copy> Scratch<T> {
     /// Current backing capacity, in elements.
     pub fn capacity(&self) -> usize {
         self.storage.capacity()
+    }
+}
+
+impl<T: Clone> Clone for Scratch<T> {
+    /// Clones the storage; the clone starts with fresh (zero) tallies so
+    /// no request is ever double-counted.
+    fn clone(&self) -> Scratch<T> {
+        Scratch {
+            storage: self.storage.clone(),
+            allocs: 0,
+            reuses: 0,
+        }
+    }
+}
+
+impl<T> Drop for Scratch<T> {
+    fn drop(&mut self) {
+        crate::stats::record_scratch(self.allocs, self.reuses);
     }
 }
 
@@ -84,6 +131,20 @@ mod tests {
             s.uninit_buf(32, 0);
         }
         assert_eq!(s.capacity(), cap);
+    }
+
+    #[test]
+    fn tallies_flush_to_stats_on_drop() {
+        let before = crate::stats::snapshot();
+        {
+            let mut s: Scratch<u8> = Scratch::new();
+            s.filled_buf(64, 0); // grows: alloc
+            s.filled_buf(64, 0); // fits: reuse
+            s.uninit_buf(32, 0); // fits: reuse
+        } // drop flushes
+        let d = crate::stats::snapshot().delta_since(&before);
+        assert!(d.scratch_allocs >= 1, "{d:?}");
+        assert!(d.scratch_reuses >= 2, "{d:?}");
     }
 
     #[test]

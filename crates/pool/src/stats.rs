@@ -1,0 +1,296 @@
+//! Always-on executor observability: counters and per-phase wall time.
+//!
+//! The paper's evaluation (§5–§6) attributes cost to *where* time goes —
+//! which of the three decomposition passes dominates, and how much memory
+//! work each performs. This module gives the workspace the same
+//! visibility at runtime, with no feature flags and no dependencies:
+//!
+//! * **Counters** — process-wide relaxed atomics updated by the pool
+//!   primitives (one `fetch_add` per parallel loop, not per element) and
+//!   by [`Scratch`](crate::Scratch) (buffered per worker, flushed on
+//!   drop): parallel tasks dispatched, work items processed, scratch
+//!   buffer allocations vs. reuses.
+//! * **Phases** — named wall-time accumulators driven by monotonic
+//!   [`std::time::Instant`] timestamps. Engine code wraps each pass in
+//!   [`phase`]; `ipt-parallel` uses the names `pre_rotate`,
+//!   `row_shuffle`, `col_shuffle` and `post_rotate` so callers can split
+//!   a transpose's cost across the decomposition's steps.
+//!
+//! [`snapshot`] returns a [`PoolStats`] view of the totals since process
+//! start (or the last [`reset`]); [`PoolStats::delta_since`] isolates one
+//! region of interest without requiring exclusive use of [`reset`]:
+//!
+//! ```
+//! use ipt_pool::stats;
+//!
+//! let before = stats::snapshot();
+//! let mut v = vec![0u64; 4096];
+//! ipt_pool::par_chunks_exact_mut(&mut v, 64, 1, || (), |_, b, chunk| {
+//!     chunk.fill(b as u64);
+//! });
+//! let delta = stats::snapshot().delta_since(&before);
+//! assert!(delta.tasks >= 1);       // at least one worker part ran
+//! assert_eq!(delta.chunks, 64);    // 4096 / 64 blocks processed
+//! ```
+//!
+//! Totals are process-wide: concurrent pools all accumulate into the same
+//! counters, so deltas taken around a region that shares the process with
+//! other parallel work are upper bounds, not exact attributions.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Worker parts dispatched (a sequential fallback counts as one part).
+static TASKS: AtomicU64 = AtomicU64::new(0);
+/// Work items handed to workers: blocks for `par_chunks_exact_mut`,
+/// range indices for `par_chunks` / `par_chunks_init`.
+static CHUNKS: AtomicU64 = AtomicU64::new(0);
+/// Scratch requests that had to grow the backing allocation.
+static SCRATCH_ALLOCS: AtomicU64 = AtomicU64::new(0);
+/// Scratch requests served entirely from existing capacity.
+static SCRATCH_REUSES: AtomicU64 = AtomicU64::new(0);
+
+/// One named wall-time accumulator. Registration is append-only; slots
+/// are identified by their `&'static str` name.
+struct PhaseSlot {
+    name: &'static str,
+    calls: u64,
+    nanos: u64,
+}
+
+/// The phase table. A `Mutex` is fine here: [`phase`] locks once per
+/// *pass over a whole matrix*, never in a per-element or per-chunk path.
+static PHASES: Mutex<Vec<PhaseSlot>> = Mutex::new(Vec::new());
+
+/// Record one parallel-loop dispatch: `parts` worker parts covering
+/// `items` work items.
+#[inline]
+pub(crate) fn record_dispatch(parts: u64, items: u64) {
+    TASKS.fetch_add(parts, Ordering::Relaxed);
+    CHUNKS.fetch_add(items, Ordering::Relaxed);
+}
+
+/// Flush one worker's scratch alloc/reuse tallies (called on
+/// [`Scratch`](crate::Scratch) drop).
+#[inline]
+pub(crate) fn record_scratch(allocs: u64, reuses: u64) {
+    if allocs > 0 {
+        SCRATCH_ALLOCS.fetch_add(allocs, Ordering::Relaxed);
+    }
+    if reuses > 0 {
+        SCRATCH_REUSES.fetch_add(reuses, Ordering::Relaxed);
+    }
+}
+
+/// Run `f`, attributing its wall time to the named phase.
+///
+/// Timing uses monotonic [`Instant`] timestamps taken once around the
+/// whole closure — the overhead is two clock reads plus one short mutex
+/// lock per call, so wrapping each pass of a transpose costs nothing
+/// measurable. Nested phases each record their own full wall time (the
+/// inner time is counted in both), mirroring how profilers report
+/// inclusive cost. If `f` panics, no time is recorded.
+///
+/// ```
+/// use ipt_pool::stats;
+///
+/// let before = stats::snapshot();
+/// let answer = stats::phase("example_phase", || 6 * 7);
+/// assert_eq!(answer, 42);
+/// let delta = stats::snapshot().delta_since(&before);
+/// assert_eq!(delta.phase("example_phase").unwrap().calls, 1);
+/// ```
+pub fn phase<R>(name: &'static str, f: impl FnOnce() -> R) -> R {
+    let t0 = Instant::now();
+    let out = f();
+    let dt = t0.elapsed().as_nanos() as u64;
+    let mut table = PHASES.lock().unwrap();
+    match table.iter_mut().find(|s| s.name == name) {
+        Some(slot) => {
+            slot.calls += 1;
+            slot.nanos += dt;
+        }
+        None => table.push(PhaseSlot {
+            name,
+            calls: 1,
+            nanos: dt,
+        }),
+    }
+    out
+}
+
+/// Accumulated totals for one named phase (see [`phase`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// The `&'static str` the phase was recorded under.
+    pub name: &'static str,
+    /// Number of [`phase`] invocations attributed to this name.
+    pub calls: u64,
+    /// Total wall time across those invocations, in nanoseconds.
+    pub nanos: u64,
+}
+
+impl PhaseStats {
+    /// Total wall time in seconds.
+    pub fn secs(&self) -> f64 {
+        self.nanos as f64 / 1e9
+    }
+}
+
+/// A point-in-time snapshot of every executor counter and phase timer.
+///
+/// Obtained from [`snapshot`]; two snapshots bracket a region of interest
+/// via [`PoolStats::delta_since`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker parts dispatched (sequential fallbacks count as one).
+    pub tasks: u64,
+    /// Work items processed: blocks for `par_chunks_exact_mut`, range
+    /// indices for `par_chunks` / `par_chunks_init`.
+    pub chunks: u64,
+    /// [`Scratch`](crate::Scratch) requests that grew the allocation.
+    pub scratch_allocs: u64,
+    /// [`Scratch`](crate::Scratch) requests served from capacity.
+    pub scratch_reuses: u64,
+    /// Per-phase wall-time totals, in first-recorded order.
+    pub phases: Vec<PhaseStats>,
+}
+
+impl PoolStats {
+    /// The accumulated stats for `name`, if that phase ever ran.
+    pub fn phase(&self, name: &str) -> Option<&PhaseStats> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+
+    /// Sum of all phases' wall time, in nanoseconds.
+    pub fn phase_total_nanos(&self) -> u64 {
+        self.phases.iter().map(|p| p.nanos).sum()
+    }
+
+    /// The change between `earlier` and this snapshot: counters subtract
+    /// (saturating), phases subtract by name, and phases with no activity
+    /// in the interval are dropped.
+    pub fn delta_since(&self, earlier: &PoolStats) -> PoolStats {
+        let phases = self
+            .phases
+            .iter()
+            .map(|p| {
+                let prev = earlier.phase(p.name);
+                PhaseStats {
+                    name: p.name,
+                    calls: p.calls.saturating_sub(prev.map_or(0, |q| q.calls)),
+                    nanos: p.nanos.saturating_sub(prev.map_or(0, |q| q.nanos)),
+                }
+            })
+            .filter(|p| p.calls > 0 || p.nanos > 0)
+            .collect();
+        PoolStats {
+            tasks: self.tasks.saturating_sub(earlier.tasks),
+            chunks: self.chunks.saturating_sub(earlier.chunks),
+            scratch_allocs: self.scratch_allocs.saturating_sub(earlier.scratch_allocs),
+            scratch_reuses: self.scratch_reuses.saturating_sub(earlier.scratch_reuses),
+            phases,
+        }
+    }
+}
+
+/// Read every counter and phase timer at this instant.
+///
+/// Counters are read with relaxed ordering: a snapshot taken while other
+/// threads are mid-flight is a consistent-enough lower bound, exact once
+/// the work being measured has joined (which `std::thread::scope`
+/// guarantees for every pool primitive).
+pub fn snapshot() -> PoolStats {
+    let phases = PHASES
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|s| PhaseStats {
+            name: s.name,
+            calls: s.calls,
+            nanos: s.nanos,
+        })
+        .collect();
+    PoolStats {
+        tasks: TASKS.load(Ordering::Relaxed),
+        chunks: CHUNKS.load(Ordering::Relaxed),
+        scratch_allocs: SCRATCH_ALLOCS.load(Ordering::Relaxed),
+        scratch_reuses: SCRATCH_REUSES.load(Ordering::Relaxed),
+        phases,
+    }
+}
+
+/// Zero every counter and phase timer.
+///
+/// Intended for harness startup; concurrent recorders are not paused, so
+/// prefer [`PoolStats::delta_since`] inside tests that share a process
+/// with other parallel work.
+pub fn reset() {
+    TASKS.store(0, Ordering::Relaxed);
+    CHUNKS.store(0, Ordering::Relaxed);
+    SCRATCH_ALLOCS.store(0, Ordering::Relaxed);
+    SCRATCH_REUSES.store(0, Ordering::Relaxed);
+    PHASES.lock().unwrap().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_accumulates_calls_and_time() {
+        let before = snapshot();
+        let r = phase("stats_test_phase", || {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            7
+        });
+        assert_eq!(r, 7);
+        phase("stats_test_phase", || ());
+        let d = snapshot().delta_since(&before);
+        let p = d.phase("stats_test_phase").expect("phase recorded");
+        assert_eq!(p.calls, 2);
+        assert!(p.nanos >= 2_000_000, "slept 2ms, recorded {}ns", p.nanos);
+        assert!(p.secs() >= 0.002);
+    }
+
+    #[test]
+    fn delta_drops_idle_phases_and_subtracts_counters() {
+        phase("stats_idle_phase", || ());
+        let before = snapshot();
+        record_dispatch(3, 100);
+        let d = snapshot().delta_since(&before);
+        assert_eq!(d.tasks, 3);
+        assert_eq!(d.chunks, 100);
+        assert!(d.phase("stats_idle_phase").is_none());
+    }
+
+    #[test]
+    fn scratch_counters_flush() {
+        let before = snapshot();
+        record_scratch(2, 5);
+        let d = snapshot().delta_since(&before);
+        assert!(d.scratch_allocs >= 2);
+        assert!(d.scratch_reuses >= 5);
+    }
+
+    #[test]
+    fn phase_total_sums() {
+        let s = PoolStats {
+            phases: vec![
+                PhaseStats {
+                    name: "a",
+                    calls: 1,
+                    nanos: 10,
+                },
+                PhaseStats {
+                    name: "b",
+                    calls: 1,
+                    nanos: 32,
+                },
+            ],
+            ..PoolStats::default()
+        };
+        assert_eq!(s.phase_total_nanos(), 42);
+    }
+}

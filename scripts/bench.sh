@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Regenerate the committed benchmark baselines: BENCH_transpose.json and
+# BENCH_parallel.json at the repo root, via `ipt-cli bench` (release
+# build). Ends with a self-compare of each fresh file as a sanity check
+# that the emit → parse → compare pipeline round-trips.
+#
+# Usage: scripts/bench.sh [extra ipt-cli bench flags, e.g. --quick]
+#
+# Numbers are machine-dependent: regenerate on the machine you compare
+# on, and gate changes with
+#   ipt-cli bench --suite <s> --out /tmp/new.json
+#   ipt-cli bench --compare BENCH_<s>.json /tmp/new.json
+# which exits 3 if any median throughput regressed by more than 10%.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release -p ipt-cli
+
+CLI=target/release/ipt-cli
+
+for suite in transpose parallel; do
+    echo "== suite: $suite =="
+    "$CLI" bench --suite "$suite" --out "BENCH_${suite}.json" "$@"
+done
+
+echo "== sanity: self-compare round-trip =="
+for suite in transpose parallel; do
+    "$CLI" bench --compare "BENCH_${suite}.json" "BENCH_${suite}.json" > /dev/null
+done
+
+echo "== wrote BENCH_transpose.json BENCH_parallel.json =="

@@ -28,4 +28,20 @@ cargo build --release
 echo "== tier-1: test suite =="
 cargo test -q
 
+echo "== tier-1: examples build =="
+cargo build --release --examples
+
+echo "== tier-1: rustdoc is warning-clean =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+
+echo "== tier-1: bench smoke (well-formed BENCH_*.json) =="
+# A --quick single-sample run finishes in about a second; the self-compare
+# exits nonzero unless the emitted report parses back as schema
+# ipt-bench-report-v1, proving the emit -> parse -> compare pipeline.
+BENCH_SMOKE="$CARGO_HOME_TMP/BENCH_smoke.json"
+target/release/ipt-cli bench --suite transpose --quick --samples 1 \
+    --out "$BENCH_SMOKE" > /dev/null
+grep -q '"schema": "ipt-bench-report-v1"' "$BENCH_SMOKE"
+target/release/ipt-cli bench --compare "$BENCH_SMOKE" "$BENCH_SMOKE" > /dev/null
+
 echo "== tier-1: OK =="

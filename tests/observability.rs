@@ -1,0 +1,107 @@
+//! Cross-crate observability: the `ipt_pool::stats` counters and phase
+//! timers must reflect what the parallel transposes actually did, end to
+//! end through the facade.
+//!
+//! These tests bracket regions with `snapshot()`/`delta_since` rather
+//! than asserting absolute totals, because stats are process-global —
+//! and hold a file-local lock so the concurrently scheduled tests in
+//! this binary don't bleed into each other's deltas.
+
+use ipt::pool::stats;
+use ipt::prelude::*;
+use std::sync::Mutex;
+
+/// Serializes the stats-sensitive regions across this binary's tests.
+static STATS_LOCK: Mutex<()> = Mutex::new(());
+
+#[test]
+fn parallel_transpose_attributes_all_three_phases() {
+    let _guard = STATS_LOCK.lock().unwrap();
+    // 60 x 48: gcd = 12 > 1, so C2R runs pre-rotate + row + col shuffle.
+    let (m, n) = (60usize, 48usize);
+    let mut a: Vec<u64> = (0..(m * n) as u64).collect();
+    let before = stats::snapshot();
+    c2r_parallel(&mut a, m, n, &ParOptions::default());
+    let d = stats::snapshot().delta_since(&before);
+
+    for phase in ["pre_rotate", "row_shuffle", "col_shuffle"] {
+        let p = d.phase(phase).unwrap_or_else(|| panic!("{phase} missing: {d:?}"));
+        assert!(p.calls >= 1, "{phase}: {p:?}");
+    }
+    assert!(d.tasks >= 1, "{d:?}");
+    assert!(d.chunks >= 1, "{d:?}");
+    assert!(d.phase_total_nanos() > 0, "{d:?}");
+}
+
+#[test]
+fn coprime_shapes_skip_the_rotation_phase() {
+    let _guard = STATS_LOCK.lock().unwrap();
+    // 25 x 12: gcd = 1, so the pre-rotation is the identity and C2R
+    // skips it entirely (paper §4.1) — no pre_rotate time may appear.
+    let (m, n) = (25usize, 12usize);
+    let mut a: Vec<u64> = (0..(m * n) as u64).collect();
+    let before = stats::snapshot();
+    c2r_parallel(&mut a, m, n, &ParOptions::default());
+    let d = stats::snapshot().delta_since(&before);
+
+    assert!(d.phase("row_shuffle").is_some(), "{d:?}");
+    if let Some(p) = d.phase("pre_rotate") {
+        assert_eq!(p.calls, 1, "phase wrapper may run, but only once: {p:?}");
+    }
+}
+
+#[test]
+fn r2c_reports_its_inverse_phases_and_roundtrips() {
+    let _guard = STATS_LOCK.lock().unwrap();
+    let (m, n) = (48usize, 36usize); // gcd = 12: post-rotation runs
+    let orig: Vec<u64> = (0..(m * n) as u64).collect();
+    let mut a = orig.clone();
+    c2r_parallel(&mut a, m, n, &ParOptions::default());
+
+    let before = stats::snapshot();
+    r2c_parallel(&mut a, m, n, &ParOptions::default());
+    let d = stats::snapshot().delta_since(&before);
+
+    assert_eq!(a, orig, "r2c must invert c2r");
+    for phase in ["col_shuffle", "row_shuffle", "post_rotate"] {
+        assert!(d.phase(phase).is_some(), "{phase} missing: {d:?}");
+    }
+}
+
+#[test]
+fn scratch_reaches_steady_state_reuse() {
+    let _guard = STATS_LOCK.lock().unwrap();
+    // The plain (non-cache-aware) path stages columns through per-worker
+    // ipt_pool::Scratch buffers; across repeated same-shape transposes
+    // the buffers must be reused, not reallocated per call.
+    let (m, n) = (96usize, 64usize);
+    let mut a: Vec<u64> = (0..(m * n) as u64).collect();
+    let opts = ParOptions::plain();
+    c2r_parallel(&mut a, m, n, &opts); // warm-up
+
+    let before = stats::snapshot();
+    for _ in 0..4 {
+        c2r_parallel(&mut a, m, n, &opts);
+    }
+    let d = stats::snapshot().delta_since(&before);
+    assert!(
+        d.scratch_reuses > 0,
+        "repeated transposes must reuse scratch: {d:?}"
+    );
+}
+
+#[test]
+fn sequential_facade_records_no_phases() {
+    let _guard = STATS_LOCK.lock().unwrap();
+    // ipt-core is phase-free by design: only the parallel layer reports
+    // into the pool's phase table, so single-threaded users pay nothing.
+    let mut a: Vec<u64> = (0..35).collect();
+    let mut s = Scratch::new();
+    let before = stats::snapshot();
+    transpose(&mut a, 5, 7, Layout::RowMajor, &mut s);
+    let d = stats::snapshot().delta_since(&before);
+    assert!(
+        ipt::parallel::phases::ALL.iter().all(|p| d.phase(p).is_none()),
+        "sequential path must not touch phase timers: {d:?}"
+    );
+}
