@@ -64,9 +64,17 @@ fn view_and_buffer_agree() {
         fill_pattern(&mut data);
         let view = SoaView::new(&data, s, n);
         for k in 0..s {
-            assert_eq!(view.field(k), &data[k * n..(k + 1) * n], "case {case}: n={n} s={s} k={k}");
+            assert_eq!(
+                view.field(k),
+                &data[k * n..(k + 1) * n],
+                "case {case}: n={n} s={s} k={k}"
+            );
             for i in 0..n {
-                assert_eq!(view.get(i, k), data[k * n + i], "case {case}: n={n} s={s} ({i},{k})");
+                assert_eq!(
+                    view.get(i, k),
+                    data[k * n + i],
+                    "case {case}: n={n} s={s} ({i},{k})"
+                );
             }
         }
         assert_eq!(view.is_empty(), n == 0, "case {case}");
@@ -101,7 +109,9 @@ fn conversion_commutes_with_per_field_maps() {
 fn large_conversion_round_trip() {
     // One big deterministic case at Figure-7-like scale.
     let (n, s) = (100_000usize, 12usize);
-    let orig: Vec<u64> = (0..(n * s) as u64).map(|x| x.wrapping_mul(0x9e3779b9)).collect();
+    let orig: Vec<u64> = (0..(n * s) as u64)
+        .map(|x| x.wrapping_mul(0x9e3779b9))
+        .collect();
     let mut data = orig.clone();
     aos_to_soa(&mut data, n, s);
     assert_ne!(data, orig);

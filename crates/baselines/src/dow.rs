@@ -29,7 +29,10 @@ pub fn dow_supports(m: usize, n: usize) -> bool {
 /// buffer length mismatches.
 pub fn transpose_dow<T: Copy>(data: &mut [T], m: usize, n: usize) -> usize {
     assert_eq!(data.len(), m * n, "buffer length must be m * n");
-    assert!(dow_supports(m, n), "Dow requires m | n or n | m (got {m} x {n})");
+    assert!(
+        dow_supports(m, n),
+        "Dow requires m | n or n | m (got {m} x {n})"
+    );
     if m <= 1 || n <= 1 {
         return 0;
     }

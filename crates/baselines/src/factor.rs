@@ -71,7 +71,11 @@ pub fn largest_divisor_at_most(dim: usize, limit: usize) -> usize {
             }
         }
     }
-    divisors.into_iter().filter(|&d| d <= limit).max().unwrap_or(1)
+    divisors
+        .into_iter()
+        .filter(|&d| d <= limit)
+        .max()
+        .unwrap_or(1)
 }
 
 #[cfg(test)]

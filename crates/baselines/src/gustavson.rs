@@ -68,8 +68,8 @@ mod tests {
             (64usize, 128usize),
             (128, 64),
             (60, 84),
-            (97, 89),   // both prime: degenerates to 1x1 tiles
-            (97, 128),  // mixed
+            (97, 89),  // both prime: degenerates to 1x1 tiles
+            (97, 128), // mixed
             (2, 300),
             (300, 2),
             (50, 50),

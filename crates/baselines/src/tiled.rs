@@ -101,7 +101,10 @@ pub fn transpose_tile_content<T: Copy>(tile: &mut [T], tr: usize, tc: usize, buf
 /// `n`. Returns peak auxiliary bytes used (marks + buffers).
 pub fn tiled_transpose<T: Copy>(data: &mut [T], m: usize, n: usize, tr: usize, tc: usize) -> usize {
     assert_eq!(data.len(), m * n, "buffer length must be m * n");
-    assert!(tr >= 1 && tc >= 1 && m % tr == 0 && n % tc == 0, "tile dims must divide matrix dims");
+    assert!(
+        tr >= 1 && tc >= 1 && m % tr == 0 && n % tc == 0,
+        "tile dims must divide matrix dims"
+    );
     if m <= 1 || n <= 1 {
         return 0;
     }
@@ -125,7 +128,9 @@ pub fn tiled_transpose<T: Copy>(data: &mut [T], m: usize, n: usize, tr: usize, t
     }
 
     // Stage 2b: transpose the grid of tiles.
-    aux = aux.max(chunk_transpose(data, grid_r, grid_c, tile, &mut buf, &mut marks));
+    aux = aux.max(chunk_transpose(
+        data, grid_r, grid_c, tile, &mut buf, &mut marks,
+    ));
 
     // Stage 3: unpack each tc-row panel of the n x m result. Panel =
     // grid_r tiles of (tc x tr); chunk grid is grid_r x tc with tr-chunks.

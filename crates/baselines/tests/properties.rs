@@ -10,9 +10,7 @@
 
 use ipt_baselines::cycle_follow::{cycle_stats, transpose_cycle_following};
 use ipt_baselines::tiled::tiled_transpose;
-use ipt_baselines::{
-    transpose_cycle_following_marked, transpose_gustavson, transpose_sung,
-};
+use ipt_baselines::{transpose_cycle_following_marked, transpose_gustavson, transpose_sung};
 use ipt_core::check::{fill_pattern, reference_transpose, Rng};
 use ipt_core::Layout;
 

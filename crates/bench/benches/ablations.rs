@@ -184,7 +184,13 @@ fn direction_heuristic(c: &mut Criterion) {
     g.bench_function("heuristic(R2C)", |b| {
         b.iter(|| {
             fill(&mut buf);
-            ipt_core::transpose(black_box(&mut buf), m, n, ipt_core::Layout::RowMajor, &mut s);
+            ipt_core::transpose(
+                black_box(&mut buf),
+                m,
+                n,
+                ipt_core::Layout::RowMajor,
+                &mut s,
+            );
         })
     });
     g.bench_function("forced-C2R", |b| {

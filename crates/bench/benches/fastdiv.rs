@@ -8,7 +8,9 @@ use ipt_core::fastdiv::FastDivMod;
 use std::hint::black_box;
 
 fn bench_fastdiv(c: &mut Criterion) {
-    let xs: Vec<u64> = (0..4096u64).map(|i| i.wrapping_mul(0x9e3779b97f4a7c15)).collect();
+    let xs: Vec<u64> = (0..4096u64)
+        .map(|i| i.wrapping_mul(0x9e3779b97f4a7c15))
+        .collect();
     // 7: plain magic; 19: magic needing the add path for some widths;
     // 4096: power of two; 1000003: large prime.
     for d in [7u64, 19, 4096, 1_000_003] {

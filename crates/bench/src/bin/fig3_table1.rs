@@ -85,7 +85,10 @@ fn main() {
     }
 
     println!("=== Table 1: median in-place transposition throughputs (GB/s) ===");
-    println!("{:<28} {:>10} {:>10} {:>10}", "implementation", "median", "p10", "p90");
+    println!(
+        "{:<28} {:>10} {:>10} {:>10}",
+        "implementation", "median", "p10", "p90"
+    );
     for (name, gbps) in &all {
         println!(
             "{:<28} {:>10.3} {:>10.3} {:>10.3}",
@@ -95,9 +98,7 @@ fn main() {
             percentile(gbps, 90.0)
         );
     }
-    println!(
-        "\npaper (i7-950): MKL 0.067 | C2R 1T 0.336 | C2R 8T 1.26 | Gustavson 1.27"
-    );
+    println!("\npaper (i7-950): MKL 0.067 | C2R 1T 0.336 | C2R 8T 1.26 | Gustavson 1.27");
     println!("expected shape: cycle-following slowest by ~5x vs C2R 1T; tiled ~ parallel C2R");
     csv.finish(&args.csv);
 }

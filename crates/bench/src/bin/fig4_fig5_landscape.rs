@@ -25,10 +25,18 @@ fn main() {
     let model_mode = args.mode.as_deref() == Some("model");
     let sim_mode = args.mode.as_deref() == Some("sim");
     if args.min_dim == 0 {
-        args.min_dim = if args.full || model_mode || sim_mode { 1000 } else { 256 };
+        args.min_dim = if args.full || model_mode || sim_mode {
+            1000
+        } else {
+            256
+        };
     }
     if args.max_dim == 0 {
-        args.max_dim = if args.full || model_mode || sim_mode { 25000 } else { 2304 };
+        args.max_dim = if args.full || model_mode || sim_mode {
+            25000
+        } else {
+            2304
+        };
     }
     let grid = if args.samples == 0 {
         if args.full {
@@ -120,7 +128,9 @@ fn print_heatmap(which: &str, axis: &[usize], cells: &[Vec<f64>]) {
         .fold(f64::MIN, f64::max)
         .max(1e-12);
     let shades = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
-    println!("\n{which} GB/s heatmap (rows = m top-to-bottom, cols = n; darker = faster, max {max:.2}):");
+    println!(
+        "\n{which} GB/s heatmap (rows = m top-to-bottom, cols = n; darker = faster, max {max:.2}):"
+    );
     print!("{:>8} ", "m\\n");
     for &n in axis {
         print!("{:>6}", n / 1000);

@@ -62,7 +62,10 @@ fn run_model_mode(args: &Args) {
         c2r_f32.push(c32);
         c2r_f64.push(c64);
     }
-    println!("\n{}", ascii_histogram(&sung, 20, "Sung-style tiled (f32, K20c model)"));
+    println!(
+        "\n{}",
+        ascii_histogram(&sung, 20, "Sung-style tiled (f32, K20c model)")
+    );
     println!("{}", ascii_histogram(&c2r_f32, 20, "C2R (f32, K20c model)"));
     println!("{}", ascii_histogram(&c2r_f64, 20, "C2R (f64, K20c model)"));
     println!("=== Table 2 (K20c model): median throughputs ===");
@@ -190,7 +193,10 @@ fn main() {
     }
 
     println!("=== Table 2: median in-place transposition throughputs ===");
-    println!("{:<22} {:>10} {:>10} {:>10}", "implementation", "median", "p10", "p90");
+    println!(
+        "{:<22} {:>10} {:>10} {:>10}",
+        "implementation", "median", "p10", "p90"
+    );
     for (name, gbps) in &results {
         println!(
             "{:<22} {:>10.3} {:>10.3} {:>10.3}",

@@ -68,7 +68,10 @@ fn run_model_mode(args: &Args) {
         csv.row(format!("specialized,{n_structs},{fields},{s:.4}"));
         spec.push(s);
     }
-    println!("\n{}", ascii_histogram(&spec, 20, "specialized AoS->SoA (K20c model)"));
+    println!(
+        "\n{}",
+        ascii_histogram(&spec, 20, "specialized AoS->SoA (K20c model)")
+    );
     println!(
         "model median specialized = {:.2} GB/s, max = {:.2}",
         median(&spec),
@@ -166,12 +169,24 @@ fn main() {
         csv.row(format!("general,{n_structs},{fields},{t:.4}"));
     }
 
-    println!("\n{}", ascii_histogram(&specialized, 20, "specialized AoS->SoA (Fig. 7)"));
-    println!("{}", ascii_histogram(&general, 20, "general transpose on same workloads"));
+    println!(
+        "\n{}",
+        ascii_histogram(&specialized, 20, "specialized AoS->SoA (Fig. 7)")
+    );
+    println!(
+        "{}",
+        ascii_histogram(&general, 20, "general transpose on same workloads")
+    );
 
     let (ms, mg) = (median(&specialized), median(&general));
-    println!("median specialized = {ms:.3} GB/s   max = {:.3} GB/s", percentile(&specialized, 100.0));
-    println!("median general     = {mg:.3} GB/s   specialization advantage = {:.2}x", ms / mg.max(1e-12));
+    println!(
+        "median specialized = {ms:.3} GB/s   max = {:.3} GB/s",
+        percentile(&specialized, 100.0)
+    );
+    println!(
+        "median general     = {mg:.3} GB/s   specialization advantage = {:.2}x",
+        ms / mg.max(1e-12)
+    );
     println!("\npaper (K20c): specialized median 34.3 GB/s, max 51 GB/s; general median 19.5 GB/s (1.76x)");
     csv.finish(&args.csv);
 }

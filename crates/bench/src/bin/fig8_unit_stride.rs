@@ -40,7 +40,10 @@ fn main() {
             if panel == "store" { 'a' } else { 'b' },
             panel
         );
-        println!("{:>12} {:>10} {:>10} {:>10}", "struct bytes", "C2R", "Direct", "Vector");
+        println!(
+            "{:>12} {:>10} {:>10} {:>10}",
+            "struct bytes", "C2R", "Direct", "Vector"
+        );
         for fields in 1..=16usize {
             let bytes = fields * 4;
             let mut row = format!("{bytes:>12}");

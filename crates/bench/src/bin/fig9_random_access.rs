@@ -37,7 +37,10 @@ fn main() {
             if panel == "scatter" { 'a' } else { 'b' },
             panel
         );
-        println!("{:>12} {:>10} {:>10} {:>10}", "struct bytes", "C2R", "Direct", "Vector");
+        println!(
+            "{:>12} {:>10} {:>10} {:>10}",
+            "struct bytes", "C2R", "Direct", "Vector"
+        );
         for fields in 1..=16usize {
             let bytes = fields * 4;
             let mut row = format!("{bytes:>12}");
@@ -57,7 +60,9 @@ fn main() {
 
 fn run(fields: usize, strat: AccessStrategy, is_gather: bool, seed: u64, verify: bool) -> f64 {
     let total_structs = 1 << 16; // spread accesses over a large array
-    let mut data: Vec<f32> = (0..total_structs * fields).map(|i| (i % 1024) as f32).collect();
+    let mut data: Vec<f32> = (0..total_structs * fields)
+        .map(|i| (i % 1024) as f32)
+        .collect();
     let reference = data.clone();
     let mut rng = Rng64::new(seed ^ fields as u64);
     let mut ptr = CoalescedPtr::new(&mut data, fields, MemoryConfig::default());
@@ -90,7 +95,10 @@ fn run(fields: usize, strat: AccessStrategy, is_gather: bool, seed: u64, verify:
     let gbps = ptr.memory().estimated_throughput_gbps();
     drop(ptr);
     if verify && !is_gather {
-        assert_eq!(data, reference, "scatter of original values changed the buffer");
+        assert_eq!(
+            data, reference,
+            "scatter of original values changed the buffer"
+        );
     }
     gbps
 }

@@ -168,11 +168,7 @@ pub fn ascii_histogram(xs: &[f64], buckets: usize, label: &str) -> String {
         counts[b] += 1;
     }
     let peak = *counts.iter().max().unwrap() as f64;
-    let _ = writeln!(
-        out,
-        "{label}   (n = {}, median = {med:.3} GB/s)",
-        xs.len()
-    );
+    let _ = writeln!(out, "{label}   (n = {}, median = {med:.3} GB/s)", xs.len());
     for (b, &c) in counts.iter().enumerate() {
         let lo = b as f64 * width;
         let bar_len = ((c as f64 / peak) * 50.0).round() as usize;
@@ -182,7 +178,11 @@ pub fn ascii_histogram(xs: &[f64], buckets: usize, label: &str) -> String {
             "  {lo:8.3} |{}{} {}",
             "#".repeat(bar_len),
             if has_median { " <-- median" } else { "" },
-            if c > 0 { format!("({c})") } else { String::new() },
+            if c > 0 {
+                format!("({c})")
+            } else {
+                String::new()
+            },
         );
     }
     out
@@ -302,8 +302,22 @@ mod tests {
     #[test]
     fn try_parse_accepts_the_full_flag_set() {
         let a = flags(&[
-            "--samples", "12", "--min", "4", "--max", "99", "--seed", "7", "--full", "--verify",
-            "--csv", "out.csv", "--alg", "c2r", "--mode", "measured",
+            "--samples",
+            "12",
+            "--min",
+            "4",
+            "--max",
+            "99",
+            "--seed",
+            "7",
+            "--full",
+            "--verify",
+            "--csv",
+            "out.csv",
+            "--alg",
+            "c2r",
+            "--mode",
+            "measured",
         ])
         .unwrap();
         assert_eq!(a.samples, 12);

@@ -65,9 +65,7 @@ impl Json {
     /// The numeric value as an integer, if whole and exactly representable.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
-            Json::Num(x) if x.fract() == 0.0 && *x >= 0.0 && *x <= 2f64.powi(53) => {
-                Some(*x as u64)
-            }
+            Json::Num(x) if x.fract() == 0.0 && *x >= 0.0 && *x <= 2f64.powi(53) => Some(*x as u64),
             _ => None,
         }
     }
@@ -343,7 +341,8 @@ mod tests {
             ("alpha", Json::Num(2.5)),
             ("list", Json::Arr(vec![Json::Bool(true), Json::Null])),
         ]);
-        let expected = "{\n  \"zeta\": 1,\n  \"alpha\": 2.5,\n  \"list\": [\n    true,\n    null\n  ]\n}\n";
+        let expected =
+            "{\n  \"zeta\": 1,\n  \"alpha\": 2.5,\n  \"list\": [\n    true,\n    null\n  ]\n}\n";
         assert_eq!(doc.render(), expected);
         // Insertion order survives a render → parse → render cycle.
         assert_eq!(Json::parse(expected).unwrap().render(), expected);
@@ -377,13 +376,17 @@ mod tests {
 
     #[test]
     fn parses_standard_documents() {
-        let doc = Json::parse(
-            r#" { "a": [1, 2.5, -3e2], "b": {"nested": false}, "c": "xAy" } "#,
-        )
-        .unwrap();
+        let doc = Json::parse(r#" { "a": [1, 2.5, -3e2], "b": {"nested": false}, "c": "xAy" } "#)
+            .unwrap();
         assert_eq!(doc.get("a").unwrap().as_arr().unwrap().len(), 3);
-        assert_eq!(doc.get("a").unwrap().as_arr().unwrap()[2].as_f64(), Some(-300.0));
-        assert_eq!(doc.get("b").unwrap().get("nested"), Some(&Json::Bool(false)));
+        assert_eq!(
+            doc.get("a").unwrap().as_arr().unwrap()[2].as_f64(),
+            Some(-300.0)
+        );
+        assert_eq!(
+            doc.get("b").unwrap().get("nested"),
+            Some(&Json::Bool(false))
+        );
         assert_eq!(doc.get("c").unwrap().as_str(), Some("xAy"));
         assert_eq!(doc.get("missing"), None);
     }

@@ -226,10 +226,9 @@ impl Bencher {
             }
             // Jump close to the target in one step once we have a
             // signal; plain doubling otherwise.
-            iters = if dt > 0 {
-                (iters.saturating_mul((TARGET_BATCH_NANOS / dt) as u64 + 1)).min(MAX_BATCH_ITERS)
-            } else {
-                iters.saturating_mul(2).min(MAX_BATCH_ITERS)
+            iters = match TARGET_BATCH_NANOS.checked_div(dt) {
+                Some(factor) => (iters.saturating_mul(factor as u64 + 1)).min(MAX_BATCH_ITERS),
+                None => iters.saturating_mul(2).min(MAX_BATCH_ITERS),
             };
         }
         self.samples_ns.clear();
@@ -326,7 +325,10 @@ mod tests {
         g.finish();
         let recs = records.borrow();
         assert_eq!(recs.len(), 1);
-        assert_eq!(recs[0].get("group").unwrap().as_str(), Some("json-record-test"));
+        assert_eq!(
+            recs[0].get("group").unwrap().as_str(),
+            Some("json-record-test")
+        );
         assert_eq!(recs[0].get("id").unwrap().as_str(), Some("noop"));
         assert!(recs[0].get("median_ns").unwrap().as_f64().unwrap() >= 0.0);
         assert!(recs[0].get("gbps").is_some());

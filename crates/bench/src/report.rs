@@ -93,7 +93,11 @@ impl BenchEntry {
 
     fn from_json(v: &Json) -> Result<BenchEntry, String> {
         let field = |k: &str| v.get(k).ok_or_else(|| format!("entry missing {k:?}"));
-        let num = |k: &str| field(k)?.as_f64().ok_or_else(|| format!("{k:?} not a number"));
+        let num = |k: &str| {
+            field(k)?
+                .as_f64()
+                .ok_or_else(|| format!("{k:?} not a number"))
+        };
         let int = |k: &str| {
             field(k)?
                 .as_u64()
@@ -189,8 +193,7 @@ impl BenchReport {
 
     /// Serialize and write to `path`.
     pub fn save(&self, path: &str) -> Result<(), String> {
-        std::fs::write(path, self.to_json().render())
-            .map_err(|e| format!("writing {path}: {e}"))
+        std::fs::write(path, self.to_json().render()).map_err(|e| format!("writing {path}: {e}"))
     }
 
     /// Read and parse `path`.
@@ -287,7 +290,10 @@ mod tests {
 
     #[test]
     fn report_round_trips_through_json_text() {
-        let r = report(vec![entry("c2r", 192, 256, 3.25), entry("r2c", 64, 64, 1.5)]);
+        let r = report(vec![
+            entry("c2r", 192, 256, 3.25),
+            entry("r2c", 64, 64, 1.5),
+        ]);
         let text = r.to_json().render();
         let back = BenchReport::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, r);
@@ -351,9 +357,9 @@ mod tests {
             entry("gone", 8, 8, 1.0),
         ]);
         let new = report(vec![
-            entry("c2r", 192, 256, 8.5),  // -15%: regression
-            entry("r2c", 192, 256, 9.5),  // -5%: within threshold
-            entry("added", 8, 8, 1.0),    // no baseline: skipped
+            entry("c2r", 192, 256, 8.5), // -15%: regression
+            entry("r2c", 192, 256, 9.5), // -5%: within threshold
+            entry("added", 8, 8, 1.0),   // no baseline: skipped
         ]);
         let rows = compare(&old, &new, 10.0);
         assert_eq!(rows.len(), 2);

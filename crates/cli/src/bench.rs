@@ -20,6 +20,8 @@ use std::process::ExitCode;
 
 use ipt_bench::harness;
 use ipt_bench::report::{compare, BenchEntry, BenchReport, PhaseBreak};
+use ipt_core::index::C2rParams;
+use ipt_core::kernels::{self, RowShuffleKernel, ShuffleDirection};
 use ipt_core::{transpose_with, Algorithm, Layout, Scratch};
 use ipt_parallel::{c2r_parallel, phases, r2c_parallel, ParOptions};
 
@@ -27,15 +29,21 @@ pub const BENCH_USAGE: &str = "\
 ipt bench — run the fixed benchmark suite / compare two reports
 
 USAGE:
-  ipt bench --suite transpose|parallel [--out PATH] [--samples N]
+  ipt bench --suite transpose|parallel|kernels [--out PATH] [--samples N]
             [--threads N] [--quick]
   ipt bench --compare OLD.json NEW.json [--threshold PCT]
 
 Run mode measures a fixed laptop-scale set of shapes and writes an
 ipt-bench-report-v1 JSON file (default BENCH_<suite>.json in the current
-directory). The `transpose` suite pins the pool to 1 thread (override
-with --threads); the `parallel` suite uses the pool default (IPT_THREADS
-or all cores). --quick shrinks the suite for smoke tests.
+directory). The `transpose` and `kernels` suites pin the pool to 1
+thread (override with --threads); the `parallel` suite uses the pool
+default (IPT_THREADS or all cores). --quick shrinks the suite for smoke
+tests; for `kernels` it keeps the full shape set (so entries stay
+comparable against the committed baseline) and only cuts samples.
+
+The `kernels` suite isolates the row-shuffle pass (Eq. 31) and pits the
+scalar incremental kernel against the run-blocked block4/block8 kernels
+plus the `auto` runtime dispatch — the ablation behind IPT_KERNEL.
 
 Compare mode exits 0 when every entry of NEW is within PCT percent
 (default 10) of its OLD median throughput, and 3 when any entry
@@ -49,6 +57,13 @@ const SHAPES: [(usize, usize); 4] = [(192, 256), (320, 96), (257, 131), (512, 51
 /// The `--quick` subset: small enough that a debug-build smoke run
 /// finishes in well under two seconds.
 const QUICK_SHAPES: [(usize, usize); 2] = [(96, 64), (60, 48)];
+
+/// The `kernels` suite shapes: every run-structure regime at >= 1 MiB.
+/// `(2048, 1024)` and `(1024, 1024)` have `b = 1` (runs are memcpy
+/// segments), `(1024, 2048)` has `b = 2` (strided strips), and
+/// `(1031, 1024)` is coprime (one-element runs — the regime where
+/// blocking *loses* and the dispatcher must fall back to scalar).
+const KERNEL_SHAPES: [(usize, usize); 4] = [(2048, 1024), (1024, 2048), (1024, 1024), (1031, 1024)];
 
 struct BenchOpts {
     suite: Option<String>,
@@ -183,13 +198,18 @@ fn run_compare(old_path: &str, new_path: &str, threshold: f64) -> ExitCode {
         regressions += r.regressed as u32;
     }
     if regressions > 0 {
-        eprintln!("{regressions} entr{} regressed by more than {threshold}% (median throughput)",
-            if regressions == 1 { "y" } else { "ies" });
+        eprintln!(
+            "{regressions} entr{} regressed by more than {threshold}% (median throughput)",
+            if regressions == 1 { "y" } else { "ies" }
+        );
         return ExitCode::from(3);
     }
     println!("ok: no entry regressed by more than {threshold}%");
     ExitCode::SUCCESS
 }
+
+/// A boxed benchmark body: `(buf, m, n)` runs one timed pass in place.
+type AlgRunner = Box<dyn FnMut(&mut [u64], usize, usize)>;
 
 fn run_suite(suite: &str, opts: &BenchOpts) -> Result<BenchReport, String> {
     // The transpose suite measures the single-threaded algorithms, so it
@@ -197,15 +217,26 @@ fn run_suite(suite: &str, opts: &BenchOpts) -> Result<BenchReport, String> {
     // parallel suite keeps the pool default (IPT_THREADS or all cores).
     match (suite, opts.threads) {
         (_, Some(t)) => ipt_pool::set_num_threads(t),
-        ("transpose", None) => ipt_pool::set_num_threads(1),
+        ("transpose", None) | ("kernels", None) => ipt_pool::set_num_threads(1),
         _ => {}
     }
     let threads = ipt_pool::num_threads();
-    let shapes: &[(usize, usize)] = if opts.quick { &QUICK_SHAPES } else { &SHAPES };
-    let samples = if opts.quick { opts.samples.min(3) } else { opts.samples };
+    // The kernels suite keeps its full-size shapes under --quick (the
+    // compare key is (algorithm, m, n), so CI smoke runs must produce
+    // the same entries as the committed baseline) and only cuts samples.
+    let shapes: &[(usize, usize)] = match suite {
+        "kernels" => &KERNEL_SHAPES,
+        _ if opts.quick => &QUICK_SHAPES,
+        _ => &SHAPES,
+    };
+    let samples = if opts.quick {
+        opts.samples.min(3)
+    } else {
+        opts.samples
+    };
 
     let mut entries = Vec::new();
-    let algorithms: Vec<(&str, Box<dyn FnMut(&mut [u64], usize, usize)>)> = match suite {
+    let algorithms: Vec<(&str, AlgRunner)> = match suite {
         "transpose" => {
             let mut s1 = Scratch::new();
             let mut s2 = Scratch::new();
@@ -240,7 +271,7 @@ fn run_suite(suite: &str, opts: &BenchOpts) -> Result<BenchReport, String> {
             (
                 "c2r_parallel",
                 Box::new(|buf: &mut [u64], m, n| c2r_parallel(buf, m, n, &ParOptions::default()))
-                    as Box<dyn FnMut(&mut [u64], usize, usize)>,
+                    as AlgRunner,
             ),
             (
                 "r2c_parallel",
@@ -255,11 +286,50 @@ fn run_suite(suite: &str, opts: &BenchOpts) -> Result<BenchReport, String> {
                 Box::new(|buf: &mut [u64], m, n| r2c_parallel(buf, m, n, &ParOptions::plain())),
             ),
         ],
-        other => return Err(format!("unknown suite {other:?} (want transpose or parallel)")),
+        "kernels" => {
+            // Row-shuffle pass only (the hot path the kernel family
+            // targets), serial, one entry per (kernel, shape): the
+            // ablation table behind the dispatch heuristic. `auto` runs
+            // whatever `kernels::select` picks, so a heuristic change
+            // shows up as a diff against the fixed-kernel entries.
+            fn kernel_runner(forced: Option<RowShuffleKernel>) -> AlgRunner {
+                let mut s = Scratch::new();
+                Box::new(move |buf: &mut [u64], m, n| {
+                    let p = C2rParams::new(m, n);
+                    let kernel = forced.unwrap_or_else(|| kernels::select(&p));
+                    ipt_pool::stats::record_kernel(kernel.name());
+                    let tmp = s.ensure(n, 0u64);
+                    kernels::row_shuffle(buf, &p, tmp, kernel, ShuffleDirection::Inverse);
+                })
+            }
+            vec![
+                (
+                    "row_shuffle_scalar",
+                    kernel_runner(Some(RowShuffleKernel::Scalar)),
+                ),
+                (
+                    "row_shuffle_block4",
+                    kernel_runner(Some(RowShuffleKernel::Block4)),
+                ),
+                (
+                    "row_shuffle_block8",
+                    kernel_runner(Some(RowShuffleKernel::Block8)),
+                ),
+                ("row_shuffle_auto", kernel_runner(None)),
+            ]
+        }
+        other => {
+            return Err(format!(
+                "unknown suite {other:?} (want transpose, parallel or kernels)"
+            ))
+        }
     };
 
-    println!("suite {suite}: {} shapes x {} algorithms, {samples} samples, {threads} thread(s)",
-        shapes.len(), algorithms.len());
+    println!(
+        "suite {suite}: {} shapes x {} algorithms, {samples} samples, {threads} thread(s)",
+        shapes.len(),
+        algorithms.len()
+    );
     for (alg, mut run) in algorithms {
         for &(m, n) in shapes {
             let e = measure(alg, m, n, samples, &mut *run);

@@ -12,7 +12,7 @@
 //! ipt gen        FILE --rows R --cols C --elem-size S [--seed X]
 //! ipt verify     FILE --rows R --cols C --elem-size S
 //! ipt info       FILE --elem-size S
-//! ipt bench      --suite transpose|parallel [...] | --compare OLD NEW
+//! ipt bench      --suite transpose|parallel|kernels [...] | --compare OLD NEW
 //! ```
 //!
 //! `gen` writes a position-identifying pattern; `verify` checks that a
@@ -39,7 +39,7 @@ USAGE:
   ipt gen       FILE --rows R --cols C --elem-size S [--seed X]
   ipt verify    FILE --rows R --cols C --elem-size S
   ipt info      FILE --elem-size S
-  ipt bench     --suite transpose|parallel [--out PATH] [--quick]
+  ipt bench     --suite transpose|parallel|kernels [--out PATH] [--quick]
   ipt bench     --compare OLD.json NEW.json [--threshold PCT]
 
 Matrices are dense binary dumps: rows x cols elements of elem-size bytes.
@@ -195,7 +195,9 @@ fn run(args: &[String]) -> Result<String, String> {
                     }
                 }
             }
-            Ok(format!("verified: {file} is the transpose of a {rows} x {cols} pattern"))
+            Ok(format!(
+                "verified: {file} is the transpose of a {rows} x {cols} pattern"
+            ))
         }
         "info" => {
             let elem = opts.usize("elem-size")?;
@@ -203,7 +205,9 @@ fn run(args: &[String]) -> Result<String, String> {
                 .map_err(|e| format!("reading {file}: {e}"))?
                 .len() as usize;
             if len % elem != 0 {
-                return Err(format!("{file}: {len} bytes is not a whole number of {elem}-byte elements"));
+                return Err(format!(
+                    "{file}: {len} bytes is not a whole number of {elem}-byte elements"
+                ));
             }
             let count = len / elem;
             let mut shapes: Vec<(usize, usize)> = Vec::new();

@@ -30,16 +30,61 @@ fn assert_ok(out: &Output) {
 #[test]
 fn gen_transpose_verify_round_trip() {
     let f = tmpfile("roundtrip.bin");
-    assert_ok(&ipt(&["gen", &f, "--rows", "37", "--cols", "53", "--elem-size", "8"]));
-    assert_ok(&ipt(&["transpose", &f, "--rows", "37", "--cols", "53", "--elem-size", "8"]));
-    assert_ok(&ipt(&["verify", &f, "--rows", "37", "--cols", "53", "--elem-size", "8"]));
+    assert_ok(&ipt(&[
+        "gen",
+        &f,
+        "--rows",
+        "37",
+        "--cols",
+        "53",
+        "--elem-size",
+        "8",
+    ]));
+    assert_ok(&ipt(&[
+        "transpose",
+        &f,
+        "--rows",
+        "37",
+        "--cols",
+        "53",
+        "--elem-size",
+        "8",
+    ]));
+    assert_ok(&ipt(&[
+        "verify",
+        &f,
+        "--rows",
+        "37",
+        "--cols",
+        "53",
+        "--elem-size",
+        "8",
+    ]));
 }
 
 #[test]
 fn verify_rejects_untransposed_file() {
     let f = tmpfile("untransposed.bin");
-    assert_ok(&ipt(&["gen", &f, "--rows", "6", "--cols", "9", "--elem-size", "4"]));
-    let out = ipt(&["verify", &f, "--rows", "6", "--cols", "9", "--elem-size", "4"]);
+    assert_ok(&ipt(&[
+        "gen",
+        &f,
+        "--rows",
+        "6",
+        "--cols",
+        "9",
+        "--elem-size",
+        "4",
+    ]));
+    let out = ipt(&[
+        "verify",
+        &f,
+        "--rows",
+        "6",
+        "--cols",
+        "9",
+        "--elem-size",
+        "4",
+    ]);
     assert!(!out.status.success(), "must reject the identity layout");
     assert!(String::from_utf8_lossy(&out.stderr).contains("mismatch"));
 }
@@ -48,49 +93,164 @@ fn verify_rejects_untransposed_file() {
 fn odd_element_sizes_and_output_path() {
     let src = tmpfile("rgb_src.bin");
     let dst = tmpfile("rgb_dst.bin");
-    assert_ok(&ipt(&["gen", &src, "--rows", "16", "--cols", "24", "--elem-size", "3"]));
+    assert_ok(&ipt(&[
+        "gen",
+        &src,
+        "--rows",
+        "16",
+        "--cols",
+        "24",
+        "--elem-size",
+        "3",
+    ]));
     let orig = std::fs::read(&src).unwrap();
     assert_ok(&ipt(&[
-        "transpose", &src, "--rows", "16", "--cols", "24", "--elem-size", "3", "--out", &dst,
+        "transpose",
+        &src,
+        "--rows",
+        "16",
+        "--cols",
+        "24",
+        "--elem-size",
+        "3",
+        "--out",
+        &dst,
     ]));
-    assert_eq!(std::fs::read(&src).unwrap(), orig, "--out must not touch the source");
-    assert_ok(&ipt(&["verify", &dst, "--rows", "16", "--cols", "24", "--elem-size", "3"]));
+    assert_eq!(
+        std::fs::read(&src).unwrap(),
+        orig,
+        "--out must not touch the source"
+    );
+    assert_ok(&ipt(&[
+        "verify",
+        &dst,
+        "--rows",
+        "16",
+        "--cols",
+        "24",
+        "--elem-size",
+        "3",
+    ]));
 }
 
 #[test]
 fn double_transpose_is_identity() {
     let f = tmpfile("double.bin");
-    assert_ok(&ipt(&["gen", &f, "--rows", "11", "--cols", "29", "--elem-size", "2"]));
+    assert_ok(&ipt(&[
+        "gen",
+        &f,
+        "--rows",
+        "11",
+        "--cols",
+        "29",
+        "--elem-size",
+        "2",
+    ]));
     let orig = std::fs::read(&f).unwrap();
-    assert_ok(&ipt(&["transpose", &f, "--rows", "11", "--cols", "29", "--elem-size", "2"]));
+    assert_ok(&ipt(&[
+        "transpose",
+        &f,
+        "--rows",
+        "11",
+        "--cols",
+        "29",
+        "--elem-size",
+        "2",
+    ]));
     assert_ne!(std::fs::read(&f).unwrap(), orig);
-    assert_ok(&ipt(&["transpose", &f, "--rows", "29", "--cols", "11", "--elem-size", "2"]));
+    assert_ok(&ipt(&[
+        "transpose",
+        &f,
+        "--rows",
+        "29",
+        "--cols",
+        "11",
+        "--elem-size",
+        "2",
+    ]));
     assert_eq!(std::fs::read(&f).unwrap(), orig);
 }
 
 #[test]
 fn aos_soa_round_trip() {
     let f = tmpfile("aos.bin");
-    assert_ok(&ipt(&["gen", &f, "--rows", "100", "--cols", "7", "--elem-size", "4"]));
+    assert_ok(&ipt(&[
+        "gen",
+        &f,
+        "--rows",
+        "100",
+        "--cols",
+        "7",
+        "--elem-size",
+        "4",
+    ]));
     let orig = std::fs::read(&f).unwrap();
-    assert_ok(&ipt(&["aos2soa", &f, "--structs", "100", "--fields", "7", "--elem-size", "4"]));
+    assert_ok(&ipt(&[
+        "aos2soa",
+        &f,
+        "--structs",
+        "100",
+        "--fields",
+        "7",
+        "--elem-size",
+        "4",
+    ]));
     let soa = std::fs::read(&f).unwrap();
     // Field k of struct i moved from (i*7 + k) to (k*100 + i).
-    assert_eq!(&soa[(3 * 100 + 5) * 4..(3 * 100 + 5) * 4 + 4], &orig[(5 * 7 + 3) * 4..(5 * 7 + 3) * 4 + 4]);
-    assert_ok(&ipt(&["soa2aos", &f, "--structs", "100", "--fields", "7", "--elem-size", "4"]));
+    assert_eq!(
+        &soa[(3 * 100 + 5) * 4..(3 * 100 + 5) * 4 + 4],
+        &orig[(5 * 7 + 3) * 4..(5 * 7 + 3) * 4 + 4]
+    );
+    assert_ok(&ipt(&[
+        "soa2aos",
+        &f,
+        "--structs",
+        "100",
+        "--fields",
+        "7",
+        "--elem-size",
+        "4",
+    ]));
     assert_eq!(std::fs::read(&f).unwrap(), orig);
 }
 
 #[test]
 fn col_major_layout_flag() {
     let f = tmpfile("colmajor.bin");
-    assert_ok(&ipt(&["gen", &f, "--rows", "5", "--cols", "8", "--elem-size", "8"]));
+    assert_ok(&ipt(&[
+        "gen",
+        &f,
+        "--rows",
+        "5",
+        "--cols",
+        "8",
+        "--elem-size",
+        "8",
+    ]));
     let orig = std::fs::read(&f).unwrap();
     assert_ok(&ipt(&[
-        "transpose", &f, "--rows", "5", "--cols", "8", "--elem-size", "8", "--layout", "col",
+        "transpose",
+        &f,
+        "--rows",
+        "5",
+        "--cols",
+        "8",
+        "--elem-size",
+        "8",
+        "--layout",
+        "col",
     ]));
     assert_ok(&ipt(&[
-        "transpose", &f, "--rows", "8", "--cols", "5", "--elem-size", "8", "--layout", "col",
+        "transpose",
+        &f,
+        "--rows",
+        "8",
+        "--cols",
+        "5",
+        "--elem-size",
+        "8",
+        "--layout",
+        "col",
     ]));
     assert_eq!(std::fs::read(&f).unwrap(), orig);
 }
@@ -98,7 +258,16 @@ fn col_major_layout_flag() {
 #[test]
 fn info_reports_shapes() {
     let f = tmpfile("info.bin");
-    assert_ok(&ipt(&["gen", &f, "--rows", "6", "--cols", "6", "--elem-size", "4"]));
+    assert_ok(&ipt(&[
+        "gen",
+        &f,
+        "--rows",
+        "6",
+        "--cols",
+        "6",
+        "--elem-size",
+        "4",
+    ]));
     let out = ipt(&["info", &f, "--elem-size", "4"]);
     assert_ok(&out);
     let text = String::from_utf8_lossy(&out.stdout);
@@ -110,7 +279,16 @@ fn info_reports_shapes() {
 fn bad_usage_fails_cleanly() {
     for args in [
         &["transpose"][..],
-        &["transpose", "/nonexistent", "--rows", "2", "--cols", "2", "--elem-size", "1"][..],
+        &[
+            "transpose",
+            "/nonexistent",
+            "--rows",
+            "2",
+            "--cols",
+            "2",
+            "--elem-size",
+            "1",
+        ][..],
         &["bogus", "x"][..],
         &["transpose", "x", "--rows", "two"][..],
     ] {
@@ -127,7 +305,16 @@ fn bad_usage_fails_cleanly() {
 fn size_mismatch_rejected() {
     let f = tmpfile("short.bin");
     std::fs::write(&f, vec![0u8; 10]).unwrap();
-    let out = ipt(&["transpose", &f, "--rows", "4", "--cols", "4", "--elem-size", "4"]);
+    let out = ipt(&[
+        "transpose",
+        &f,
+        "--rows",
+        "4",
+        "--cols",
+        "4",
+        "--elem-size",
+        "4",
+    ]);
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("expected 64 bytes"));
 }
@@ -142,7 +329,16 @@ fn help_prints_usage() {
 #[test]
 fn bench_quick_emits_wellformed_report() {
     let f = tmpfile("BENCH_smoke.json");
-    assert_ok(&ipt(&["bench", "--suite", "transpose", "--quick", "--samples", "1", "--out", &f]));
+    assert_ok(&ipt(&[
+        "bench",
+        "--suite",
+        "transpose",
+        "--quick",
+        "--samples",
+        "1",
+        "--out",
+        &f,
+    ]));
     let report = ipt_bench::report::BenchReport::load(&f).expect("well-formed report");
     assert_eq!(report.name, "transpose");
     assert!(!report.entries.is_empty());
@@ -153,12 +349,94 @@ fn bench_quick_emits_wellformed_report() {
         .find(|e| e.algorithm == "c2r_parallel")
         .expect("c2r_parallel entry");
     assert!(
-        phased.phases.iter().any(|p| p.name == "row_shuffle" && p.nanos > 0),
+        phased
+            .phases
+            .iter()
+            .any(|p| p.name == "row_shuffle" && p.nanos > 0),
         "{:?}",
         phased.phases
     );
     // Comparing a report against itself finds no regression: exit 0.
     assert_ok(&ipt(&["bench", "--compare", &f, &f]));
+}
+
+#[test]
+fn bench_kernels_quick_emits_full_entry_set() {
+    let f = tmpfile("BENCH_kernels_smoke.json");
+    assert_ok(&ipt(&[
+        "bench",
+        "--suite",
+        "kernels",
+        "--quick",
+        "--samples",
+        "1",
+        "--out",
+        &f,
+    ]));
+    let report = ipt_bench::report::BenchReport::load(&f).expect("well-formed report");
+    assert_eq!(report.name, "kernels");
+    assert_eq!(report.threads, 1, "kernels suite pins the pool to 1 thread");
+    // --quick must keep the full (algorithm, shape) entry set: the compare
+    // key is (algorithm, m, n), so a CI smoke run has to produce the same
+    // entries as the committed full-rep BENCH_kernels.json baseline.
+    for alg in [
+        "row_shuffle_scalar",
+        "row_shuffle_block4",
+        "row_shuffle_block8",
+        "row_shuffle_auto",
+    ] {
+        for (m, n) in [(2048, 1024), (1024, 2048), (1024, 1024), (1031, 1024)] {
+            assert!(
+                report
+                    .entries
+                    .iter()
+                    .any(|e| e.algorithm == alg && e.m == m && e.n == n && e.median_gbps > 0.0),
+                "missing entry {alg} {m}x{n}"
+            );
+        }
+    }
+    // Comparing the smoke report against itself exercises the same
+    // emit -> parse -> compare pipeline CI gates on: exit 0.
+    assert_ok(&ipt(&["bench", "--compare", &f, &f]));
+}
+
+#[test]
+fn ipt_kernel_env_override_reaches_the_dispatcher() {
+    use std::process::Command;
+    let run = |kernel: &str| {
+        let f = tmpfile(&format!("BENCH_env_{kernel}.json"));
+        Command::new(env!("CARGO_BIN_EXE_ipt-cli"))
+            .args([
+                "bench",
+                "--suite",
+                "transpose",
+                "--quick",
+                "--samples",
+                "1",
+                "--out",
+                &f,
+            ])
+            .env("IPT_KERNEL", kernel)
+            .output()
+            .expect("running ipt binary")
+    };
+    // A valid override is accepted silently.
+    let out = run("scalar");
+    assert_ok(&out);
+    assert!(
+        !String::from_utf8_lossy(&out.stderr).contains("IPT_KERNEL"),
+        "valid override must not warn: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // An unknown value warns once and defers to the heuristic — it must
+    // not abort the run.
+    let out = run("avx512-dreams");
+    assert_ok(&out);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("IPT_KERNEL") && stderr.contains("avx512-dreams"),
+        "unknown override should warn with the offending value: {stderr}"
+    );
 }
 
 #[test]
@@ -205,7 +483,12 @@ fn bench_rejects_bad_flags() {
         &["bench", "--suite", "nonsense"][..],
         &["bench", "--suite", "transpose", "--compare", "a", "b"][..],
         &["bench", "--bogus"][..],
-        &["bench", "--compare", "/nonexistent/a.json", "/nonexistent/b.json"][..],
+        &[
+            "bench",
+            "--compare",
+            "/nonexistent/a.json",
+            "/nonexistent/b.json",
+        ][..],
     ] {
         let out = ipt(args);
         assert_eq!(out.status.code(), Some(2), "{args:?} should exit 2");

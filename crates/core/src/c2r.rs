@@ -12,6 +12,7 @@
 //! `O(mn)` optimum class with `O(max(m, n))` auxiliary space (Theorem 6).
 
 use crate::index::C2rParams;
+use crate::kernels;
 use crate::permute;
 use crate::scratch::Scratch;
 
@@ -20,7 +21,9 @@ use crate::scratch::Scratch;
 ///
 /// `scratch` is grown to `max(m, n)` elements and may be reused across
 /// calls. Uses the all-gather formulation (§5.1) with the direct
-/// column shuffle of Algorithm 1.
+/// column shuffle of Algorithm 1; the row shuffle runs through the
+/// [`kernels`] dispatcher (scalar or run-blocked per shape, overridable
+/// via `IPT_KERNEL`).
 ///
 /// ```
 /// use ipt_core::{c2r, Scratch};
@@ -42,7 +45,13 @@ pub fn c2r<T: Copy>(data: &mut [T], m: usize, n: usize, scratch: &mut Scratch<T>
     let p = C2rParams::new(m, n);
     let tmp = scratch.ensure(m.max(n), data[0]);
     permute::prerotate_cycles(data, &p);
-    permute::row_shuffle_gather(data, &p, tmp);
+    kernels::row_shuffle(
+        data,
+        &p,
+        tmp,
+        kernels::select(&p),
+        kernels::ShuffleDirection::Inverse,
+    );
     permute::col_shuffle_gather(data, &p, tmp);
 }
 
@@ -117,11 +126,19 @@ mod tests {
             assert!(
                 is_transposed_pattern(&a, m, n, Layout::RowMajor),
                 "{m}x{n}: first mismatch {:?}",
-                first_mismatch(&a, &reference_transpose(&{
-                    let mut o = vec![0u64; m * n];
-                    fill_pattern(&mut o);
-                    o
-                }, m, n, Layout::RowMajor))
+                first_mismatch(
+                    &a,
+                    &reference_transpose(
+                        &{
+                            let mut o = vec![0u64; m * n];
+                            fill_pattern(&mut o);
+                            o
+                        },
+                        m,
+                        n,
+                        Layout::RowMajor
+                    )
+                )
             );
         }
     }

@@ -221,7 +221,10 @@ mod tests {
                 let mut a = vec![0u64; r * c];
                 fill_pattern(&mut a);
                 let t = reference_transpose(&a, r, c, layout);
-                assert!(is_transposed_pattern(&t, r, c, layout), "{r}x{c} {layout:?}");
+                assert!(
+                    is_transposed_pattern(&t, r, c, layout),
+                    "{r}x{c} {layout:?}"
+                );
                 if r > 1 && c > 1 {
                     assert!(
                         !is_transposed_pattern(&a, r, c, layout),

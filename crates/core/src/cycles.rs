@@ -90,7 +90,11 @@ impl CycleSet {
 
 /// Apply the gather permutation `dst[i] = src[perm(i)]` in place on `v`,
 /// following precomputed cycles with one element of temporary storage.
-pub fn apply_gather_in_place<T: Copy>(v: &mut [T], perm: impl Fn(usize) -> usize, cycles: &CycleSet) {
+pub fn apply_gather_in_place<T: Copy>(
+    v: &mut [T],
+    perm: impl Fn(usize) -> usize,
+    cycles: &CycleSet,
+) {
     debug_assert_eq!(v.len(), cycles.domain());
     for &leader in &cycles.leaders {
         let saved = v[leader];

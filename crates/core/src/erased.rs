@@ -38,7 +38,14 @@ fn swap_elems(data: &mut [u8], a: usize, b: usize, elem: usize) {
 
 /// Reverse elements `[lo, hi)` of the strided element sequence
 /// `start + k*stride` (indices in elements).
-fn reverse_strided(data: &mut [u8], start: usize, stride: usize, lo: usize, hi: usize, elem: usize) {
+fn reverse_strided(
+    data: &mut [u8],
+    start: usize,
+    stride: usize,
+    lo: usize,
+    hi: usize,
+    elem: usize,
+) {
     let (mut a, mut b) = (lo, hi);
     while a + 1 < b {
         b -= 1;
@@ -108,7 +115,11 @@ fn apply_gather_swaps(
 /// Panics if `elem_size == 0` or `data.len() != m * n * elem_size`.
 pub fn c2r_erased(data: &mut [u8], m: usize, n: usize, elem_size: usize) {
     assert!(elem_size > 0, "element size must be positive");
-    assert_eq!(data.len(), m * n * elem_size, "buffer length must be m * n * elem_size");
+    assert_eq!(
+        data.len(),
+        m * n * elem_size,
+        "buffer length must be m * n * elem_size"
+    );
     if m <= 1 || n <= 1 {
         return;
     }
@@ -120,7 +131,15 @@ pub fn c2r_erased(data: &mut [u8], m: usize, n: usize, elem_size: usize) {
         }
     }
     for i in 0..m {
-        apply_gather_swaps(data, i * n, 1, n, |j| p.d_inv(i, j), &mut visited, elem_size);
+        apply_gather_swaps(
+            data,
+            i * n,
+            1,
+            n,
+            |j| p.d_inv(i, j),
+            &mut visited,
+            elem_size,
+        );
     }
     for j in 0..n {
         apply_gather_swaps(data, j, n, m, |i| p.s(j, i), &mut visited, elem_size);
@@ -130,7 +149,11 @@ pub fn c2r_erased(data: &mut [u8], m: usize, n: usize, elem_size: usize) {
 /// Type-erased R2C: the inverse of [`c2r_erased`]`(data, m, n, elem_size)`.
 pub fn r2c_erased(data: &mut [u8], m: usize, n: usize, elem_size: usize) {
     assert!(elem_size > 0, "element size must be positive");
-    assert_eq!(data.len(), m * n * elem_size, "buffer length must be m * n * elem_size");
+    assert_eq!(
+        data.len(),
+        m * n * elem_size,
+        "buffer length must be m * n * elem_size"
+    );
     if m <= 1 || n <= 1 {
         return;
     }
@@ -138,7 +161,15 @@ pub fn r2c_erased(data: &mut [u8], m: usize, n: usize, elem_size: usize) {
     let mut visited = vec![false; m.max(n)];
     // Inverse column shuffle: gather with (s'_j)^-1 = q^-1 ∘ p^-1_j.
     for j in 0..n {
-        apply_gather_swaps(data, j, n, m, |i| p.q_inv(p.p_inv(j, i)), &mut visited, elem_size);
+        apply_gather_swaps(
+            data,
+            j,
+            n,
+            m,
+            |i| p.q_inv(p.p_inv(j, i)),
+            &mut visited,
+            elem_size,
+        );
     }
     // Inverse row shuffle: gather with d'_i directly (§4.3).
     for i in 0..m {
@@ -154,7 +185,13 @@ pub fn r2c_erased(data: &mut [u8], m: usize, n: usize, elem_size: usize) {
 
 /// Type-erased in-place transpose with the §5.2 heuristic: `rows x cols`
 /// elements of `elem_size` bytes, in `layout`.
-pub fn transpose_erased(data: &mut [u8], rows: usize, cols: usize, elem_size: usize, layout: Layout) {
+pub fn transpose_erased(
+    data: &mut [u8],
+    rows: usize,
+    cols: usize,
+    elem_size: usize,
+    layout: Layout,
+) {
     assert!(elem_size > 0, "element size must be positive");
     assert_eq!(
         data.len(),
@@ -185,7 +222,20 @@ mod tests {
                 v.push((m, n));
             }
         }
-        v.extend_from_slice(&[(3, 8), (8, 3), (4, 8), (12, 20), (17, 5)]);
+        v.extend_from_slice(&[
+            (3, 8),
+            (8, 3),
+            (4, 8),
+            (12, 20),
+            (17, 5),
+            // Kernel-dispatch regimes of the typed Copy path this module
+            // is checked against: c = 32 -> Block4, c = 64 with b = 2
+            // and b = 1 -> Block8 (see `ipt_core::kernels::select_auto`).
+            (96, 64),
+            (192, 128),
+            (128, 64),
+            (64, 128),
+        ]);
         v
     }
 
@@ -193,11 +243,31 @@ mod tests {
     fn erased_u32_matches_typed_c2r() {
         let mut s = Scratch::new();
         for (m, n) in sizes() {
-            let typed: Vec<u32> = (0..(m * n) as u32).map(|x| x.wrapping_mul(2654435761)).collect();
+            let typed: Vec<u32> = (0..(m * n) as u32)
+                .map(|x| x.wrapping_mul(2654435761))
+                .collect();
             let mut bytes: Vec<u8> = typed.iter().flat_map(|v| v.to_le_bytes()).collect();
             c2r_erased(&mut bytes, m, n, 4);
             let mut want = typed;
             crate::c2r(&mut want, m, n, &mut s);
+            let want_bytes: Vec<u8> = want.iter().flat_map(|v| v.to_le_bytes()).collect();
+            assert_eq!(bytes, want_bytes, "{m}x{n}");
+        }
+    }
+
+    #[test]
+    fn erased_u32_matches_typed_r2c() {
+        // Pins the Forward kernel direction too: on the blocked-regime
+        // shapes in `sizes()`, `crate::r2c` dispatches block4/block8.
+        let mut s = Scratch::new();
+        for (m, n) in sizes() {
+            let typed: Vec<u32> = (0..(m * n) as u32)
+                .map(|x| x.wrapping_mul(2654435761))
+                .collect();
+            let mut bytes: Vec<u8> = typed.iter().flat_map(|v| v.to_le_bytes()).collect();
+            r2c_erased(&mut bytes, m, n, 4);
+            let mut want = typed;
+            crate::r2c(&mut want, m, n, &mut s);
             let want_bytes: Vec<u8> = want.iter().flat_map(|v| v.to_le_bytes()).collect();
             assert_eq!(bytes, want_bytes, "{m}x{n}");
         }

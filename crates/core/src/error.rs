@@ -31,7 +31,10 @@ impl core::fmt::Display for TransposeError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             TransposeError::ShapeMismatch { expected, actual } => {
-                write!(f, "buffer holds {actual} elements but the shape implies {expected}")
+                write!(
+                    f,
+                    "buffer holds {actual} elements but the shape implies {expected}"
+                )
             }
             TransposeError::Overflow => write!(f, "matrix dimensions overflow the index range"),
             TransposeError::Degenerate => write!(f, "dimensions and element size must be nonzero"),
@@ -154,7 +157,13 @@ mod tests {
     fn shape_mismatch_reports_both_sizes() {
         let mut a = vec![0u8; 10];
         let err = try_transpose(&mut a, 3, 4, Layout::RowMajor, &mut Scratch::new()).unwrap_err();
-        assert_eq!(err, TransposeError::ShapeMismatch { expected: 12, actual: 10 });
+        assert_eq!(
+            err,
+            TransposeError::ShapeMismatch {
+                expected: 12,
+                actual: 10
+            }
+        );
         assert!(err.to_string().contains("10"));
         assert!(err.to_string().contains("12"));
     }

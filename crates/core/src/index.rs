@@ -210,16 +210,18 @@ impl C2rParams {
     pub fn q_inv(&self, i: usize) -> usize {
         let (c, a) = (self.c as u64, self.a as u64);
         let i = i as u64;
-        let hi = self.fd_a.rem(match self.b_inv.checked_mul(self.fd_c.div(c - 1 + i)) {
-            Some(p) => p,
-            // b_inv < a; reduce the quotient mod a first in the huge case.
-            None => {
-                return ((self.b_inv as u128 * self.fd_c.div(c - 1 + i) as u128 % a as u128)
-                    as u64
-                    + self.fd_c.rem((c - 1) * self.fd_c.rem(i)) * a)
-                    as usize;
-            }
-        });
+        let hi = self
+            .fd_a
+            .rem(match self.b_inv.checked_mul(self.fd_c.div(c - 1 + i)) {
+                Some(p) => p,
+                // b_inv < a; reduce the quotient mod a first in the huge case.
+                None => {
+                    return ((self.b_inv as u128 * self.fd_c.div(c - 1 + i) as u128 % a as u128)
+                        as u64
+                        + self.fd_c.rem((c - 1) * self.fd_c.rem(i)) * a)
+                        as usize;
+                }
+            });
         // ((c-1)*i) mod c == ((c-1)*(i mod c)) mod c, keeping the product
         // within c^2 <= m*n <= 2^64.
         let lo = self.fd_c.rem((c - 1) * self.fd_c.rem(i));

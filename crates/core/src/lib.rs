@@ -53,6 +53,7 @@
 //! | [`error`] | — | fallible (`Result`) entry points for untrusted shapes |
 //! | [`scratch`] | Thm. 6 | the `O(max(m, n))` auxiliary buffer |
 //! | [`permute`] | Alg. 1 | out-of-place row/column permutation steps |
+//! | [`kernels`] | §5.1 | row-shuffle kernel family + runtime dispatch |
 //! | [`rotate`] | §4.6 | analytic cycle-following rotation |
 //! | [`cycles`] | §4.7 | general cycle-following machinery |
 //! | [`mod@c2r`] | §3 Alg. 1 | the Columns-to-Rows transpose |
@@ -64,12 +65,13 @@
 
 pub mod c2r;
 pub mod check;
+pub mod cycles;
 pub mod erased;
 pub mod error;
-pub mod cycles;
 pub mod fastdiv;
 pub mod gcd;
 pub mod index;
+pub mod kernels;
 pub mod layout;
 pub mod matrix;
 pub mod noncopy;
@@ -177,7 +179,15 @@ mod tests {
 
     #[test]
     fn transpose_row_major_rectangular() {
-        for &(r, c) in &[(2usize, 3usize), (3, 2), (4, 8), (8, 4), (5, 7), (1, 9), (9, 1)] {
+        for &(r, c) in &[
+            (2usize, 3usize),
+            (3, 2),
+            (4, 8),
+            (8, 4),
+            (5, 7),
+            (1, 9),
+            (9, 1),
+        ] {
             let mut a = vec![0u64; r * c];
             fill_pattern(&mut a);
             let mut s = Scratch::new();

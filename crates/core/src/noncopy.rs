@@ -187,7 +187,23 @@ mod tests {
                 v.push((m, n));
             }
         }
-        v.extend_from_slice(&[(3, 8), (8, 3), (4, 8), (16, 24), (17, 19), (40, 25), (25, 40)]);
+        v.extend_from_slice(&[
+            (3, 8),
+            (8, 3),
+            (4, 8),
+            (16, 24),
+            (17, 19),
+            (40, 25),
+            (25, 40),
+            // Shapes where the Copy path's kernel dispatcher leaves the
+            // scalar regime, so the swaps-vs-copy equivalence also pins
+            // the blocked kernels: c = 32 -> Block4, c = 64 (b = 2) and
+            // b = 1 -> Block8.
+            (96, 64),
+            (192, 128),
+            (128, 64),
+            (64, 128),
+        ]);
         v
     }
 
@@ -227,6 +243,24 @@ mod tests {
         for i in 0..n {
             for j in 0..m {
                 assert_eq!(words[i * m + j], format!("cell-{}", j * n + i));
+            }
+        }
+    }
+
+    #[test]
+    fn strings_match_kernel_dispatched_copy_path() {
+        // Same permutation, two very different engines: the swap-only
+        // path on Strings versus the Copy path on matching integer ids,
+        // where the dispatcher picks a blocked kernel (c = 64, b = 1 ->
+        // Block8) and a Block4 shape (c = 32).
+        let mut s = Scratch::new();
+        for (m, n) in [(128usize, 64usize), (96, 64)] {
+            let mut words: Vec<String> = (0..m * n).map(|i| format!("cell-{i}")).collect();
+            let mut ids: Vec<u32> = (0..(m * n) as u32).collect();
+            c2r_swaps(&mut words, m, n);
+            crate::c2r(&mut ids, m, n, &mut s);
+            for (w, id) in words.iter().zip(&ids) {
+                assert_eq!(w, &format!("cell-{id}"), "{m}x{n}");
             }
         }
     }

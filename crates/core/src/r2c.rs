@@ -15,6 +15,7 @@
 //! how [`crate::transpose`] uses it for wide matrices.
 
 use crate::index::C2rParams;
+use crate::kernels;
 use crate::permute;
 use crate::scratch::Scratch;
 
@@ -46,7 +47,13 @@ pub fn r2c<T: Copy>(data: &mut [T], m: usize, n: usize, scratch: &mut Scratch<T>
     let tmp = scratch.ensure(m.max(n), data[0]);
     permute::row_permute_inverse(data, &p, tmp);
     permute::col_rotate_inverse(data, &p);
-    permute::row_shuffle_gather_forward(data, &p, tmp);
+    kernels::row_shuffle(
+        data,
+        &p,
+        tmp,
+        kernels::select(&p),
+        kernels::ShuffleDirection::Forward,
+    );
     permute::postrotate_inverse(data, &p);
 }
 
@@ -126,7 +133,9 @@ mod tests {
         // rows [0,3,..,21], [1,4,..,22], [2,5,..,23] map to each other
         // under R2C (left-to-right) and C2R (right-to-left).
         let fig_left: Vec<u32> = (0..24).collect();
-        let fig_right: Vec<u32> = (0..3).flat_map(|r| (0..8).map(move |k| r + 3 * k)).collect();
+        let fig_right: Vec<u32> = (0..3)
+            .flat_map(|r| (0..8).map(move |k| r + 3 * k))
+            .collect();
         let mut s = Scratch::new();
 
         let mut a = fig_left.clone();

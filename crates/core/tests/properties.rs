@@ -38,7 +38,9 @@ fn c2r_equals_reference_transpose() {
     for case in 0..CASES {
         let (m, n) = shape(&mut rng);
         let seed = rng.next_u64();
-        let mut data: Vec<u64> = (0..(m * n) as u64).map(|i| i.wrapping_mul(seed | 1)).collect();
+        let mut data: Vec<u64> = (0..(m * n) as u64)
+            .map(|i| i.wrapping_mul(seed | 1))
+            .collect();
         let want = reference_transpose(&data, m, n, Layout::RowMajor);
         c2r(&mut data, m, n, &mut Scratch::new());
         assert_eq!(data, want, "case {case}: {m}x{n} seed={seed}");
@@ -151,7 +153,11 @@ fn s_decomposition_identity() {
         let (m, n) = shape(&mut rng);
         let (j, i) = (rng.range(0..n), rng.range(0..m));
         let p = C2rParams::new(m, n);
-        assert_eq!(p.p(j, p.q(i)), p.s(j, i), "case {case}: {m}x{n} i={i} j={j}");
+        assert_eq!(
+            p.p(j, p.q(i)),
+            p.s(j, i),
+            "case {case}: {m}x{n} i={i} j={j}"
+        );
     }
 }
 
@@ -181,8 +187,16 @@ fn gcd_properties() {
     let mut rng = Rng::new(0xc2f0_000a);
     for case in 0..CASES {
         // Mix full-range and small draws so both code paths are hit.
-        let a = if rng.chance(1, 2) { rng.next_u64() } else { rng.next_u64() % 1000 };
-        let b = if rng.chance(1, 2) { rng.next_u64() } else { rng.next_u64() % 1000 };
+        let a = if rng.chance(1, 2) {
+            rng.next_u64()
+        } else {
+            rng.next_u64() % 1000
+        };
+        let b = if rng.chance(1, 2) {
+            rng.next_u64()
+        } else {
+            rng.next_u64() % 1000
+        };
         let g = gcd(a, b);
         if a != 0 || b != 0 {
             assert!(g > 0, "case {case}: a={a} b={b}");
@@ -257,7 +271,11 @@ fn matrix_owned_transpose_matches_reference() {
         got.transpose_in_place(&mut Scratch::new());
         assert_eq!(got.rows(), want.rows(), "case {case}: {m}x{n} {layout:?}");
         assert_eq!(got.cols(), want.cols(), "case {case}: {m}x{n} {layout:?}");
-        assert_eq!(got.as_slice(), want.as_slice(), "case {case}: {m}x{n} {layout:?}");
+        assert_eq!(
+            got.as_slice(),
+            want.as_slice(),
+            "case {case}: {m}x{n} {layout:?}"
+        );
     }
 }
 
@@ -336,11 +354,11 @@ fn structured_shape_sweep() {
         (128, 128),
         (128, 127),
         (127, 128),
-        (127, 251),   // both prime
-        (120, 360),   // n = 3m
+        (127, 251), // both prime
+        (120, 360), // n = 3m
         (360, 120),
-        (256, 96),    // large gcd
-        (97, 389),    // coprime
+        (256, 96), // large gcd
+        (97, 389), // coprime
         (2, 500),
         (500, 2),
         (33, 1000),

@@ -172,8 +172,7 @@ impl Memory {
         if t == 0 {
             return 0.0;
         }
-        (self.stats.bytes_read + self.stats.bytes_written) as f64
-            / (t * self.cfg.line_bytes) as f64
+        (self.stats.bytes_read + self.stats.bytes_written) as f64 / (t * self.cfg.line_bytes) as f64
     }
 
     /// Estimated sustained throughput in GB/s: `efficiency x peak`.

@@ -55,7 +55,13 @@ fn transactions_bounded_by_access_footprint() {
         // lines; lower bound: enough transactions to carry the bytes.
         let upper: u64 = accesses
             .iter()
-            .map(|&(_, s)| if s == 0 { 0 } else { (s as u64).div_ceil(line) + 1 })
+            .map(|&(_, s)| {
+                if s == 0 {
+                    0
+                } else {
+                    (s as u64).div_ceil(line) + 1
+                }
+            })
             .sum();
         let bytes: u64 = accesses.iter().map(|&(_, s)| s as u64).sum();
         let lower = bytes.div_ceil(line * accesses.len() as u64).min(1);
@@ -150,9 +156,16 @@ fn splitting_a_request_never_reduces_transactions() {
         let single = one.record_read(&accesses);
         let mut two = Memory::new(cfg(128));
         let split = two.record_read(&accesses[..mid]) + two.record_read(&accesses[mid..]);
-        assert!(split >= single, "case {case}: split={split} single={single}");
+        assert!(
+            split >= single,
+            "case {case}: split={split} single={single}"
+        );
         // Total bytes identical either way.
-        assert_eq!(one.stats().bytes_read, two.stats().bytes_read, "case {case}");
+        assert_eq!(
+            one.stats().bytes_read,
+            two.stats().bytes_read,
+            "case {case}"
+        );
     }
 }
 
@@ -162,8 +175,14 @@ fn throughput_scales_with_peak() {
     for case in 0..CASES {
         let accesses = arb_accesses(&mut rng);
         let peak = 1.0 + (rng.next_u64() % 999_000) as f64 / 1000.0;
-        let mut a = Memory::new(MemoryConfig { line_bytes: 128, peak_gbps: peak });
-        let mut b = Memory::new(MemoryConfig { line_bytes: 128, peak_gbps: 2.0 * peak });
+        let mut a = Memory::new(MemoryConfig {
+            line_bytes: 128,
+            peak_gbps: peak,
+        });
+        let mut b = Memory::new(MemoryConfig {
+            line_bytes: 128,
+            peak_gbps: 2.0 * peak,
+        });
         a.record_write(&accesses);
         b.record_write(&accesses);
         let (ta, tb) = (a.estimated_throughput_gbps(), b.estimated_throughput_gbps());

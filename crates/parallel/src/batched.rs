@@ -29,7 +29,11 @@ use ipt_core::{permute, Layout};
 ///
 /// Panics if `data.len() != batch * m * n`.
 pub fn c2r_batched<T: Copy + Send + Sync>(data: &mut [T], batch: usize, m: usize, n: usize) {
-    assert_eq!(data.len(), batch * m * n, "buffer must hold `batch` m x n matrices");
+    assert_eq!(
+        data.len(),
+        batch * m * n,
+        "buffer must hold `batch` m x n matrices"
+    );
     if m <= 1 || n <= 1 || batch == 0 {
         return;
     }
@@ -52,7 +56,11 @@ pub fn c2r_batched<T: Copy + Send + Sync>(data: &mut [T], batch: usize, m: usize
 /// [`c2r_batched`] with the same parameters (each chunk is an `n x m`
 /// row-major matrix and becomes `m x n`).
 pub fn r2c_batched<T: Copy + Send + Sync>(data: &mut [T], batch: usize, m: usize, n: usize) {
-    assert_eq!(data.len(), batch * m * n, "buffer must hold `batch` matrices");
+    assert_eq!(
+        data.len(),
+        batch * m * n,
+        "buffer must hold `batch` matrices"
+    );
     if m <= 1 || n <= 1 || batch == 0 {
         return;
     }
@@ -81,7 +89,11 @@ pub fn transpose_batched<T: Copy + Send + Sync>(
     cols: usize,
     layout: Layout,
 ) {
-    assert_eq!(data.len(), batch * rows * cols, "buffer must hold `batch` matrices");
+    assert_eq!(
+        data.len(),
+        batch * rows * cols,
+        "buffer must hold `batch` matrices"
+    );
     let (m, n) = match layout {
         Layout::RowMajor => (rows, cols),
         Layout::ColMajor => (cols, rows),

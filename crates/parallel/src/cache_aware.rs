@@ -329,12 +329,19 @@ pub fn col_rotate_j_inverse<T: Copy + Send + Sync>(
 }
 
 /// Cache-aware R2C step 4: undo the pre-rotation (`r^-1_j`, Eq. 36).
-pub fn postrotate_inverse<T: Copy + Send + Sync>(data: &mut [T], p: &C2rParams, w: usize, h: usize) {
+pub fn postrotate_inverse<T: Copy + Send + Sync>(
+    data: &mut [T],
+    p: &C2rParams,
+    w: usize,
+    h: usize,
+) {
     if p.coprime() {
         return;
     }
     let m = p.m;
-    rotate_columns_cache_aware(data, m, p.n, w, h, move |j| (m - p.rotate_amount(j) % m) % m);
+    rotate_columns_cache_aware(data, m, p.n, w, h, move |j| {
+        (m - p.rotate_amount(j) % m) % m
+    });
 }
 
 /// Cache-aware row permutation (§4.7): apply `q` (C2R) or `q^-1` (R2C,
@@ -432,7 +439,12 @@ mod tests {
     use ipt_core::check::fill_pattern;
     use ipt_core::permute;
 
-    fn reference_rotate(orig: &[u64], m: usize, n: usize, amount: impl Fn(usize) -> usize) -> Vec<u64> {
+    fn reference_rotate(
+        orig: &[u64],
+        m: usize,
+        n: usize,
+        amount: impl Fn(usize) -> usize,
+    ) -> Vec<u64> {
         let mut out = orig.to_vec();
         for j in 0..n {
             let k = amount(j) % m;
@@ -514,7 +526,14 @@ mod tests {
     #[test]
     fn fused_matches_separate_col_shuffle() {
         crate::force_multithreaded_pool();
-        for (m, n) in [(4usize, 8usize), (9, 6), (12, 18), (21, 35), (64, 40), (7, 100)] {
+        for (m, n) in [
+            (4usize, 8usize),
+            (9, 6),
+            (12, 18),
+            (21, 35),
+            (64, 40),
+            (7, 100),
+        ] {
             for w in [1usize, 4, 16, 64] {
                 let p = C2rParams::new(m, n);
                 let mut fused = vec![0u32; m * n];

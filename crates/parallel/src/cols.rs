@@ -31,13 +31,18 @@ where
     let m = data.len() / n;
     let us = UnsafeSlice::new(data);
     let groups = n.div_ceil(w);
-    ipt_pool::par_chunks_init(0..groups, group_grain(m * w), Scratch::new, |scratch, sub| {
-        for g in sub {
-            let j0 = g * w;
-            let gw = w.min(n - j0);
-            f(scratch, us, j0, gw);
-        }
-    });
+    ipt_pool::par_chunks_init(
+        0..groups,
+        group_grain(m * w),
+        Scratch::new,
+        |scratch, sub| {
+            for g in sub {
+                let j0 = g * w;
+                let gw = w.min(n - j0);
+                f(scratch, us, j0, gw);
+            }
+        },
+    );
 }
 
 /// Rotate every column `j` left by `amount(j)` (gather:
@@ -98,7 +103,11 @@ pub fn col_shuffle_parallel<T: Copy + Send + Sync>(data: &mut [T], p: &C2rParams
 
 /// R2C step 1 (plain): row permutation by `q^-1`, moving `w`-wide sub-rows
 /// along the (shared, precomputed) cycles — groups in parallel.
-pub fn row_permute_inverse_parallel<T: Copy + Send + Sync>(data: &mut [T], p: &C2rParams, w: usize) {
+pub fn row_permute_inverse_parallel<T: Copy + Send + Sync>(
+    data: &mut [T],
+    p: &C2rParams,
+    w: usize,
+) {
     let cycles = CycleSet::build(p.m, |i| p.q_inv(i));
     row_permute_groups(data, p.m, p.n, w, |i| p.q_inv(i), &cycles);
 }

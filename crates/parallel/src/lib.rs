@@ -173,7 +173,9 @@ pub fn c2r_parallel<T: Copy + Send + Sync>(data: &mut [T], m: usize, n: usize, o
     } else {
         phase(phases::PRE_ROTATE, || cols::prerotate_parallel(data, &p, w));
         phase(phases::ROW_SHUFFLE, || rows::row_shuffle_parallel(data, &p));
-        phase(phases::COL_SHUFFLE, || cols::col_shuffle_parallel(data, &p, w));
+        phase(phases::COL_SHUFFLE, || {
+            cols::col_shuffle_parallel(data, &p, w)
+        });
     }
 }
 
@@ -365,7 +367,10 @@ mod tests {
                 let mut a = vec![0u64; r * c];
                 fill_pattern(&mut a);
                 transpose_parallel_with(&mut a, r, c, layout, alg, &ParOptions::default());
-                assert!(is_transposed_pattern(&a, r, c, layout), "{alg:?} {layout:?}");
+                assert!(
+                    is_transposed_pattern(&a, r, c, layout),
+                    "{alg:?} {layout:?}"
+                );
             }
         }
     }

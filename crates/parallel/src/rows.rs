@@ -7,26 +7,31 @@
 //! analogue of the paper's §4.5 "on-chip" shuffle: the temporary never
 //! leaves the worker's cache, and the whole shuffle is a single pass over
 //! memory.
+//!
+//! Per-row index generation is delegated to the
+//! [`ipt_core::kernels`] family: [`row_shuffle_parallel`] and
+//! [`row_shuffle_forward_parallel`] dispatch through
+//! [`ipt_core::kernels::select`] and record the chosen kernel in
+//! [`ipt_pool::stats`], while [`row_shuffle_parallel_with`] pins an
+//! explicit kernel for tests, benches and ablations.
 
 use crate::row_grain;
 use ipt_core::index::C2rParams;
+use ipt_core::kernels::{self, RowShuffleKernel, ShuffleDirection};
 
-/// Parallel row shuffle with **incrementally generated** indices.
+/// Parallel row shuffle with an explicit kernel and direction: the
+/// work-distribution core every public row-shuffle entry point shares.
 ///
-/// `d'_i(j) = ((i + floor(j/b)) mod m + j*m) mod n` advances by a constant
-/// `+(m mod n) (mod n)` per column, plus `+1 (mod m)` to the rotation term
-/// every `b` columns — successive indices need no division (nor even the
-/// §4.4 multiply-shift) in the inner loop. `scatter` selects the
-/// direction: the C2R shuffle scatters with `d'` (`tmp[d'] = row[j]`,
-/// equivalent to gathering with `d'^-1`), the R2C shuffle gathers with
-/// `d'` directly (§4.3).
-pub fn row_shuffle_incremental<T: Copy + Send + Sync>(
+/// Rows are `n`-element blocks of the row-major buffer; each worker
+/// stages its current row in a per-worker scratch `Vec` (the §4.5
+/// "on-chip" analogue) and applies the kernel's per-row permutation.
+pub fn row_shuffle_parallel_with<T: Copy + Send + Sync>(
     data: &mut [T],
     p: &C2rParams,
-    scatter: bool,
+    kernel: RowShuffleKernel,
+    dir: ShuffleDirection,
 ) {
-    let (m, n, b) = (p.m, p.n, p.b);
-    let m_red = m % n; // per-column stride of `base`, reduced mod n
+    let n = p.n;
     ipt_pool::par_chunks_exact_mut(
         data,
         n,
@@ -35,48 +40,39 @@ pub fn row_shuffle_incremental<T: Copy + Send + Sync>(
         |tmp: &mut Vec<T>, i, row| {
             tmp.clear();
             tmp.extend_from_slice(row);
-            // State: rot = (i + j/b) mod m; rot_red = rot mod n (kept
-            // separately so the sum stays < 2n even when m > n);
-            // base = (j*m) mod n.
-            let mut rot = i % m;
-            let mut rot_red = rot % n;
-            let mut base = 0usize;
-            let mut until_bump = b;
-            for (j, &v) in tmp.iter().enumerate() {
-                let mut d = rot_red + base;
-                if d >= n {
-                    d -= n;
-                }
-                if scatter {
-                    row[d] = v;
-                } else {
-                    row[j] = tmp[d];
-                }
-                base += m_red;
-                if base >= n {
-                    base -= n;
-                }
-                until_bump -= 1;
-                if until_bump == 0 {
-                    until_bump = b;
-                    rot += 1;
-                    rot_red += 1;
-                    if rot == m {
-                        rot = 0;
-                        rot_red = 0;
-                    } else if rot_red == n {
-                        rot_red = 0;
-                    }
-                }
-            }
+            kernel.apply_row(p, i, tmp, row, dir);
         },
     );
 }
 
+/// Parallel row shuffle with the **scalar incremental** kernel:
+/// `scatter` selects the direction — the C2R shuffle scatters with `d'`
+/// (equivalent to gathering with `d'^-1`), the R2C shuffle gathers with
+/// `d'` directly (§4.3). Kept as the fixed-kernel entry point for tests
+/// and ablations; the dispatched paths are [`row_shuffle_parallel`] /
+/// [`row_shuffle_forward_parallel`].
+pub fn row_shuffle_incremental<T: Copy + Send + Sync>(
+    data: &mut [T],
+    p: &C2rParams,
+    scatter: bool,
+) {
+    let dir = if scatter {
+        ShuffleDirection::Inverse
+    } else {
+        ShuffleDirection::Forward
+    };
+    row_shuffle_parallel_with(data, p, RowShuffleKernel::Scalar, dir);
+}
+
 /// Parallel C2R row shuffle: row `i` becomes `row[j] = old[d'^-1_i(j)]`
-/// (Eq. 31) — implemented as an incremental scatter with `d'_i`.
+/// (Eq. 31), with the kernel chosen by [`kernels::select`] (run-blocked
+/// when the shape's run structure pays, scalar otherwise; `IPT_KERNEL`
+/// overrides). The selection is recorded once per pass in
+/// [`ipt_pool::stats`]'s per-kernel hit counters.
 pub fn row_shuffle_parallel<T: Copy + Send + Sync>(data: &mut [T], p: &C2rParams) {
-    row_shuffle_incremental(data, p, true);
+    let kernel = kernels::select(p);
+    ipt_pool::stats::record_kernel(kernel.name());
+    row_shuffle_parallel_with(data, p, kernel, ShuffleDirection::Inverse);
 }
 
 /// Parallel C2R row shuffle in the paper's gather form (`d'^-1` via the
@@ -97,10 +93,13 @@ pub fn row_shuffle_parallel_fastdiv<T: Copy + Send + Sync>(data: &mut [T], p: &C
     );
 }
 
-/// Parallel R2C row shuffle: gather with `d'_i` directly (§4.3),
-/// incrementally indexed.
+/// Parallel R2C row shuffle: gather with `d'_i` directly (§4.3), with
+/// the same [`kernels::select`] dispatch and hit recording as
+/// [`row_shuffle_parallel`].
 pub fn row_shuffle_forward_parallel<T: Copy + Send + Sync>(data: &mut [T], p: &C2rParams) {
-    row_shuffle_incremental(data, p, false);
+    let kernel = kernels::select(p);
+    ipt_pool::stats::record_kernel(kernel.name());
+    row_shuffle_parallel_with(data, p, kernel, ShuffleDirection::Forward);
 }
 
 #[cfg(test)]
@@ -111,7 +110,18 @@ mod tests {
 
     #[test]
     fn parallel_row_shuffle_matches_sequential() {
-        for (m, n) in [(4usize, 8usize), (7, 13), (16, 100), (100, 3)] {
+        // Includes shapes the dispatcher sends to every kernel: coprime
+        // (scalar), c = 32 (Block4), c = 64 (Block8), b = 1 (memcpy runs).
+        for (m, n) in [
+            (4usize, 8usize),
+            (7, 13),
+            (16, 100),
+            (100, 3),
+            (96, 64),
+            (192, 128),
+            (128, 64),
+            (64, 128),
+        ] {
             let p = C2rParams::new(m, n);
             let mut a = vec![0u64; m * n];
             fill_pattern(&mut a);
@@ -125,7 +135,7 @@ mod tests {
 
     #[test]
     fn parallel_forward_shuffle_matches_sequential() {
-        for (m, n) in [(4usize, 8usize), (9, 11), (64, 32)] {
+        for (m, n) in [(4usize, 8usize), (9, 11), (64, 32), (96, 64), (192, 128)] {
             let p = C2rParams::new(m, n);
             let mut a = vec![0u32; m * n];
             fill_pattern(&mut a);

@@ -10,6 +10,13 @@
 //!   by [`Scratch`](crate::Scratch) (buffered per worker, flushed on
 //!   drop): parallel tasks dispatched, work items processed, scratch
 //!   buffer allocations vs. reuses.
+//! * **Per-worker tallies** — the same dispatch counters split by worker
+//!   id, so load imbalance is visible (the decomposition's static split
+//!   should show near-identical per-worker chunk counts — the paper's
+//!   perfect-load-balance claim).
+//! * **Kernel hits** — which row-shuffle kernel the `ipt-core` dispatcher
+//!   selected for each pass ([`record_kernel`]), making `IPT_KERNEL`
+//!   ablations and silent dispatch changes observable.
 //! * **Phases** — named wall-time accumulators driven by monotonic
 //!   [`std::time::Instant`] timestamps. Engine code wraps each pass in
 //!   [`phase`]; `ipt-parallel` uses the names `pre_rotate`,
@@ -63,12 +70,63 @@ struct PhaseSlot {
 /// *pass over a whole matrix*, never in a per-element or per-chunk path.
 static PHASES: Mutex<Vec<PhaseSlot>> = Mutex::new(Vec::new());
 
+/// Per-worker tallies, indexed by worker id. Worker id `k` is the `k`-th
+/// part of each dispatch (part 0 always runs on the calling thread), so
+/// ids are comparable across dispatches of the same width.
+static WORKERS: Mutex<Vec<WorkerSlot>> = Mutex::new(Vec::new());
+
+/// One worker id's accumulated dispatch tallies.
+#[derive(Clone, Copy, Default)]
+struct WorkerSlot {
+    tasks: u64,
+    chunks: u64,
+}
+
+/// Row-shuffle kernel hit tallies, append-only by `&'static str` name
+/// (see [`record_kernel`]).
+static KERNELS: Mutex<Vec<KernelSlot>> = Mutex::new(Vec::new());
+
+/// One kernel name's accumulated hit count.
+struct KernelSlot {
+    name: &'static str,
+    hits: u64,
+}
+
 /// Record one parallel-loop dispatch: `parts` worker parts covering
-/// `items` work items.
+/// `items` work items, split as the executor splits them (`items / parts`
+/// each, the first `items % parts` workers taking one extra).
 #[inline]
 pub(crate) fn record_dispatch(parts: u64, items: u64) {
     TASKS.fetch_add(parts, Ordering::Relaxed);
     CHUNKS.fetch_add(items, Ordering::Relaxed);
+    // One short lock per parallel loop (same cost class as [`phase`]),
+    // never in a per-element or per-chunk path.
+    let mut table = WORKERS.lock().unwrap();
+    if table.len() < parts as usize {
+        table.resize(parts as usize, WorkerSlot::default());
+    }
+    let (base, rem) = (items / parts, items % parts);
+    for (k, slot) in table.iter_mut().take(parts as usize).enumerate() {
+        slot.tasks += 1;
+        slot.chunks += base + u64::from((k as u64) < rem);
+    }
+}
+
+/// Attribute one whole-matrix row shuffle to the named kernel.
+///
+/// Called by `ipt-parallel` with the [`RowShuffleKernel::name`] the
+/// dispatcher selected, once per pass — so snapshot deltas reveal which
+/// kernel actually ran (e.g. whether an `IPT_KERNEL` override or a shape
+/// change silently flipped the dispatch).
+///
+/// [`RowShuffleKernel::name`]:
+///     https://docs.rs/ipt-core/latest/ipt_core/kernels/enum.RowShuffleKernel.html
+pub fn record_kernel(name: &'static str) {
+    let mut table = KERNELS.lock().unwrap();
+    match table.iter_mut().find(|s| s.name == name) {
+        Some(slot) => slot.hits += 1,
+        None => table.push(KernelSlot { name, hits: 1 }),
+    }
 }
 
 /// Flush one worker's scratch alloc/reuse tallies (called on
@@ -138,6 +196,28 @@ impl PhaseStats {
     }
 }
 
+/// Accumulated dispatch tallies for one worker id (see [`PoolStats::workers`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Worker id: the position of this worker's part within each
+    /// dispatch. Part 0 runs on the calling thread.
+    pub worker: usize,
+    /// Dispatches this worker id took part in.
+    pub tasks: u64,
+    /// Work items (blocks / range indices) assigned to this worker id.
+    pub chunks: u64,
+}
+
+/// Accumulated hit count for one row-shuffle kernel
+/// (see [`record_kernel`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelStats {
+    /// The kernel's stable name (`"scalar"`, `"block4"`, `"block8"`).
+    pub name: &'static str,
+    /// Whole-matrix row shuffles attributed to this kernel.
+    pub hits: u64,
+}
+
 /// A point-in-time snapshot of every executor counter and phase timer.
 ///
 /// Obtained from [`snapshot`]; two snapshots bracket a region of interest
@@ -155,6 +235,14 @@ pub struct PoolStats {
     pub scratch_reuses: u64,
     /// Per-phase wall-time totals, in first-recorded order.
     pub phases: Vec<PhaseStats>,
+    /// Per-worker dispatch tallies, indexed by worker id. The
+    /// decomposition hands every worker the same per-item cost, so
+    /// `chunks` across workers of equal `tasks` should be near-uniform —
+    /// the paper's perfect-load-balance claim, asserted in the pool tests.
+    pub workers: Vec<WorkerStats>,
+    /// Row-shuffle kernel hit counts, in first-recorded order
+    /// (see [`record_kernel`]).
+    pub kernels: Vec<KernelStats>,
 }
 
 impl PoolStats {
@@ -163,14 +251,24 @@ impl PoolStats {
         self.phases.iter().find(|p| p.name == name)
     }
 
+    /// The hit count recorded for kernel `name`, if it ever ran.
+    pub fn kernel(&self, name: &str) -> Option<&KernelStats> {
+        self.kernels.iter().find(|k| k.name == name)
+    }
+
+    /// The tallies for worker id `worker`, if it was ever dispatched to.
+    pub fn worker(&self, worker: usize) -> Option<&WorkerStats> {
+        self.workers.iter().find(|w| w.worker == worker)
+    }
+
     /// Sum of all phases' wall time, in nanoseconds.
     pub fn phase_total_nanos(&self) -> u64 {
         self.phases.iter().map(|p| p.nanos).sum()
     }
 
     /// The change between `earlier` and this snapshot: counters subtract
-    /// (saturating), phases subtract by name, and phases with no activity
-    /// in the interval are dropped.
+    /// (saturating), phases/kernels subtract by name, workers subtract by
+    /// id, and entries with no activity in the interval are dropped.
     pub fn delta_since(&self, earlier: &PoolStats) -> PoolStats {
         let phases = self
             .phases
@@ -185,12 +283,39 @@ impl PoolStats {
             })
             .filter(|p| p.calls > 0 || p.nanos > 0)
             .collect();
+        let workers = self
+            .workers
+            .iter()
+            .map(|w| {
+                let prev = earlier.worker(w.worker);
+                WorkerStats {
+                    worker: w.worker,
+                    tasks: w.tasks.saturating_sub(prev.map_or(0, |q| q.tasks)),
+                    chunks: w.chunks.saturating_sub(prev.map_or(0, |q| q.chunks)),
+                }
+            })
+            .filter(|w| w.tasks > 0 || w.chunks > 0)
+            .collect();
+        let kernels = self
+            .kernels
+            .iter()
+            .map(|k| {
+                let prev = earlier.kernel(k.name);
+                KernelStats {
+                    name: k.name,
+                    hits: k.hits.saturating_sub(prev.map_or(0, |q| q.hits)),
+                }
+            })
+            .filter(|k| k.hits > 0)
+            .collect();
         PoolStats {
             tasks: self.tasks.saturating_sub(earlier.tasks),
             chunks: self.chunks.saturating_sub(earlier.chunks),
             scratch_allocs: self.scratch_allocs.saturating_sub(earlier.scratch_allocs),
             scratch_reuses: self.scratch_reuses.saturating_sub(earlier.scratch_reuses),
             phases,
+            workers,
+            kernels,
         }
     }
 }
@@ -212,12 +337,34 @@ pub fn snapshot() -> PoolStats {
             nanos: s.nanos,
         })
         .collect();
+    let workers = WORKERS
+        .lock()
+        .unwrap()
+        .iter()
+        .enumerate()
+        .map(|(worker, s)| WorkerStats {
+            worker,
+            tasks: s.tasks,
+            chunks: s.chunks,
+        })
+        .collect();
+    let kernels = KERNELS
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|s| KernelStats {
+            name: s.name,
+            hits: s.hits,
+        })
+        .collect();
     PoolStats {
         tasks: TASKS.load(Ordering::Relaxed),
         chunks: CHUNKS.load(Ordering::Relaxed),
         scratch_allocs: SCRATCH_ALLOCS.load(Ordering::Relaxed),
         scratch_reuses: SCRATCH_REUSES.load(Ordering::Relaxed),
         phases,
+        workers,
+        kernels,
     }
 }
 
@@ -232,6 +379,8 @@ pub fn reset() {
     SCRATCH_ALLOCS.store(0, Ordering::Relaxed);
     SCRATCH_REUSES.store(0, Ordering::Relaxed);
     PHASES.lock().unwrap().clear();
+    WORKERS.lock().unwrap().clear();
+    KERNELS.lock().unwrap().clear();
 }
 
 #[cfg(test)]
@@ -263,6 +412,32 @@ mod tests {
         assert_eq!(d.tasks, 3);
         assert_eq!(d.chunks, 100);
         assert!(d.phase("stats_idle_phase").is_none());
+    }
+
+    #[test]
+    fn kernel_hits_accumulate_and_delta_by_name() {
+        let before = snapshot();
+        record_kernel("stats_test_kernel");
+        record_kernel("stats_test_kernel");
+        record_kernel("stats_other_kernel");
+        let d = snapshot().delta_since(&before);
+        assert_eq!(d.kernel("stats_test_kernel").unwrap().hits, 2);
+        assert_eq!(d.kernel("stats_other_kernel").unwrap().hits, 1);
+        assert!(d.kernel("stats_never_recorded").is_none());
+    }
+
+    #[test]
+    fn worker_tallies_follow_the_executor_split() {
+        let before = snapshot();
+        // 10 items over 3 parts split 4/3/3 (first `rem` parts take one
+        // extra) — the same split Pool::par_chunks_* uses.
+        record_dispatch(3, 10);
+        let d = snapshot().delta_since(&before);
+        let per_worker: Vec<u64> = (0..3)
+            .map(|k| d.worker(k).map_or(0, |w| w.chunks))
+            .collect();
+        assert_eq!(per_worker, [4, 3, 3]);
+        assert!((0..3).all(|k| d.worker(k).unwrap().tasks >= 1));
     }
 
     #[test]

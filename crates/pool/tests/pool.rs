@@ -17,9 +17,15 @@ fn one_thread_equals_sequential() {
     }
     for threads in [1usize, 2, 3, 8] {
         let mut got = vec![0u64; n];
-        Pool::new(threads).par_chunks_exact_mut(&mut got, 1, 1, || (), |_, i, cell| {
-            cell[0] = (i as u64).wrapping_mul(0x9e3779b97f4a7c15);
-        });
+        Pool::new(threads).par_chunks_exact_mut(
+            &mut got,
+            1,
+            1,
+            || (),
+            |_, i, cell| {
+                cell[0] = (i as u64).wrapping_mul(0x9e3779b97f4a7c15);
+            },
+        );
         assert_eq!(got, want, "threads={threads}");
     }
 }
@@ -88,7 +94,11 @@ fn per_worker_state_is_not_shared() {
             block[0] = (*id, *seq);
         },
     );
-    assert_eq!(inits.load(Ordering::Relaxed), threads, "one init per worker");
+    assert_eq!(
+        inits.load(Ordering::Relaxed),
+        threads,
+        "one init per worker"
+    );
     // Per worker id, the recorded sequence numbers must be 1..=k with no
     // interleaving from other workers — the state was private and reused.
     let mut per_worker: Vec<Vec<usize>> = vec![Vec::new(); threads];
@@ -108,20 +118,14 @@ fn per_worker_state_is_not_shared() {
 fn per_worker_scratch_buffers_are_private() {
     let n = 256usize;
     let mut out = vec![0u64; n];
-    Pool::new(4).par_chunks_exact_mut(
-        &mut out,
-        1,
-        1,
-        Scratch::<u64>::new,
-        |scratch, i, cell| {
-            let tag = i as u64 + 1;
-            let buf = scratch.filled_buf(32, tag);
-            // If another worker shared this scratch, some slot would hold
-            // a foreign tag.
-            assert!(buf.iter().all(|&v| v == tag));
-            cell[0] = buf.iter().sum::<u64>();
-        },
-    );
+    Pool::new(4).par_chunks_exact_mut(&mut out, 1, 1, Scratch::<u64>::new, |scratch, i, cell| {
+        let tag = i as u64 + 1;
+        let buf = scratch.filled_buf(32, tag);
+        // If another worker shared this scratch, some slot would hold
+        // a foreign tag.
+        assert!(buf.iter().all(|&v| v == tag));
+        cell[0] = buf.iter().sum::<u64>();
+    });
     for (i, &v) in out.iter().enumerate() {
         assert_eq!(v, 32 * (i as u64 + 1));
     }

@@ -1,0 +1,66 @@
+//! Per-worker load-balance assertions (ROADMAP "Worker-level stats").
+//!
+//! The paper's decomposition claims *perfect* load balance: every unit of
+//! the static split costs the same, so worker `k`'s share differs from
+//! worker `j`'s by at most one block. The per-worker counters in
+//! [`ipt_pool::stats`] make that claim checkable. This file holds exactly
+//! one `#[test]` so it runs as its own process with no concurrent
+//! recorders, allowing exact (not `>=`) counter assertions.
+
+use ipt_pool::{stats, Pool};
+
+#[test]
+fn static_split_balances_skewed_shapes_perfectly() {
+    // (blocks, block_len, threads): many tiny blocks, few huge blocks,
+    // degenerate single-element blocks, and a non-dividing remainder.
+    for (blocks, block_len, threads) in [
+        (997usize, 7usize, 4usize), // tall-skinny: 997 = 4*249 + 1
+        (5, 1021, 4),               // wide: fewer big rows than 2*threads
+        (1024, 1, 8),               // single-element blocks, even split
+        (47, 13, 3),                // 47 = 3*15 + 2
+    ] {
+        let before = stats::snapshot();
+        let mut data = vec![0u32; blocks * block_len];
+        Pool::new(threads).par_chunks_exact_mut(
+            &mut data,
+            block_len,
+            1,
+            || (),
+            |(), b, chunk| chunk.fill(b as u32),
+        );
+        let d = stats::snapshot().delta_since(&before);
+
+        let parts = blocks.min(threads);
+        assert_eq!(
+            d.workers.len(),
+            parts,
+            "{blocks}x{block_len}@{threads}: worker ids dispatched"
+        );
+        let per_worker: Vec<u64> = d.workers.iter().map(|w| w.chunks).collect();
+        let (min, max) = (
+            *per_worker.iter().min().unwrap(),
+            *per_worker.iter().max().unwrap(),
+        );
+        assert!(
+            max - min <= 1,
+            "{blocks}x{block_len}@{threads}: perfect balance violated: {per_worker:?}"
+        );
+        assert_eq!(
+            per_worker.iter().sum::<u64>(),
+            blocks as u64,
+            "{blocks}x{block_len}@{threads}: every block accounted for"
+        );
+        assert!(
+            d.workers.iter().all(|w| w.tasks == 1),
+            "{blocks}x{block_len}@{threads}: one part per worker per dispatch: {:?}",
+            d.workers
+        );
+
+        // The data itself must also be fully processed (the counters
+        // describe real work, not bookkeeping).
+        assert!(data
+            .chunks_exact(block_len)
+            .enumerate()
+            .all(|(b, chunk)| chunk.iter().all(|&v| v == b as u32)));
+    }
+}

@@ -88,7 +88,8 @@ impl<'a, T: Copy> CoalescedPtr<'a, T> {
         if let Some(pos) = self.compiled.iter().position(|(l, _)| *l == lanes) {
             return &self.compiled[pos].1;
         }
-        self.compiled.push((lanes, CompiledTranspose::new(self.s, lanes)));
+        self.compiled
+            .push((lanes, CompiledTranspose::new(self.s, lanes)));
         &self.compiled.last().unwrap().1
     }
 
@@ -178,7 +179,10 @@ impl<'a, T: Copy> CoalescedPtr<'a, T> {
                 for k in 0..passes {
                     for (l, &ix) in indices.iter().enumerate() {
                         let e0 = ix * s + k * per;
-                        addrs[l] = (self.addr_of_elem(e0), (per as u64 * Self::elt_bytes()) as u32);
+                        addrs[l] = (
+                            self.addr_of_elem(e0),
+                            (per as u64 * Self::elt_bytes()) as u32,
+                        );
                         out[l * s + k * per..l * s + (k + 1) * per]
                             .copy_from_slice(&self.data[e0..e0 + per]);
                     }
@@ -254,7 +258,10 @@ impl<'a, T: Copy> CoalescedPtr<'a, T> {
                 for k in 0..passes {
                     for (l, &ix) in indices.iter().enumerate() {
                         let e0 = ix * s + k * per;
-                        addrs[l] = (self.addr_of_elem(e0), (per as u64 * Self::elt_bytes()) as u32);
+                        addrs[l] = (
+                            self.addr_of_elem(e0),
+                            (per as u64 * Self::elt_bytes()) as u32,
+                        );
                         self.data[e0..e0 + per]
                             .copy_from_slice(&values[l * s + k * per..l * s + (k + 1) * per]);
                     }

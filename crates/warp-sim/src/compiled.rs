@@ -66,7 +66,9 @@ impl CompiledTranspose {
         } else {
             (
                 (0..lanes).map(|j| p.rotate_amount(j) % m).collect(),
-                (0..lanes).map(|j| (m - p.rotate_amount(j) % m) % m).collect(),
+                (0..lanes)
+                    .map(|j| (m - p.rotate_amount(j) % m) % m)
+                    .collect(),
             )
         };
         CompiledTranspose {
@@ -198,7 +200,9 @@ mod tests {
         let (m, lanes) = (8usize, 32usize);
         let ct = CompiledTranspose::new(m, lanes);
         for salt in 0..16u32 {
-            let data: Vec<u32> = (0..(m * lanes) as u32).map(|x| x.wrapping_mul(salt | 1)).collect();
+            let data: Vec<u32> = (0..(m * lanes) as u32)
+                .map(|x| x.wrapping_mul(salt | 1))
+                .collect();
             let mut w = Warp::from_matrix(&data, m, lanes);
             ct.c2r(&mut w);
             ct.r2c(&mut w);

@@ -255,10 +255,21 @@ mod tests {
 
     #[test]
     fn sampling_changes_cost_little() {
-        let exact = GpuSim { row_sampling: 1, ..GpuSim::default() }.simulate_c2r(900, 1100, 8);
-        let sampled = GpuSim { row_sampling: 7, ..GpuSim::default() }.simulate_c2r(900, 1100, 8);
+        let exact = GpuSim {
+            row_sampling: 1,
+            ..GpuSim::default()
+        }
+        .simulate_c2r(900, 1100, 8);
+        let sampled = GpuSim {
+            row_sampling: 7,
+            ..GpuSim::default()
+        }
+        .simulate_c2r(900, 1100, 8);
         let ratio = sampled.effective_gbps / exact.effective_gbps;
-        assert!((0.8..1.25).contains(&ratio), "sampling skewed result: {ratio}");
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "sampling skewed result: {ratio}"
+        );
     }
 
     #[test]

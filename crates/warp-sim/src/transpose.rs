@@ -182,7 +182,11 @@ mod tests {
         let c = warp.counts();
         assert_eq!(c.shuffles, m as u64, "one shuffle per register");
         // gcd(8, 32) = 8 > 1: pre-rotation + p_j rotation = 2 rotations.
-        assert_eq!(c.rotate_stages, 2 * 3, "two barrel rotations of log2(8) stages");
+        assert_eq!(
+            c.rotate_stages,
+            2 * 3,
+            "two barrel rotations of log2(8) stages"
+        );
         assert_eq!(c.selects, 2 * 3 * (m * n) as u64);
         assert_eq!(c.static_renames, 1, "q is a free renaming");
     }

@@ -211,8 +211,7 @@ impl<T: Copy> Warp<T> {
             let s = perm(r);
             debug_assert!(s < m && !seen[s], "perm is not a permutation");
             seen[s] = true;
-            self.regs[r * lanes..(r + 1) * lanes]
-                .copy_from_slice(&old[s * lanes..(s + 1) * lanes]);
+            self.regs[r * lanes..(r + 1) * lanes].copy_from_slice(&old[s * lanes..(s + 1) * lanes]);
         }
         self.counts.static_renames += 1;
     }
@@ -272,7 +271,15 @@ mod tests {
 
     #[test]
     fn rotation_cost_is_log2_stages() {
-        for (m, want_stages) in [(2usize, 1u64), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4), (32, 5)] {
+        for (m, want_stages) in [
+            (2usize, 1u64),
+            (3, 2),
+            (4, 2),
+            (5, 3),
+            (8, 3),
+            (9, 4),
+            (32, 5),
+        ] {
             let mut w = iota_warp(m, 4);
             w.rotate_lanes_dynamic(|_| 1);
             let c = w.counts();

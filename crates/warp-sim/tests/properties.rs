@@ -22,11 +22,19 @@ fn in_register_c2r_equals_memory_c2r() {
         let shared = rng.chance(1, 2);
         let data: Vec<u32> = (0..(m * lanes) as u32).collect();
         let mut warp = Warp::from_matrix(&data, m, lanes);
-        let kind = if shared { ShuffleKind::SharedMemory } else { ShuffleKind::Hardware };
+        let kind = if shared {
+            ShuffleKind::SharedMemory
+        } else {
+            ShuffleKind::Hardware
+        };
         c2r_in_register_with(&mut warp, kind);
         let mut want = data;
         ipt_core::c2r(&mut want, m, lanes, &mut Scratch::new());
-        assert_eq!(warp.as_matrix(), &want[..], "case {case}: m={m} lanes={lanes} shared={shared}");
+        assert_eq!(
+            warp.as_matrix(),
+            &want[..],
+            "case {case}: m={m} lanes={lanes} shared={shared}"
+        );
     }
 }
 
@@ -40,7 +48,11 @@ fn in_register_r2c_inverts_c2r() {
         let mut warp = Warp::from_matrix(&data, m, lanes);
         c2r_in_register_with(&mut warp, ShuffleKind::Hardware);
         r2c_in_register_with(&mut warp, ShuffleKind::Hardware);
-        assert_eq!(warp.as_matrix(), &data[..], "case {case}: m={m} lanes={lanes}");
+        assert_eq!(
+            warp.as_matrix(),
+            &data[..],
+            "case {case}: m={m} lanes={lanes}"
+        );
     }
 }
 
@@ -85,7 +97,11 @@ fn shuffle_then_inverse_shuffle_is_identity() {
         for r in 0..m {
             warp.shfl(r, move |l| (l + lanes - s) % lanes);
         }
-        assert_eq!(warp.as_matrix(), &data[..], "case {case}: m={m} lanes={lanes} shift={shift}");
+        assert_eq!(
+            warp.as_matrix(),
+            &data[..],
+            "case {case}: m={m} lanes={lanes} shift={shift}"
+        );
     }
 }
 
@@ -104,7 +120,9 @@ fn gather_returns_requested_structs() {
             1 => AccessStrategy::Vector { width_bytes: 16 },
             _ => AccessStrategy::C2r,
         };
-        let orig: Vec<u64> = (0..(total * s) as u64).map(|x| x.wrapping_mul(seed | 1)).collect();
+        let orig: Vec<u64> = (0..(total * s) as u64)
+            .map(|x| x.wrapping_mul(seed | 1))
+            .collect();
         let mut data = orig.clone();
         let indices: Vec<usize> = (0..lanes)
             .map(|l| ((seed.rotate_left(l as u32) as usize) ^ (l * 7919)) % total)
@@ -172,7 +190,9 @@ fn op_counts_scale_with_registers() {
         c2r_in_register_with(&mut warp, ShuffleKind::Hardware);
         let c = warp.counts();
         let stages = (usize::BITS - (m - 1).leading_zeros()) as u64;
-        let rotations = if m.is_power_of_two() && lanes % m == 0 || ipt_core::gcd::gcd(m as u64, lanes as u64) > 1 {
+        let rotations = if m.is_power_of_two() && lanes % m == 0
+            || ipt_core::gcd::gcd(m as u64, lanes as u64) > 1
+        {
             2
         } else {
             1

@@ -18,7 +18,10 @@ const VX: usize = 3;
 
 fn main() {
     let n: usize = 1_000_000;
-    println!("{n} particles x {FIELDS} f32 fields ({} MB)", n * FIELDS * 4 / 1_000_000);
+    println!(
+        "{n} particles x {FIELDS} f32 fields ({} MB)",
+        n * FIELDS * 4 / 1_000_000
+    );
 
     // AoS as handed to us by some external interface.
     let mut buf: Vec<f32> = (0..n * FIELDS).map(|i| (i % 1000) as f32 * 0.5).collect();

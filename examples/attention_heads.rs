@@ -14,8 +14,10 @@ use std::time::Instant;
 
 fn main() {
     let (heads, seq, dim) = (16usize, 1024usize, 256usize);
-    println!("tensor [heads={heads}, seq={seq}, dim={dim}] f32 ({} MB)",
-        heads * seq * dim * 4 / 1_000_000);
+    println!(
+        "tensor [heads={heads}, seq={seq}, dim={dim}] f32 ({} MB)",
+        heads * seq * dim * 4 / 1_000_000
+    );
 
     // K tensor: head-major, each head a seq x dim row-major matrix.
     let mut k: Vec<f32> = (0..heads * seq * dim).map(|i| (i % 9973) as f32).collect();

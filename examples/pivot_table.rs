@@ -40,7 +40,11 @@ fn main() {
     print_table(&cells, cols, rows);
 
     let moved = cells.iter().find(|c| *c == &probe_val).unwrap();
-    assert_eq!(moved.as_ptr(), probe_ptr, "the String buffer itself moved, not a copy");
+    assert_eq!(
+        moved.as_ptr(),
+        probe_ptr,
+        "the String buffer itself moved, not a copy"
+    );
     println!("\ncell {probe_val:?} kept its original heap allocation: no clones.");
 
     // The same pivot on raw fixed-size records via the type-erased path:
@@ -63,7 +67,9 @@ fn main() {
 
 fn print_table(cells: &[String], rows: usize, cols: usize) {
     for i in 0..rows {
-        let row: Vec<String> = (0..cols).map(|j| format!("{:>10}", cells[i * cols + j])).collect();
+        let row: Vec<String> = (0..cols)
+            .map(|j| format!("{:>10}", cells[i * cols + j]))
+            .collect();
         println!("  {}", row.join(" "));
     }
 }

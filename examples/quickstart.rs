@@ -26,15 +26,32 @@ fn main() {
     m.transpose_in_place(&mut scratch_u16);
     assert_eq!((m.rows(), m.cols()), (7, 4));
     assert_eq!(m.get(3, 2), 23); // old (2, 3)
-    println!("\nMatrix<u16> col-major 4x7 -> 7x4: get(3, 2) = {}", m.get(3, 2));
+    println!(
+        "\nMatrix<u16> col-major 4x7 -> 7x4: get(3, 2) = {}",
+        m.get(3, 2)
+    );
 
     // --- 3. Pick the algorithm explicitly, or let the heuristic choose ----
     // The paper's two directions are inverses; both transpose any shape.
     let mut a: Vec<u64> = (0..6 * 10).collect();
     let mut b = a.clone();
     let mut scratch_u64 = Scratch::new();
-    transpose_with(&mut a, 6, 10, Layout::RowMajor, Algorithm::C2r, &mut scratch_u64);
-    transpose_with(&mut b, 6, 10, Layout::RowMajor, Algorithm::R2c, &mut scratch_u64);
+    transpose_with(
+        &mut a,
+        6,
+        10,
+        Layout::RowMajor,
+        Algorithm::C2r,
+        &mut scratch_u64,
+    );
+    transpose_with(
+        &mut b,
+        6,
+        10,
+        Layout::RowMajor,
+        Algorithm::R2c,
+        &mut scratch_u64,
+    );
     assert_eq!(a, b);
     println!("\nC2R and R2C agree on 6 x 10: OK");
 
@@ -42,7 +59,13 @@ fn main() {
     let (rows, cols) = (1000, 777);
     let mut big: Vec<f64> = (0..rows * cols).map(|i| i as f64).collect();
     let t0 = std::time::Instant::now();
-    transpose_parallel(&mut big, rows, cols, Layout::RowMajor, &ParOptions::default());
+    transpose_parallel(
+        &mut big,
+        rows,
+        cols,
+        Layout::RowMajor,
+        &ParOptions::default(),
+    );
     let dt = t0.elapsed();
     let gb = (2 * rows * cols * std::mem::size_of::<f64>()) as f64 / 1e9;
     println!(
@@ -53,14 +76,22 @@ fn main() {
     assert_eq!(big[1], cols as f64); // (0, 1) of the transpose
 
     // Transposing twice restores the original.
-    transpose_parallel(&mut big, cols, rows, Layout::RowMajor, &ParOptions::default());
+    transpose_parallel(
+        &mut big,
+        cols,
+        rows,
+        Layout::RowMajor,
+        &ParOptions::default(),
+    );
     assert!(big.iter().enumerate().all(|(i, &v)| v == i as f64));
     println!("double transpose is the identity: OK");
 }
 
 fn print_matrix(data: &[i32], rows: usize, cols: usize) {
     for i in 0..rows {
-        let row: Vec<String> = (0..cols).map(|j| format!("{:3}", data[i * cols + j])).collect();
+        let row: Vec<String> = (0..cols)
+            .map(|j| format!("{:3}", data[i * cols + j]))
+            .collect();
         println!("  [{}]", row.join(" "));
     }
 }

@@ -34,10 +34,7 @@ fn main() {
             let mut ptr = CoalescedPtr::new(&mut data, s, MemoryConfig::default());
             let vals = ptr.load_unit_stride(0, LANES, strat);
             // Every strategy must deliver identical values...
-            assert!(vals
-                .iter()
-                .enumerate()
-                .all(|(i, &v)| v == i as f64));
+            assert!(vals.iter().enumerate().all(|(i, &v)| v == i as f64));
             // ...but at very different transaction costs.
             let st = ptr.memory().stats();
             row.push_str(&format!(
@@ -58,7 +55,13 @@ fn main() {
     ptr.load_unit_stride(0, LANES, AccessStrategy::C2r);
     let ops = ptr.op_counts();
     println!("  lane shuffles:    {}", ops.shuffles);
-    println!("  barrel stages:    {} (= rotations x ceil(log2 {s}))", ops.rotate_stages);
+    println!(
+        "  barrel stages:    {} (= rotations x ceil(log2 {s}))",
+        ops.rotate_stages
+    );
     println!("  selects:          {}", ops.selects);
-    println!("  static renamings: {} (the q permutation - free on hardware)", ops.static_renames);
+    println!(
+        "  static renamings: {} (the q permutation - free on hardware)",
+        ops.static_renames
+    );
 }

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Regenerate the committed benchmark baselines: BENCH_transpose.json and
-# BENCH_parallel.json at the repo root, via `ipt-cli bench` (release
-# build). Ends with a self-compare of each fresh file as a sanity check
-# that the emit → parse → compare pipeline round-trips.
+# Regenerate the committed benchmark baselines: BENCH_transpose.json,
+# BENCH_parallel.json and BENCH_kernels.json at the repo root, via
+# `ipt-cli bench` (release build). Ends with a self-compare of each fresh
+# file as a sanity check that the emit → parse → compare pipeline
+# round-trips.
 #
 # Usage: scripts/bench.sh [extra ipt-cli bench flags, e.g. --quick]
 #
@@ -14,21 +15,21 @@
 
 set -euo pipefail
 
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 
 echo "== build (release) =="
 cargo build --release -p ipt-cli
 
 CLI=target/release/ipt-cli
 
-for suite in transpose parallel; do
+for suite in transpose parallel kernels; do
     echo "== suite: $suite =="
     "$CLI" bench --suite "$suite" --out "BENCH_${suite}.json" "$@"
 done
 
 echo "== sanity: self-compare round-trip =="
-for suite in transpose parallel; do
+for suite in transpose parallel kernels; do
     "$CLI" bench --compare "BENCH_${suite}.json" "BENCH_${suite}.json" > /dev/null
 done
 
-echo "== wrote BENCH_transpose.json BENCH_parallel.json =="
+echo "== wrote BENCH_transpose.json BENCH_parallel.json BENCH_kernels.json =="

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Tiered CI pipeline: cheap universal gates first, the full hermetic
+# verification in the middle, perf smoke last. Designed so a clean
+# checkout with only the pinned toolchain (rustc + cargo + rustfmt +
+# clippy) passes end-to-end:
+#
+#   tier 0  fmt          cargo fmt --check            (seconds)
+#   tier 0  clippy       cargo clippy -D warnings     (one build)
+#   tier 0  shellcheck   scripts/*.sh, if installed
+#   tier 1  verify       scripts/verify.sh            (hermetic build+test)
+#   tier 2  rustdoc      -D warnings across the workspace
+#   tier 2  bench smoke  kernels suite: emit -> parse -> compare against
+#                        the committed BENCH_kernels.json baseline
+#
+# Usage: scripts/ci.sh  (from anywhere; cd's to the repo root)
+#
+# Knobs:
+#   IPT_BENCH_THRESHOLD  regression gate percent for the bench smoke
+#                        (default 40 — see the note at that stage).
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.." || exit 1
+
+stage() { echo; echo "== ci: $1 =="; }
+
+stage "fmt (tier 0)"
+cargo fmt --all -- --check
+
+stage "clippy (tier 0)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+stage "shellcheck (tier 0)"
+if command -v shellcheck > /dev/null 2>&1; then
+    shellcheck scripts/*.sh
+else
+    echo "shellcheck not installed; skipping (install it to lint scripts/*.sh)"
+fi
+
+stage "hermetic verify (tier 1)"
+scripts/verify.sh
+
+stage "rustdoc -D warnings (tier 2)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+
+stage "bench smoke: kernels suite vs committed baseline (tier 2)"
+# A --quick run keeps the full (algorithm, shape) entry set of the
+# committed BENCH_kernels.json (compare keys must match) and only cuts
+# samples, so it finishes in seconds. The gate defends the kernel
+# family's headline property — the run-blocked kernels' multiple-x win
+# over scalar on large-gcd shapes. Losing that property (broken
+# dispatch, de-vectorized inner loop, memcpy fast path gone) shows up as
+# a 50%+ median drop; machine noise on a busy single-core box measures
+# up to ~30% run-to-run. Hence a generous threshold plus one retry:
+# noise must strike the same way twice in a row to false-fail, while a
+# real regression fails both runs.
+THRESHOLD="${IPT_BENCH_THRESHOLD:-40}"
+CLI=target/release/ipt-cli
+SMOKE="$(mktemp)"
+trap 'rm -f "$SMOKE"' EXIT
+run_smoke() {
+    "$CLI" bench --suite kernels --quick --samples 3 --out "$SMOKE" > /dev/null
+    grep -q '"schema": "ipt-bench-report-v1"' "$SMOKE"
+    "$CLI" bench --compare "$SMOKE" "$SMOKE" > /dev/null  # parse round-trip
+    "$CLI" bench --compare BENCH_kernels.json "$SMOKE" --threshold "$THRESHOLD"
+}
+if ! run_smoke; then
+    echo "-- bench smoke regressed once; retrying to rule out machine noise --"
+    run_smoke
+fi
+
+echo
+echo "== ci: OK =="

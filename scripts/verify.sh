@@ -14,7 +14,7 @@
 
 set -euo pipefail
 
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 
 CARGO_HOME_TMP="$(mktemp -d)"
 trap 'rm -rf "$CARGO_HOME_TMP"' EXIT

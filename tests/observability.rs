@@ -25,7 +25,9 @@ fn parallel_transpose_attributes_all_three_phases() {
     let d = stats::snapshot().delta_since(&before);
 
     for phase in ["pre_rotate", "row_shuffle", "col_shuffle"] {
-        let p = d.phase(phase).unwrap_or_else(|| panic!("{phase} missing: {d:?}"));
+        let p = d
+            .phase(phase)
+            .unwrap_or_else(|| panic!("{phase} missing: {d:?}"));
         assert!(p.calls >= 1, "{phase}: {p:?}");
     }
     assert!(d.tasks >= 1, "{d:?}");
@@ -101,7 +103,9 @@ fn sequential_facade_records_no_phases() {
     transpose(&mut a, 5, 7, Layout::RowMajor, &mut s);
     let d = stats::snapshot().delta_since(&before);
     assert!(
-        ipt::parallel::phases::ALL.iter().all(|p| d.phase(p).is_none()),
+        ipt::parallel::phases::ALL
+            .iter()
+            .all(|p| d.phase(p).is_none()),
         "sequential path must not touch phase timers: {d:?}"
     );
 }

@@ -42,7 +42,11 @@ fn random_layout_and_algorithm_combinations() {
     for round in 0..40 {
         let rows = rng.range(1..150);
         let cols = rng.range(1..150);
-        let layout = if rng.chance(1, 2) { Layout::RowMajor } else { Layout::ColMajor };
+        let layout = if rng.chance(1, 2) {
+            Layout::RowMajor
+        } else {
+            Layout::ColMajor
+        };
         let alg = match rng.range(0..3) {
             0 => Algorithm::C2r,
             1 => Algorithm::R2c,
@@ -102,7 +106,9 @@ fn prop_aos_soa_round_trip() {
     for case in 0..64 {
         let n_structs = rng.range(1..500);
         let fields = rng.range(1..40);
-        let orig: Vec<f32> = (0..n_structs * fields).map(|_| rng.next_u64() as u32 as f32).collect();
+        let orig: Vec<f32> = (0..n_structs * fields)
+            .map(|_| rng.next_u64() as u32 as f32)
+            .collect();
         let mut data = orig.clone();
         aos_to_soa(&mut data, n_structs, fields);
         // Field k of struct i must land at k * n_structs + i.

@@ -107,7 +107,11 @@ fn sung_tiles_collapse_on_primes_but_not_composites() {
 fn model_predicts_doubles_beat_floats_for_c2r() {
     let d = DeviceModel::default();
     // Representative paper-scale shapes (off the on-chip band).
-    for (m, n) in [(15_000usize, 12_000usize), (18_000, 9_000), (11_111, 17_000)] {
+    for (m, n) in [
+        (15_000usize, 12_000usize),
+        (18_000, 9_000),
+        (11_111, 17_000),
+    ] {
         let f32_gbps = d.heuristic_gbps(m, n, 4);
         let f64_gbps = d.heuristic_gbps(m, n, 8);
         assert!(

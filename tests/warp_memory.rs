@@ -39,7 +39,10 @@ fn direct_efficiency_decays_with_struct_size() {
     assert!((effs[15] - 8.0 / 128.0).abs() < 1e-12);
     // The paper's headline: up to ~45x between C2R and Direct.
     let ratio = 1.0 / effs[15];
-    assert!(ratio >= 10.0, "expected a large C2R:Direct gap, got {ratio}");
+    assert!(
+        ratio >= 10.0,
+        "expected a large C2R:Direct gap, got {ratio}"
+    );
 }
 
 #[test]
@@ -105,7 +108,10 @@ fn store_paths_count_write_transactions() {
         tx.push(st.write_transactions);
         assert_eq!(data, values, "{strat:?} stored wrong bytes");
     }
-    assert!(tx[2] < tx[1] && tx[1] < tx[0], "C2R < Vector < Direct: {tx:?}");
+    assert!(
+        tx[2] < tx[1] && tx[1] < tx[0],
+        "C2R < Vector < Direct: {tx:?}"
+    );
 }
 
 #[test]
