@@ -142,6 +142,36 @@ impl Json {
         }
     }
 
+    /// Serialize like [`Json::render`], but *fail* if the document holds
+    /// a non-finite number instead of degrading it to `null`.
+    ///
+    /// A NaN/±inf statistic (e.g. a throughput computed from a
+    /// zero-duration sample) would otherwise round-trip as `Json::Null`
+    /// and only surface much later, as a confusing schema error when the
+    /// report is re-loaded. Writers that persist documents for later
+    /// parsing (notably [`crate::report::BenchReport::save`]) use this
+    /// checked form; the error names the path of the offending value.
+    pub fn render_checked(&self) -> Result<String, String> {
+        self.check_finite("$")?;
+        Ok(self.render())
+    }
+
+    fn check_finite(&self, path: &str) -> Result<(), String> {
+        match self {
+            Json::Num(x) if !x.is_finite() => Err(format!(
+                "non-finite number ({x}) at {path} has no JSON encoding"
+            )),
+            Json::Arr(items) => items
+                .iter()
+                .enumerate()
+                .try_for_each(|(i, v)| v.check_finite(&format!("{path}[{i}]"))),
+            Json::Obj(pairs) => pairs
+                .iter()
+                .try_for_each(|(k, v)| v.check_finite(&format!("{path}.{k}"))),
+            _ => Ok(()),
+        }
+    }
+
     /// Parse a JSON document. The entire input must be consumed (trailing
     /// whitespace allowed). Errors carry the byte offset of the problem.
     pub fn parse(text: &str) -> Result<Json, String> {
@@ -163,7 +193,10 @@ fn indent(out: &mut String, depth: usize) {
 }
 
 /// Shortest-round-trip number formatting; whole numbers print as
-/// integers. Non-finite values (not valid JSON) serialize as `null`.
+/// integers. Non-finite values have no JSON encoding, so the infallible
+/// display path degrades them to `null`; use [`Json::render_checked`]
+/// when the document is persisted for later parsing, so the corruption
+/// errors at write time instead of at some later load.
 fn write_num(out: &mut String, x: f64) {
     if !x.is_finite() {
         out.push_str("null");
@@ -413,5 +446,47 @@ mod tests {
         assert_eq!(Json::Num(42.5).as_u64(), None);
         assert_eq!(Json::Num(-1.0).as_u64(), None);
         assert_eq!(Json::Num(1e300).as_u64(), None);
+    }
+
+    #[test]
+    fn integer_accessor_at_the_2_pow_53_boundary() {
+        let exact = 2f64.powi(53); // largest f64 where every integer below is exact
+        assert_eq!(Json::Num(exact).as_u64(), Some(9_007_199_254_740_992));
+        assert_eq!(Json::Num(exact - 1.0).as_u64(), Some(9_007_199_254_740_991));
+        // The next representable f64 above 2^53 is 2^53 + 2: past the
+        // boundary, integers are no longer uniquely representable, so the
+        // accessor refuses rather than silently round.
+        assert_eq!(Json::Num(exact + 2.0).as_u64(), None);
+        // Round-trip through text stays exact right up to the boundary.
+        for x in [exact, exact - 1.0] {
+            let back = Json::parse(&Json::Num(x).render()).unwrap();
+            assert_eq!(back.as_u64(), Some(x as u64));
+        }
+    }
+
+    #[test]
+    fn checked_render_rejects_non_finite_numbers_with_a_path() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let doc = Json::obj(vec![(
+                "entries",
+                Json::Arr(vec![Json::obj(vec![("median_gbps", Json::Num(bad))])]),
+            )]);
+            let err = doc.render_checked().unwrap_err();
+            assert!(
+                err.contains("$.entries[0].median_gbps"),
+                "error should locate the value: {err}"
+            );
+            // The infallible path still renders (as null) for display use.
+            assert!(doc.render().contains("null"));
+        }
+    }
+
+    #[test]
+    fn checked_render_matches_render_for_finite_documents() {
+        let doc = Json::obj(vec![
+            ("a", Json::Num(1.5)),
+            ("b", Json::Arr(vec![Json::Num(2f64.powi(53)), Json::Null])),
+        ]);
+        assert_eq!(doc.render_checked().unwrap(), doc.render());
     }
 }

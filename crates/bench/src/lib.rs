@@ -10,12 +10,16 @@
 //! Machine-readable output: [`json`] is a dependency-free JSON
 //! serializer/parser with deterministic key order, and [`report`] defines
 //! the `BENCH_*.json` baseline schema plus the regression [`report::compare`]
-//! used by `ipt-cli bench --compare`.
+//! used by `ipt-cli bench --compare`. [`history`] layers a trend archive
+//! on top: dated report files (`--history DIR`) and the trailing-median +
+//! drift gate that catches regressions creeping in under the single-run
+//! threshold across several runs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod history;
 pub mod json;
 pub mod micro;
 pub mod report;

@@ -192,8 +192,17 @@ impl BenchReport {
     }
 
     /// Serialize and write to `path`.
+    ///
+    /// Fails (without writing) if any statistic is non-finite — a NaN or
+    /// ±inf throughput, e.g. from a zero-duration sample, must error at
+    /// write time rather than corrupt a baseline that every later
+    /// `--compare` run silently trusts.
     pub fn save(&self, path: &str) -> Result<(), String> {
-        std::fs::write(path, self.to_json().render()).map_err(|e| format!("writing {path}: {e}"))
+        let text = self
+            .to_json()
+            .render_checked()
+            .map_err(|e| format!("report {:?} is corrupt: {e}", self.name))?;
+        std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))
     }
 
     /// Read and parse `path`.
@@ -217,27 +226,91 @@ pub struct CompareRow {
     pub old_gbps: f64,
     /// Candidate (new) median throughput, GB/s.
     pub new_gbps: f64,
-    /// Relative change in percent (`+` is faster, `-` is slower).
+    /// Relative change in percent (`+` is faster, `-` is slower). NaN
+    /// when either median is unusable — `reason` explains which.
     pub change_pct: f64,
-    /// Whether the slowdown exceeds the threshold.
+    /// Whether the row fails the gate: the slowdown exceeds the
+    /// threshold, or a median is unusable (see `reason`).
     pub regressed: bool,
+    /// Why the row was force-flagged independent of `change_pct` (a
+    /// non-finite or non-positive median); `None` for a plain numeric
+    /// diff.
+    pub reason: Option<String>,
+}
+
+/// The result of matching two reports entry-by-entry: the per-entry rows
+/// plus counts of entries that exist in only one of the two files, which
+/// the gate's caller must surface — silently dropping them would let a
+/// renamed or vanished configuration slip past review.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// One row per entry key present in both reports.
+    pub rows: Vec<CompareRow>,
+    /// Entries present only in the old report (removed configurations).
+    pub old_only: usize,
+    /// Entries present only in the new report (added configurations).
+    pub new_only: usize,
+}
+
+impl Comparison {
+    /// Number of rows failing the gate.
+    pub fn regressions(&self) -> usize {
+        self.rows.iter().filter(|r| r.regressed).count()
+    }
+}
+
+/// Classify a single old-vs-new median pair against a threshold:
+/// `(change_pct, regressed, reason)`.
+///
+/// A baseline that is NaN, ±inf, zero or negative can never legitimately
+/// describe a throughput, so it is treated as an explicit failure
+/// (`regressed = true` with a reason) rather than a 0% change — a corrupt
+/// or zeroed-out baseline must not be able to mask a real regression.
+/// The same applies to an unusable *candidate* median. Shared by the
+/// pairwise [`compare`] gate and the trend gate in [`crate::history`].
+pub fn classify_change(
+    old_gbps: f64,
+    new_gbps: f64,
+    threshold_pct: f64,
+) -> (f64, bool, Option<String>) {
+    if !old_gbps.is_finite() || old_gbps <= 0.0 {
+        return (
+            f64::NAN,
+            true,
+            Some(format!(
+                "baseline median {old_gbps} GB/s is not a positive finite throughput \
+                 (corrupt baseline? regenerate it)"
+            )),
+        );
+    }
+    if !new_gbps.is_finite() || new_gbps <= 0.0 {
+        return (
+            f64::NAN,
+            true,
+            Some(format!(
+                "candidate median {new_gbps} GB/s is not a positive finite throughput"
+            )),
+        );
+    }
+    let change_pct = (new_gbps - old_gbps) / old_gbps * 100.0;
+    (change_pct, change_pct < -threshold_pct, None)
 }
 
 /// Match entries of `new` against `old` by (algorithm, m, n, elem_bytes)
 /// and flag any whose median throughput dropped by more than
-/// `threshold_pct` percent. Entries present in only one report are
-/// skipped — adding or removing a configuration is not a regression.
-pub fn compare(old: &BenchReport, new: &BenchReport, threshold_pct: f64) -> Vec<CompareRow> {
+/// `threshold_pct` percent (or whose medians are unusable, see
+/// [`classify_change`]). Entries present in only one report produce no
+/// row but are counted in the returned [`Comparison`].
+pub fn compare(old: &BenchReport, new: &BenchReport, threshold_pct: f64) -> Comparison {
     let mut rows = Vec::new();
+    let mut new_only = 0;
     for e_new in &new.entries {
         let Some(e_old) = old.entries.iter().find(|e| e.key() == e_new.key()) else {
+            new_only += 1;
             continue;
         };
-        let change_pct = if e_old.median_gbps > 0.0 {
-            (e_new.median_gbps - e_old.median_gbps) / e_old.median_gbps * 100.0
-        } else {
-            0.0
-        };
+        let (change_pct, regressed, reason) =
+            classify_change(e_old.median_gbps, e_new.median_gbps, threshold_pct);
         rows.push(CompareRow {
             algorithm: e_new.algorithm.clone(),
             m: e_new.m,
@@ -245,10 +318,20 @@ pub fn compare(old: &BenchReport, new: &BenchReport, threshold_pct: f64) -> Vec<
             old_gbps: e_old.median_gbps,
             new_gbps: e_new.median_gbps,
             change_pct,
-            regressed: change_pct < -threshold_pct,
+            regressed,
+            reason,
         });
     }
-    rows
+    let old_only = old
+        .entries
+        .iter()
+        .filter(|e| !new.entries.iter().any(|n| n.key() == e.key()))
+        .count();
+    Comparison {
+        rows,
+        old_only,
+        new_only,
+    }
 }
 
 #[cfg(test)]
@@ -359,24 +442,79 @@ mod tests {
         let new = report(vec![
             entry("c2r", 192, 256, 8.5), // -15%: regression
             entry("r2c", 192, 256, 9.5), // -5%: within threshold
-            entry("added", 8, 8, 1.0),   // no baseline: skipped
+            entry("added", 8, 8, 1.0),   // no baseline: counted, not gated
         ]);
-        let rows = compare(&old, &new, 10.0);
-        assert_eq!(rows.len(), 2);
-        let c2r = rows.iter().find(|r| r.algorithm == "c2r").unwrap();
+        let cmp = compare(&old, &new, 10.0);
+        assert_eq!(cmp.rows.len(), 2);
+        let c2r = cmp.rows.iter().find(|r| r.algorithm == "c2r").unwrap();
         assert!(c2r.regressed);
         assert!((c2r.change_pct + 15.0).abs() < 1e-9);
-        let r2c = rows.iter().find(|r| r.algorithm == "r2c").unwrap();
+        let r2c = cmp.rows.iter().find(|r| r.algorithm == "r2c").unwrap();
         assert!(!r2c.regressed);
+        assert_eq!(cmp.regressions(), 1);
     }
 
     #[test]
     fn improvements_never_flag() {
         let old = report(vec![entry("c2r", 8, 8, 1.0)]);
         let new = report(vec![entry("c2r", 8, 8, 5.0)]);
-        let rows = compare(&old, &new, 10.0);
-        assert!(!rows[0].regressed);
-        assert!(rows[0].change_pct > 0.0);
+        let cmp = compare(&old, &new, 10.0);
+        assert!(!cmp.rows[0].regressed);
+        assert!(cmp.rows[0].change_pct > 0.0);
+    }
+
+    #[test]
+    fn one_sided_entries_are_counted_not_dropped() {
+        let old = report(vec![entry("gone", 8, 8, 1.0), entry("c2r", 8, 8, 1.0)]);
+        let new = report(vec![
+            entry("c2r", 8, 8, 1.0),
+            entry("added", 8, 8, 1.0),
+            entry("added2", 8, 8, 1.0),
+        ]);
+        let cmp = compare(&old, &new, 10.0);
+        assert_eq!((cmp.old_only, cmp.new_only), (1, 2));
+        assert_eq!(cmp.rows.len(), 1);
+    }
+
+    #[test]
+    fn zero_or_nan_baseline_cannot_mask_a_regression() {
+        // A corrupt baseline used to produce change_pct = 0.0, so *any*
+        // candidate — including a total collapse — sailed through the
+        // gate. Each unusable baseline must now flag with a reason.
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let old = report(vec![entry("c2r", 8, 8, bad)]);
+            let new = report(vec![entry("c2r", 8, 8, 0.001)]);
+            let cmp = compare(&old, &new, 10.0);
+            assert_eq!(cmp.rows.len(), 1, "baseline {bad}");
+            assert!(cmp.rows[0].regressed, "baseline {bad} must flag");
+            let reason = cmp.rows[0].reason.as_deref().expect("reason");
+            assert!(reason.contains("baseline"), "baseline {bad}: {reason}");
+            assert!(cmp.rows[0].change_pct.is_nan());
+        }
+    }
+
+    #[test]
+    fn unusable_candidate_median_flags_too() {
+        for bad in [0.0, f64::NAN, f64::NEG_INFINITY] {
+            let old = report(vec![entry("c2r", 8, 8, 10.0)]);
+            let new = report(vec![entry("c2r", 8, 8, bad)]);
+            let cmp = compare(&old, &new, 10.0);
+            assert!(cmp.rows[0].regressed, "candidate {bad} must flag");
+            assert!(cmp.rows[0].reason.as_deref().unwrap().contains("candidate"));
+        }
+    }
+
+    #[test]
+    fn save_refuses_non_finite_statistics() {
+        let dir = std::env::temp_dir().join("ipt_bench_report_nan_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_nan.json");
+        let path = path.to_str().unwrap();
+        let mut e = entry("c2r", 16, 16, 2.0);
+        e.median_gbps = f64::NAN;
+        let err = report(vec![e]).save(path).unwrap_err();
+        assert!(err.contains("median_gbps"), "{err}");
+        assert!(!std::path::Path::new(path).exists(), "must not write");
     }
 
     #[test]

@@ -1,53 +1,76 @@
 //! `ipt bench` — the fixed benchmark suite behind the committed
 //! `BENCH_*.json` baselines.
 //!
-//! Two modes:
+//! Three modes:
 //!
-//! * **Run** (`--suite transpose|parallel`): measure a fixed,
-//!   laptop-scale set of shapes and algorithms, print a table, and write
-//!   an `ipt-bench-report-v1` JSON report (default `BENCH_<suite>.json`).
-//!   Each entry carries median/p10/p90 throughput (the paper's Eq. 37
-//!   metric, `2*m*n*s / t`) and the per-phase wall-time split collected
-//!   from `ipt_pool::stats` — which decomposition pass (pre-rotate, row
-//!   shuffle, column shuffle, post-rotate) the time went to.
+//! * **Run** (`--suite transpose|parallel|kernels|aos|batched`): measure
+//!   a fixed, laptop-scale set of shapes and algorithms, print a table,
+//!   and write an `ipt-bench-report-v1` JSON report (default
+//!   `BENCH_<suite>.json`). Each entry carries median/p10/p90 throughput
+//!   (the paper's Eq. 37 metric, `2*m*n*s / t`) and the per-phase
+//!   wall-time split collected from `ipt_pool::stats`. With
+//!   `--history DIR` the run is additionally archived into `DIR` under a
+//!   dated, thread-count-and-kernel-stamped file name
+//!   (`ipt_bench::history`).
 //! * **Compare** (`--compare OLD NEW`): diff two reports entry-by-entry
 //!   and exit 3 if any matching entry's median throughput dropped by more
-//!   than `--threshold` percent (default 10). This is the CI/review
-//!   regression gate; `scripts/bench.sh` ends with a self-compare as a
-//!   sanity check.
+//!   than `--threshold` percent (default 10), or if either median is
+//!   unusable (zero/NaN — a corrupt baseline cannot mask a regression).
+//!   Entries present in only one report are counted and printed.
+//! * **Trend compare** (`--compare NEW --history DIR`): gate NEW against
+//!   the trailing median of the last `--window` archived runs per entry,
+//!   print a sparkline trend table, and exit 3 on a single-run breach
+//!   *or* on monotone multi-run drift whose cumulative drop exceeds the
+//!   threshold — the creeping-regression case a pairwise gate misses.
 
 use std::process::ExitCode;
 
 use ipt_bench::harness;
+use ipt_bench::history;
 use ipt_bench::report::{compare, BenchEntry, BenchReport, PhaseBreak};
 use ipt_core::index::C2rParams;
 use ipt_core::kernels::{self, RowShuffleKernel, ShuffleDirection};
 use ipt_core::{transpose_with, Algorithm, Layout, Scratch};
+use ipt_parallel::batched::{c2r_batched, r2c_batched};
 use ipt_parallel::{c2r_parallel, phases, r2c_parallel, ParOptions};
 
 pub const BENCH_USAGE: &str = "\
-ipt bench — run the fixed benchmark suite / compare two reports
+ipt bench — run the fixed benchmark suite / compare reports
 
 USAGE:
-  ipt bench --suite transpose|parallel|kernels [--out PATH] [--samples N]
-            [--threads N] [--quick]
+  ipt bench --suite transpose|parallel|kernels|aos|batched
+            [--out PATH] [--samples N] [--threads N] [--quick]
+            [--history DIR]
   ipt bench --compare OLD.json NEW.json [--threshold PCT]
+  ipt bench --compare NEW.json --history DIR [--threshold PCT] [--window K]
 
 Run mode measures a fixed laptop-scale set of shapes and writes an
 ipt-bench-report-v1 JSON file (default BENCH_<suite>.json in the current
 directory). The `transpose` and `kernels` suites pin the pool to 1
-thread (override with --threads); the `parallel` suite uses the pool
-default (IPT_THREADS or all cores). --quick shrinks the suite for smoke
-tests; for `kernels` it keeps the full shape set (so entries stay
-comparable against the committed baseline) and only cuts samples.
+thread (override with --threads); `parallel`, `aos` and `batched` use
+the pool default (IPT_THREADS or all cores). --quick shrinks the suite
+for smoke tests; for `kernels`, `aos` and `batched` it keeps the full
+shape set (so entries stay comparable against the committed baseline)
+and only cuts samples. --history DIR also archives the run into DIR as
+a dated file (SOURCE_DATE_EPOCH makes the stamp deterministic).
 
 The `kernels` suite isolates the row-shuffle pass (Eq. 31) and pits the
 scalar incremental kernel against the run-blocked block4/block8 kernels
 plus the `auto` runtime dispatch — the ablation behind IPT_KERNEL.
+The `aos` suite measures the skinny-matrix AoS<->SoA specialization
+(paper 6.1); `batched` measures many same-shape matrices per call
+(16 per entry) through ipt_parallel::batched.
 
-Compare mode exits 0 when every entry of NEW is within PCT percent
+Pairwise compare exits 0 when every entry of NEW is within PCT percent
 (default 10) of its OLD median throughput, and 3 when any entry
-regressed. Entries present in only one file are ignored.";
+regressed or either median is unusable (zero/NaN). Entries present in
+only one file are counted and reported, never silently dropped.
+
+With --history instead of an OLD file, NEW is gated against the
+trailing median of the last K archived runs (default window 8) with the
+same thread count, and additionally against monotone drift: >= 3
+consecutive declining runs whose cumulative drop exceeds PCT flag even
+when each step stayed under the single-run gate. Exit 3 on either.";
 
 /// The fixed shapes (rows x cols, u64 elements). Deliberately a mix: two
 /// coprime-free shapes exercising the pre-rotation (gcd > 1), one
@@ -65,14 +88,45 @@ const QUICK_SHAPES: [(usize, usize); 2] = [(96, 64), (60, 48)];
 /// blocking *loses* and the dispatcher must fall back to scalar).
 const KERNEL_SHAPES: [(usize, usize); 4] = [(2048, 1024), (1024, 2048), (1024, 1024), (1031, 1024)];
 
+/// The `aos` suite shapes as (n_structs, fields): the paper's Figure 7
+/// regime — a huge struct count against a tiny field count (§6.1).
+/// `(65536, 4)` and `(65536, 12)` share factors with the struct count
+/// (pre-rotation runs); `(65521, 8)` is coprime (65521 is prime), the
+/// two-pass fast path.
+const AOS_SHAPES: [(usize, usize); 3] = [(65536, 4), (65536, 12), (65521, 8)];
+
+/// The `batched` suite shapes (rows x cols of *each* matrix; the suite
+/// transposes [`BATCH`] of them per timed call, sharing one `C2rParams`).
+const BATCHED_SHAPES: [(usize, usize); 3] = [(192, 256), (320, 96), (257, 131)];
+
+/// Matrices per batched call: enough for every pool worker to get whole
+/// matrices, small enough that a `--quick` debug run stays fast.
+const BATCH: usize = 16;
+
 struct BenchOpts {
     suite: Option<String>,
     out: Option<String>,
     samples: usize,
     threads: Option<usize>,
     quick: bool,
-    compare: Option<(String, String)>,
+    /// `--compare` paths: `(OLD, Some(NEW))` pairwise, `(NEW, None)`
+    /// with `--history`.
+    compare: Option<(String, Option<String>)>,
     threshold: f64,
+    history: Option<String>,
+    window: Option<usize>,
+}
+
+/// Parse a flag value that must be a (non-huge) positive integer, with
+/// one clean message for every failure mode — including values that
+/// overflow usize, which `FromStr` reports confusingly.
+fn parse_count(name: &str, v: &str) -> Result<usize, String> {
+    match v.parse::<usize>() {
+        Ok(0) | Err(_) => Err(format!(
+            "invalid value {v:?} for {name} (expected a positive integer)"
+        )),
+        Ok(x) => Ok(x),
+    }
 }
 
 fn parse(args: &[String]) -> Result<BenchOpts, String> {
@@ -84,8 +138,10 @@ fn parse(args: &[String]) -> Result<BenchOpts, String> {
         quick: false,
         compare: None,
         threshold: 10.0,
+        history: None,
+        window: None,
     };
-    let mut it = args.iter();
+    let mut it = args.iter().peekable();
     while let Some(flag) = it.next() {
         let mut grab = |name: &str| {
             it.next()
@@ -95,34 +151,56 @@ fn parse(args: &[String]) -> Result<BenchOpts, String> {
         match flag.as_str() {
             "--suite" => o.suite = Some(grab("--suite")?),
             "--out" => o.out = Some(grab("--out")?),
-            "--samples" => {
-                o.samples = grab("--samples")?
+            "--samples" => o.samples = parse_count("--samples", &grab("--samples")?)?,
+            "--threads" => o.threads = Some(parse_count("--threads", &grab("--threads")?)?),
+            "--quick" => o.quick = true,
+            "--compare" => {
+                let first = grab("--compare")?;
+                // The second path is optional (trend mode supplies the
+                // baseline via --history): grab it only if the next token
+                // isn't another flag.
+                let second = match it.peek() {
+                    Some(s) if !s.starts_with("--") => it.next().cloned(),
+                    _ => None,
+                };
+                o.compare = Some((first, second));
+            }
+            "--threshold" => {
+                let v = grab("--threshold")?;
+                o.threshold = v
                     .parse()
-                    .map_err(|e| format!("--samples: {e}"))?;
-                if o.samples == 0 {
-                    return Err("--samples must be at least 1".to_string());
+                    .map_err(|_| format!("invalid value {v:?} for --threshold"))?;
+                if !o.threshold.is_finite() || o.threshold < 0.0 {
+                    return Err(format!(
+                        "--threshold must be a finite non-negative percent (got {v})"
+                    ));
                 }
             }
-            "--threads" => {
-                o.threads = Some(
-                    grab("--threads")?
-                        .parse()
-                        .map_err(|e| format!("--threads: {e}"))?,
-                )
-            }
-            "--quick" => o.quick = true,
-            "--compare" => o.compare = Some((grab("--compare")?, grab("--compare")?)),
-            "--threshold" => {
-                o.threshold = grab("--threshold")?
-                    .parse()
-                    .map_err(|e| format!("--threshold: {e}"))?
-            }
+            "--history" => o.history = Some(grab("--history")?),
+            "--window" => o.window = Some(parse_count("--window", &grab("--window")?)?),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other}")),
         }
     }
     if o.suite.is_some() == o.compare.is_some() {
         return Err("exactly one of --suite or --compare is required".to_string());
+    }
+    match (&o.compare, &o.history) {
+        (Some((_, Some(_))), Some(_)) => {
+            return Err("--compare with --history takes exactly one report (NEW); \
+                 the history directory is the baseline"
+                .to_string())
+        }
+        (Some((_, None)), None) => {
+            return Err(
+                "--compare needs OLD and NEW reports, or a single NEW report plus --history DIR"
+                    .to_string(),
+            )
+        }
+        _ => {}
+    }
+    if o.window.is_some() && o.history.is_none() {
+        return Err("--window only applies together with --history".to_string());
     }
     Ok(o)
 }
@@ -143,8 +221,17 @@ pub fn main(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    if let Some((old, new)) = &opts.compare {
-        return run_compare(old, new, opts.threshold);
+    if let Some((first, second)) = &opts.compare {
+        return match (second, &opts.history) {
+            (Some(new), _) => run_compare(first, new, opts.threshold),
+            (None, Some(dir)) => run_trend_compare(
+                first,
+                dir,
+                opts.threshold,
+                opts.window.unwrap_or(history::DEFAULT_WINDOW),
+            ),
+            (None, None) => unreachable!("rejected in parse"),
+        };
     }
     let suite = opts.suite.as_deref().unwrap();
     let report = match run_suite(suite, &opts) {
@@ -163,6 +250,15 @@ pub fn main(args: &[String]) -> ExitCode {
         return ExitCode::from(2);
     }
     println!("wrote {} entries to {out}", report.entries.len());
+    if let Some(dir) = &opts.history {
+        match history::append(dir, &report, &history::kernel_stamp()) {
+            Ok(path) => println!("archived history {path}"),
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::from(2);
+            }
+        }
+    }
     ExitCode::SUCCESS
 }
 
@@ -174,8 +270,16 @@ fn run_compare(old_path: &str, new_path: &str, threshold: f64) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let rows = compare(&old, &new, threshold);
-    if rows.is_empty() {
+    let cmp = compare(&old, &new, threshold);
+    if cmp.old_only > 0 || cmp.new_only > 0 {
+        println!(
+            "note: {} entr{} only in {old_path}, {} only in {new_path} (not gated)",
+            cmp.old_only,
+            if cmp.old_only == 1 { "y" } else { "ies" },
+            cmp.new_only,
+        );
+    }
+    if cmp.rows.is_empty() {
         println!("no matching entries between {old_path} and {new_path}");
         return ExitCode::SUCCESS;
     }
@@ -183,20 +287,23 @@ fn run_compare(old_path: &str, new_path: &str, threshold: f64) -> ExitCode {
         "{:<24} {:>11} {:>12} {:>12} {:>9}",
         "algorithm", "shape", "old GB/s", "new GB/s", "change"
     );
-    let mut regressions = 0;
-    for r in &rows {
+    for r in &cmp.rows {
+        let change = if r.change_pct.is_finite() {
+            format!("{:>+8.1}%", r.change_pct)
+        } else {
+            format!("{:>9}", "n/a")
+        };
+        let flag = match (&r.reason, r.regressed) {
+            (Some(reason), _) => format!("  REGRESSION ({reason})"),
+            (None, true) => "  REGRESSION".to_string(),
+            (None, false) => String::new(),
+        };
         println!(
-            "{:<24} {:>5}x{:<5} {:>12.3} {:>12.3} {:>+8.1}%{}",
-            r.algorithm,
-            r.m,
-            r.n,
-            r.old_gbps,
-            r.new_gbps,
-            r.change_pct,
-            if r.regressed { "  REGRESSION" } else { "" }
+            "{:<24} {:>5}x{:<5} {:>12.3} {:>12.3} {change}{flag}",
+            r.algorithm, r.m, r.n, r.old_gbps, r.new_gbps,
         );
-        regressions += r.regressed as u32;
     }
+    let regressions = cmp.regressions();
     if regressions > 0 {
         eprintln!(
             "{regressions} entr{} regressed by more than {threshold}% (median throughput)",
@@ -208,24 +315,115 @@ fn run_compare(old_path: &str, new_path: &str, threshold: f64) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn run_trend_compare(new_path: &str, dir: &str, threshold: f64, window: usize) -> ExitCode {
+    let new = match BenchReport::load(new_path) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let hist = match history::load(dir, &new.name) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if hist.is_empty() {
+        eprintln!(
+            "error: no archived reports for suite {:?} in {dir}",
+            new.name
+        );
+        return ExitCode::from(2);
+    }
+    let t = history::trend(&hist, &new, threshold, window);
+    println!(
+        "trend gate: suite {:?}, {} archived run(s) ({} skipped: thread-count mismatch), \
+         window {window}, threshold {threshold}%",
+        new.name, t.reports_used, t.skipped_threads
+    );
+    if t.new_only > 0 || t.history_only > 0 {
+        println!(
+            "note: {} entr{} with no archived sample, {} archived-only (not gated)",
+            t.new_only,
+            if t.new_only == 1 { "y" } else { "ies" },
+            t.history_only,
+        );
+    }
+    if t.rows.is_empty() {
+        eprintln!("error: no entry of {new_path} has archived samples in {dir}");
+        return ExitCode::from(2);
+    }
+    println!(
+        "{:<24} {:>11} {:>4} {:<12} {:>12} {:>12} {:>9}",
+        "algorithm", "shape", "runs", "trend", "trail GB/s", "new GB/s", "change"
+    );
+    for r in &t.rows {
+        let change = if r.change_pct.is_finite() {
+            format!("{:>+8.1}%", r.change_pct)
+        } else {
+            format!("{:>9}", "n/a")
+        };
+        let mut flags = String::new();
+        if r.breach {
+            flags.push_str("  BREACH");
+            if let Some(reason) = &r.reason {
+                flags.push_str(&format!(" ({reason})"));
+            }
+        }
+        if r.drift {
+            flags.push_str(&format!(
+                "  DRIFT ({:+.1}% over {} declining runs)",
+                r.drift_pct,
+                r.drift_steps + 1
+            ));
+        }
+        println!(
+            "{:<24} {:>5}x{:<5} {:>4} {:<12} {:>12.3} {:>12.3} {change}{flags}",
+            r.algorithm,
+            r.m,
+            r.n,
+            r.series.len(),
+            r.spark(),
+            r.trailing_median,
+            r.new_gbps,
+        );
+    }
+    let flagged = t.flagged();
+    if flagged > 0 {
+        eprintln!(
+            "{flagged} entr{} failed the trend gate (single-run breach or cumulative drift \
+             past {threshold}%)",
+            if flagged == 1 { "y" } else { "ies" }
+        );
+        return ExitCode::from(3);
+    }
+    println!("ok: no breach and no cumulative drift past {threshold}%");
+    ExitCode::SUCCESS
+}
+
 /// A boxed benchmark body: `(buf, m, n)` runs one timed pass in place.
 type AlgRunner = Box<dyn FnMut(&mut [u64], usize, usize)>;
 
 fn run_suite(suite: &str, opts: &BenchOpts) -> Result<BenchReport, String> {
-    // The transpose suite measures the single-threaded algorithms, so it
-    // pins the pool to one worker unless --threads overrides; the
-    // parallel suite keeps the pool default (IPT_THREADS or all cores).
+    // The transpose and kernels suites measure single-threaded
+    // algorithms, so they pin the pool to one worker unless --threads
+    // overrides; the parallel, aos and batched suites keep the pool
+    // default (IPT_THREADS or all cores).
     match (suite, opts.threads) {
         (_, Some(t)) => ipt_pool::set_num_threads(t),
         ("transpose", None) | ("kernels", None) => ipt_pool::set_num_threads(1),
         _ => {}
     }
     let threads = ipt_pool::num_threads();
-    // The kernels suite keeps its full-size shapes under --quick (the
+    // Fixed-shape suites keep their full shape set under --quick (the
     // compare key is (algorithm, m, n), so CI smoke runs must produce
-    // the same entries as the committed baseline) and only cuts samples.
+    // the same entries as the committed baseline) and only cut samples.
     let shapes: &[(usize, usize)] = match suite {
         "kernels" => &KERNEL_SHAPES,
+        "aos" => &AOS_SHAPES,
+        "batched" => &BATCHED_SHAPES,
         _ if opts.quick => &QUICK_SHAPES,
         _ => &SHAPES,
     };
@@ -233,6 +431,12 @@ fn run_suite(suite: &str, opts: &BenchOpts) -> Result<BenchReport, String> {
         opts.samples.min(3)
     } else {
         opts.samples
+    };
+    // Elements moved per timed call: the batched suite transposes BATCH
+    // matrices per call, so its buffer and Eq. 37 numerator scale by it.
+    let elems_per_call = |m: usize, n: usize| match suite {
+        "batched" => BATCH * m * n,
+        _ => m * n,
     };
 
     let mut entries = Vec::new();
@@ -318,9 +522,33 @@ fn run_suite(suite: &str, opts: &BenchOpts) -> Result<BenchReport, String> {
                 ("row_shuffle_auto", kernel_runner(None)),
             ]
         }
+        "aos" => vec![
+            // Shapes are (n_structs, fields); both directions of the §6.1
+            // skinny specialization. The content of the buffer doesn't
+            // affect the permutation's cost, so each direction can be
+            // timed standalone over refilled data.
+            (
+                "aos_to_soa",
+                Box::new(|buf: &mut [u64], m, n| ipt_aos_soa::aos_to_soa(buf, m, n)) as AlgRunner,
+            ),
+            (
+                "soa_to_aos",
+                Box::new(|buf: &mut [u64], m, n| ipt_aos_soa::soa_to_aos(buf, m, n)),
+            ),
+        ],
+        "batched" => vec![
+            (
+                "c2r_batched_b16",
+                Box::new(|buf: &mut [u64], m, n| c2r_batched(buf, BATCH, m, n)) as AlgRunner,
+            ),
+            (
+                "r2c_batched_b16",
+                Box::new(|buf: &mut [u64], m, n| r2c_batched(buf, BATCH, m, n)),
+            ),
+        ],
         other => {
             return Err(format!(
-                "unknown suite {other:?} (want transpose, parallel or kernels)"
+                "unknown suite {other:?} (want transpose, parallel, kernels, aos or batched)"
             ))
         }
     };
@@ -332,7 +560,7 @@ fn run_suite(suite: &str, opts: &BenchOpts) -> Result<BenchReport, String> {
     );
     for (alg, mut run) in algorithms {
         for &(m, n) in shapes {
-            let e = measure(alg, m, n, samples, &mut *run);
+            let e = measure(alg, m, n, elems_per_call(m, n), samples, &mut *run);
             print_entry(&e);
             entries.push(e);
         }
@@ -346,15 +574,18 @@ fn run_suite(suite: &str, opts: &BenchOpts) -> Result<BenchReport, String> {
 
 /// Measure one (algorithm, shape) configuration: an untimed warm-up,
 /// then `samples` timed runs over freshly refilled data, with the
-/// per-phase wall-time delta collected around the timed region.
+/// per-phase wall-time delta collected around the timed region. `elems`
+/// is the buffer length in u64s — `m * n` except for batched suites,
+/// which move several matrices per call.
 fn measure(
     alg: &str,
     m: usize,
     n: usize,
+    elems: usize,
     samples: usize,
     run: &mut dyn FnMut(&mut [u64], usize, usize),
 ) -> BenchEntry {
-    let mut buf = vec![0u64; m * n];
+    let mut buf = vec![0u64; elems];
     harness::fill_u64(&mut buf, 0);
     run(&mut buf, m, n); // warm-up: page in the buffer, size scratch
     let before = ipt_pool::stats::snapshot();
@@ -362,7 +593,7 @@ fn measure(
     for s in 0..samples {
         harness::fill_u64(&mut buf, s as u64 + 1); // refill untimed
         let secs = harness::time_secs(|| run(&mut buf, m, n));
-        tputs.push(harness::throughput_gbps(m, n, 8, secs));
+        tputs.push(harness::throughput_gbps(elems, 1, 8, secs));
     }
     let delta = ipt_pool::stats::snapshot().delta_since(&before);
     let phases = phases::ALL

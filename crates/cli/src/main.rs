@@ -12,7 +12,8 @@
 //! ipt gen        FILE --rows R --cols C --elem-size S [--seed X]
 //! ipt verify     FILE --rows R --cols C --elem-size S
 //! ipt info       FILE --elem-size S
-//! ipt bench      --suite transpose|parallel|kernels [...] | --compare OLD NEW
+//! ipt bench      --suite transpose|parallel|kernels|aos|batched [...]
+//! ipt bench      --compare OLD NEW | --compare NEW --history DIR
 //! ```
 //!
 //! `gen` writes a position-identifying pattern; `verify` checks that a
@@ -39,8 +40,10 @@ USAGE:
   ipt gen       FILE --rows R --cols C --elem-size S [--seed X]
   ipt verify    FILE --rows R --cols C --elem-size S
   ipt info      FILE --elem-size S
-  ipt bench     --suite transpose|parallel|kernels [--out PATH] [--quick]
+  ipt bench     --suite transpose|parallel|kernels|aos|batched [--out PATH]
+                [--quick] [--history DIR]
   ipt bench     --compare OLD.json NEW.json [--threshold PCT]
+  ipt bench     --compare NEW.json --history DIR [--threshold PCT] [--window K]
 
 Matrices are dense binary dumps: rows x cols elements of elem-size bytes.
 `transpose` rewrites FILE in place unless --out is given. `gen` fills a

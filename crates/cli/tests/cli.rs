@@ -489,6 +489,12 @@ fn bench_rejects_bad_flags() {
             "/nonexistent/a.json",
             "/nonexistent/b.json",
         ][..],
+        // A lone --compare path without --history has no baseline.
+        &["bench", "--compare", "a.json"][..],
+        // Two paths *and* a history dir is ambiguous about the baseline.
+        &["bench", "--compare", "a.json", "b.json", "--history", "d"][..],
+        // --window is a trend-gate knob only.
+        &["bench", "--compare", "a.json", "b.json", "--window", "4"][..],
     ] {
         let out = ipt(args);
         assert_eq!(out.status.code(), Some(2), "{args:?} should exit 2");
@@ -496,5 +502,319 @@ fn bench_rejects_bad_flags() {
             String::from_utf8_lossy(&out.stderr).contains("error:"),
             "{args:?} should explain itself"
         );
+    }
+}
+
+#[test]
+fn bench_validates_numeric_flags_cleanly() {
+    // (args, substring the clean error must contain)
+    let cases: &[(&[&str], &str)] = &[
+        (
+            &[
+                "bench",
+                "--compare",
+                "a.json",
+                "b.json",
+                "--threshold",
+                "-5",
+            ],
+            "--threshold",
+        ),
+        (
+            &[
+                "bench",
+                "--compare",
+                "a.json",
+                "b.json",
+                "--threshold",
+                "inf",
+            ],
+            "--threshold",
+        ),
+        (
+            // Overflows u64/usize: must produce the same clean message as
+            // any other malformed value, not a cryptic parse error.
+            &[
+                "bench",
+                "--suite",
+                "transpose",
+                "--samples",
+                "99999999999999999999999999",
+            ],
+            "invalid value \"99999999999999999999999999\" for --samples",
+        ),
+        (
+            &["bench", "--suite", "transpose", "--samples", "0"],
+            "--samples",
+        ),
+        (
+            &["bench", "--suite", "transpose", "--threads", "0"],
+            "--threads",
+        ),
+        (
+            &["bench", "--suite", "transpose", "--threads", "many"],
+            "invalid value \"many\" for --threads",
+        ),
+    ];
+    for (args, needle) in cases {
+        let out = ipt(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?} should exit 2");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(needle),
+            "{args:?}: expected {needle:?} in: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn bench_compare_zero_baseline_cannot_mask_regression() {
+    use ipt_bench::report::{BenchEntry, BenchReport};
+    let entry = |median: f64| BenchEntry {
+        algorithm: "c2r".to_string(),
+        m: 64,
+        n: 32,
+        elem_bytes: 8,
+        samples: 5,
+        median_gbps: median,
+        p10_gbps: median,
+        p90_gbps: median,
+        phases: Vec::new(),
+    };
+    let old = tmpfile("BENCH_zero_old.json");
+    let new = tmpfile("BENCH_zero_new.json");
+    BenchReport {
+        name: "injected".to_string(),
+        threads: 1,
+        entries: vec![entry(0.0)],
+    }
+    .save(&old)
+    .unwrap();
+    BenchReport {
+        name: "injected".to_string(),
+        threads: 1,
+        entries: vec![entry(0.001)],
+    }
+    .save(&new)
+    .unwrap();
+    // Before the fix, a zeroed baseline produced change_pct = 0 and the
+    // gate passed no matter how slow NEW was.
+    let out = ipt(&["bench", "--compare", &old, &new]);
+    assert_eq!(out.status.code(), Some(3), "zero baseline must flag");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("baseline"));
+}
+
+#[test]
+fn bench_compare_surfaces_one_sided_entries() {
+    use ipt_bench::report::{BenchEntry, BenchReport};
+    let entry = |alg: &str| BenchEntry {
+        algorithm: alg.to_string(),
+        m: 8,
+        n: 8,
+        elem_bytes: 8,
+        samples: 1,
+        median_gbps: 1.0,
+        p10_gbps: 1.0,
+        p90_gbps: 1.0,
+        phases: Vec::new(),
+    };
+    let report = |algs: &[&str]| BenchReport {
+        name: "sided".to_string(),
+        threads: 1,
+        entries: algs.iter().map(|a| entry(a)).collect(),
+    };
+    let old = tmpfile("BENCH_sided_old.json");
+    let new = tmpfile("BENCH_sided_new.json");
+    report(&["kept", "gone"]).save(&old).unwrap();
+    report(&["kept", "added", "added2"]).save(&new).unwrap();
+    let out = ipt(&["bench", "--compare", &old, &new]);
+    assert_ok(&out);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("1 entry only in") && stdout.contains("2 only in"),
+        "one-sided entries must be counted, not dropped: {stdout}"
+    );
+}
+
+#[test]
+fn bench_history_stamp_is_deterministic_under_source_date_epoch() {
+    let dir = tmpfile("hist_deterministic");
+    // CARGO_TARGET_TMPDIR persists across `cargo test` runs; start fresh so
+    // archives from a previous run can't shift the sequence numbers.
+    let _ = std::fs::remove_dir_all(&dir);
+    let f = tmpfile("BENCH_hist_det.json");
+    let run = || {
+        Command::new(env!("CARGO_BIN_EXE_ipt-cli"))
+            .args([
+                "bench",
+                "--suite",
+                "transpose",
+                "--quick",
+                "--samples",
+                "1",
+                "--out",
+                &f,
+                "--history",
+                &dir,
+            ])
+            .env("SOURCE_DATE_EPOCH", "1700000000")
+            .output()
+            .expect("running ipt binary")
+    };
+    assert_ok(&run());
+    assert_ok(&run());
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_str().unwrap().to_string())
+        .collect();
+    names.sort();
+    // Same pinned epoch on both runs: identical stamps (1700000000 is
+    // 2023-11-14 22:13:20 UTC), disambiguated by the sequence number.
+    // The transpose suite pins the pool to one thread, hence `-t1-`.
+    assert_eq!(
+        names,
+        [
+            "ipt-bench-transpose-20231114T221320Z-0001-t1-auto.json",
+            "ipt-bench-transpose-20231114T221320Z-0002-t1-auto.json",
+        ]
+    );
+    // The archive gates a matching fresh report end-to-end. A huge
+    // threshold keeps this assertion about plumbing, not perf: --samples 1
+    // on a busy host is far too noisy for the default 10% gate.
+    assert_ok(&ipt(&[
+        "bench",
+        "--compare",
+        &f,
+        "--history",
+        &dir,
+        "--threshold",
+        "1000",
+    ]));
+}
+
+#[test]
+fn bench_trend_gate_flags_creeping_regression() {
+    use ipt_bench::history;
+    use ipt_bench::report::{BenchEntry, BenchReport};
+    let entry = |median: f64| BenchEntry {
+        algorithm: "c2r".to_string(),
+        m: 64,
+        n: 32,
+        elem_bytes: 8,
+        samples: 5,
+        median_gbps: median,
+        p10_gbps: median,
+        p90_gbps: median,
+        phases: Vec::new(),
+    };
+    let report = |median: f64| BenchReport {
+        name: "synthetic".to_string(),
+        threads: 1,
+        entries: vec![entry(median)],
+    };
+    let dir = tmpfile("hist_creeping");
+    // CARGO_TARGET_TMPDIR persists across `cargo test` runs; start fresh so
+    // stale archives can't dilute the synthetic declining series.
+    let _ = std::fs::remove_dir_all(&dir);
+    // Five runs, each 4% slower than the last: the classic creeping
+    // regression that slips under a 10% pairwise gate five PRs in a row.
+    let medians = [100.0, 96.0, 92.16, 88.4736, 84.934656];
+    let mut paths = Vec::new();
+    for (i, &m) in medians[..4].iter().enumerate() {
+        paths.push(history::append_at(&dir, &report(m), "auto", 1_000 + i as u64 * 60).unwrap());
+    }
+    let newest = tmpfile("BENCH_creeping_new.json");
+    report(medians[4]).save(&newest).unwrap();
+    // Every adjacent pair passes the plain pairwise gate at the default
+    // 10% threshold (the archived files are themselves valid reports).
+    for pair in paths.windows(2) {
+        assert_ok(&ipt(&["bench", "--compare", &pair[0], &pair[1]]));
+    }
+    assert_ok(&ipt(&[
+        "bench",
+        "--compare",
+        paths.last().unwrap(),
+        &newest,
+    ]));
+    // ... but the trend gate sees the cumulative -15% drift and fails.
+    let out = ipt(&["bench", "--compare", &newest, "--history", &dir]);
+    assert_eq!(out.status.code(), Some(3), "drift must exit 3");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("DRIFT"),
+        "table should flag drift: {stdout}"
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("trend gate"),
+        "stderr should explain the failure"
+    );
+}
+
+#[test]
+fn bench_trend_compare_needs_existing_history() {
+    use ipt_bench::report::BenchReport;
+    let newest = tmpfile("BENCH_nohist_new.json");
+    BenchReport {
+        name: "lonely".to_string(),
+        threads: 1,
+        entries: Vec::new(),
+    }
+    .save(&newest)
+    .unwrap();
+    let dir = tmpfile("hist_missing_dir");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = ipt(&["bench", "--compare", &newest, "--history", &dir]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no archived reports"));
+}
+
+#[test]
+fn bench_aos_and_batched_quick_emit_full_entry_sets() {
+    // Like the kernels suite, --quick must keep the committed baseline's
+    // full (algorithm, shape) key set so CI smoke runs stay comparable.
+    type SuiteCase = (
+        &'static str,
+        &'static [&'static str],
+        &'static [(usize, usize)],
+    );
+    let cases: [SuiteCase; 2] = [
+        (
+            "aos",
+            &["aos_to_soa", "soa_to_aos"],
+            &[(65536, 4), (65536, 12), (65521, 8)],
+        ),
+        (
+            "batched",
+            &["c2r_batched_b16", "r2c_batched_b16"],
+            &[(192, 256), (320, 96), (257, 131)],
+        ),
+    ];
+    for (suite, algs, shapes) in cases {
+        let f = tmpfile(&format!("BENCH_{suite}_smoke.json"));
+        assert_ok(&ipt(&[
+            "bench",
+            "--suite",
+            suite,
+            "--quick",
+            "--samples",
+            "1",
+            "--out",
+            &f,
+        ]));
+        let report = ipt_bench::report::BenchReport::load(&f).expect("well-formed report");
+        assert_eq!(report.name, suite);
+        for alg in algs {
+            for &(m, n) in shapes {
+                assert!(
+                    report.entries.iter().any(|e| e.algorithm == *alg
+                        && e.m == m
+                        && e.n == n
+                        && e.median_gbps > 0.0),
+                    "missing entry {alg} {m}x{n} in suite {suite}"
+                );
+            }
+        }
+        // Self-compare round-trips the emit -> parse -> gate pipeline.
+        assert_ok(&ipt(&["bench", "--compare", &f, &f]));
     }
 }

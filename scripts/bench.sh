@@ -1,35 +1,53 @@
 #!/usr/bin/env bash
-# Regenerate the committed benchmark baselines: BENCH_transpose.json,
-# BENCH_parallel.json and BENCH_kernels.json at the repo root, via
-# `ipt-cli bench` (release build). Ends with a self-compare of each fresh
-# file as a sanity check that the emit → parse → compare pipeline
-# round-trips.
+# Regenerate the committed benchmark baselines at the repo root —
+# BENCH_transpose.json, BENCH_parallel.json, BENCH_kernels.json,
+# BENCH_aos.json and BENCH_batched.json — via `ipt-cli bench` (release
+# build). Ends with a self-compare of each fresh file as a sanity check
+# that the emit → parse → compare pipeline round-trips.
 #
 # Usage: scripts/bench.sh [extra ipt-cli bench flags, e.g. --quick]
+#
+# Knobs:
+#   IPT_BENCH_HISTORY_DIR  if set, every suite run is also archived into
+#                          this directory as a dated ipt-bench-report-v1
+#                          file (the `--history` trend archive; gate a
+#                          later run with
+#                          `ipt-cli bench --compare NEW --history DIR`).
 #
 # Numbers are machine-dependent: regenerate on the machine you compare
 # on, and gate changes with
 #   ipt-cli bench --suite <s> --out /tmp/new.json
 #   ipt-cli bench --compare BENCH_<s>.json /tmp/new.json
 # which exits 3 if any median throughput regressed by more than 10%.
+# For creeping multi-run regressions, keep a history directory and use
+#   ipt-cli bench --compare /tmp/new.json --history "$IPT_BENCH_HISTORY_DIR"
+# which also fails on monotone drift past the threshold.
 
 set -euo pipefail
 
 cd "$(dirname "$0")/.." || exit 1
+
+SUITES=(transpose parallel kernels aos batched)
 
 echo "== build (release) =="
 cargo build --release -p ipt-cli
 
 CLI=target/release/ipt-cli
 
-for suite in transpose parallel kernels; do
+HISTORY_FLAGS=()
+if [ -n "${IPT_BENCH_HISTORY_DIR:-}" ]; then
+    HISTORY_FLAGS=(--history "$IPT_BENCH_HISTORY_DIR")
+fi
+
+for suite in "${SUITES[@]}"; do
     echo "== suite: $suite =="
-    "$CLI" bench --suite "$suite" --out "BENCH_${suite}.json" "$@"
+    "$CLI" bench --suite "$suite" --out "BENCH_${suite}.json" \
+        "${HISTORY_FLAGS[@]}" "$@"
 done
 
 echo "== sanity: self-compare round-trip =="
-for suite in transpose parallel kernels; do
+for suite in "${SUITES[@]}"; do
     "$CLI" bench --compare "BENCH_${suite}.json" "BENCH_${suite}.json" > /dev/null
 done
 
-echo "== wrote BENCH_transpose.json BENCH_parallel.json BENCH_kernels.json =="
+echo "== wrote BENCH_{transpose,parallel,kernels,aos,batched}.json =="

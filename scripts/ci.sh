@@ -9,14 +9,22 @@
 #   tier 0  shellcheck   scripts/*.sh, if installed
 #   tier 1  verify       scripts/verify.sh            (hermetic build+test)
 #   tier 2  rustdoc      -D warnings across the workspace
-#   tier 2  bench smoke  kernels suite: emit -> parse -> compare against
-#                        the committed BENCH_kernels.json baseline
+#   tier 2  bench smoke  kernels/aos/batched suites: emit -> parse ->
+#                        compare against the committed BENCH_*.json
+#                        baselines, archiving each run into the history
+#                        dir
+#   tier 2  bench trend  a second kernels run gated against that history
+#                        (trailing-median + drift gate, --history)
 #
 # Usage: scripts/ci.sh  (from anywhere; cd's to the repo root)
 #
 # Knobs:
-#   IPT_BENCH_THRESHOLD  regression gate percent for the bench smoke
-#                        (default 40 — see the note at that stage).
+#   IPT_BENCH_THRESHOLD    regression gate percent for the bench smoke
+#                          (default 40 — see the note at that stage).
+#   IPT_BENCH_HISTORY_DIR  where the smoke runs archive their dated
+#                          reports (default: a temp dir, removed on
+#                          exit; set it to keep the archive, e.g. for a
+#                          CI artifact upload).
 
 set -euo pipefail
 
@@ -43,31 +51,58 @@ scripts/verify.sh
 stage "rustdoc -D warnings (tier 2)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 
-stage "bench smoke: kernels suite vs committed baseline (tier 2)"
-# A --quick run keeps the full (algorithm, shape) entry set of the
-# committed BENCH_kernels.json (compare keys must match) and only cuts
-# samples, so it finishes in seconds. The gate defends the kernel
-# family's headline property — the run-blocked kernels' multiple-x win
-# over scalar on large-gcd shapes. Losing that property (broken
-# dispatch, de-vectorized inner loop, memcpy fast path gone) shows up as
-# a 50%+ median drop; machine noise on a busy single-core box measures
-# up to ~30% run-to-run. Hence a generous threshold plus one retry:
-# noise must strike the same way twice in a row to false-fail, while a
-# real regression fails both runs.
+stage "bench smoke: fixed suites vs committed baselines (tier 2)"
+# A --quick run keeps the full (algorithm, shape) entry set of each
+# committed BENCH_*.json (compare keys must match) and only cuts
+# samples, so every suite finishes in seconds. The kernels gate defends
+# the kernel family's headline property — the run-blocked kernels'
+# multiple-x win over scalar on large-gcd shapes; the aos/batched gates
+# defend the §6.1 skinny specialization and the shared-params batched
+# path. Losing any of those shows up as a 50%+ median drop; machine
+# noise on a busy single-core box measures up to ~30% run-to-run. Hence
+# a generous threshold plus one retry: noise must strike the same way
+# twice in a row to false-fail, while a real regression fails both runs.
+# Every smoke run is also archived into the history dir for the trend
+# stage below (and for CI artifact upload).
 THRESHOLD="${IPT_BENCH_THRESHOLD:-40}"
 CLI=target/release/ipt-cli
 SMOKE="$(mktemp)"
-trap 'rm -f "$SMOKE"' EXIT
+CLEAN_HISTORY=0
+if [ -z "${IPT_BENCH_HISTORY_DIR:-}" ]; then
+    IPT_BENCH_HISTORY_DIR="$(mktemp -d)"
+    CLEAN_HISTORY=1
+fi
+cleanup() {
+    rm -f "$SMOKE"
+    if [ "$CLEAN_HISTORY" = 1 ]; then
+        rm -rf "$IPT_BENCH_HISTORY_DIR"
+    fi
+}
+trap cleanup EXIT
 run_smoke() {
-    "$CLI" bench --suite kernels --quick --samples 3 --out "$SMOKE" > /dev/null
+    local suite="$1"
+    "$CLI" bench --suite "$suite" --quick --samples 3 --out "$SMOKE" \
+        --history "$IPT_BENCH_HISTORY_DIR" > /dev/null
     grep -q '"schema": "ipt-bench-report-v1"' "$SMOKE"
     "$CLI" bench --compare "$SMOKE" "$SMOKE" > /dev/null  # parse round-trip
-    "$CLI" bench --compare BENCH_kernels.json "$SMOKE" --threshold "$THRESHOLD"
+    "$CLI" bench --compare "BENCH_${suite}.json" "$SMOKE" --threshold "$THRESHOLD"
 }
-if ! run_smoke; then
-    echo "-- bench smoke regressed once; retrying to rule out machine noise --"
-    run_smoke
-fi
+for suite in kernels aos batched; do
+    if ! run_smoke "$suite"; then
+        echo "-- $suite smoke regressed once; retrying to rule out machine noise --"
+        run_smoke "$suite"
+    fi
+done
+
+stage "bench trend: history gate (tier 2)"
+# A second kernels run, gated against the archive the smoke stage just
+# wrote with the trailing-median + monotone-drift gate — this exercises
+# the whole append -> load -> trend pipeline on files the pipeline
+# itself produced, and exits 3 if the box slowed down between the two
+# runs by more than the (generous) threshold.
+"$CLI" bench --suite kernels --quick --samples 3 --out "$SMOKE" > /dev/null
+"$CLI" bench --compare "$SMOKE" --history "$IPT_BENCH_HISTORY_DIR" \
+    --threshold "$THRESHOLD"
 
 echo
 echo "== ci: OK =="
