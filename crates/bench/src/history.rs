@@ -20,6 +20,9 @@
 //!   **monotone drift**: at least [`DRIFT_MIN_STEPS`] consecutive
 //!   declining runs whose cumulative drop exceeds the threshold, even
 //!   though every adjacent pair stayed under it.
+//! * **Retention** ([`prune`]) — drop the oldest archives beyond a
+//!   configurable keep count, so a long-lived history directory stops
+//!   growing without bound (`ipt-cli bench --keep N`).
 //! * **Sparklines** ([`sparkline`]) — a per-entry ASCII trend strip for
 //!   the table `ipt-cli bench` prints, so the shape of a drift is
 //!   visible in a terminal or CI log without plotting anything.
@@ -199,6 +202,31 @@ fn scan(dir: &str, suite: &str) -> Result<Vec<ScanEntry>, String> {
     // the tiebreaker (a hermetic SOURCE_DATE_EPOCH run reuses one stamp).
     found.sort_by(|a, b| (&a.stamp, a.seq).cmp(&(&b.stamp, b.seq)));
     Ok(found)
+}
+
+/// Remove the oldest archived reports for `suite` from `dir` until at
+/// most `keep` remain, returning the removed file names (oldest first).
+///
+/// The archive otherwise grows without bound — every `--history` run
+/// appends a file — so retention is the caller's knob: `ipt-cli bench
+/// --keep N` prunes after each append, and `scripts/bench.sh` wires a
+/// default. Chronological order is the same (stamp, seq) order
+/// [`load`] uses, so the reports the trend gate's window actually
+/// reads are always the ones that survive. Other suites' archives (and
+/// unrelated files, e.g. a calibration profile stored alongside) are
+/// untouched.
+pub fn prune(dir: &str, suite: &str, keep: usize) -> Result<Vec<String>, String> {
+    let found = scan(dir, suite)?;
+    if found.len() <= keep {
+        return Ok(Vec::new());
+    }
+    let mut removed = Vec::new();
+    for f in &found[..found.len() - keep] {
+        let path = Path::new(dir).join(&f.name);
+        std::fs::remove_file(&path).map_err(|e| format!("removing {}: {e}", path.display()))?;
+        removed.push(f.name.clone());
+    }
+    Ok(removed)
 }
 
 /// Load every archived report for `suite` from `dir`, oldest first.
@@ -439,6 +467,8 @@ mod tests {
         BenchReport {
             name: suite.to_string(),
             threads,
+            dispatch_tier: "static".to_string(),
+            calibration: "none".to_string(),
             entries: medians.iter().map(|&(a, x)| entry(a, x)).collect(),
         }
     }
@@ -503,6 +533,50 @@ mod tests {
         assert_eq!(medians, [1.0, 2.0, 3.0]);
         assert_eq!(load(&dir, "other").unwrap().len(), 1);
         assert!(load(&dir, "absent").unwrap().is_empty());
+    }
+
+    #[test]
+    fn prune_drops_oldest_first_and_spares_other_suites() {
+        let dir = std::env::temp_dir().join("ipt_bench_history_prune");
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir = dir.to_str().unwrap().to_string();
+        // Deterministic SOURCE_DATE_EPOCH-style fixtures: one fixed
+        // stamp, seq disambiguates; plus an older distinct-stamp file.
+        append_at(&dir, &report("t", 1, &[("c2r", 1.0)]), "auto", 50).unwrap();
+        for x in [2.0, 3.0, 4.0] {
+            append_at(&dir, &report("t", 1, &[("c2r", x)]), "auto", 100).unwrap();
+        }
+        append_at(&dir, &report("other", 1, &[("c2r", 9.0)]), "auto", 10).unwrap();
+        let unrelated = Path::new(&dir).join("ipt-calibration.json");
+        std::fs::write(&unrelated, "{}\n").unwrap();
+
+        // Under the cap: nothing removed.
+        assert!(prune(&dir, "t", 4).unwrap().is_empty());
+        // keep = 2 removes the two chronologically oldest archives.
+        let removed = prune(&dir, "t", 2).unwrap();
+        assert_eq!(removed.len(), 2);
+        assert!(removed[0].contains("19700101T000050Z"), "{:?}", removed);
+        assert!(removed[1].contains("-0002-"), "{:?}", removed);
+        let survivors: Vec<f64> = load(&dir, "t")
+            .unwrap()
+            .iter()
+            .map(|h| h.report.entries[0].median_gbps)
+            .collect();
+        assert_eq!(survivors, [3.0, 4.0]);
+        // The other suite's archive and the unrelated file survive.
+        assert_eq!(load(&dir, "other").unwrap().len(), 1);
+        assert!(unrelated.exists());
+        // keep = 0 empties the suite's archive entirely.
+        assert_eq!(prune(&dir, "t", 0).unwrap().len(), 2);
+        assert!(load(&dir, "t").unwrap().is_empty());
+        // Sequence numbering continues from 1 again after a full prune.
+        let p = append_at(&dir, &report("t", 1, &[("c2r", 5.0)]), "auto", 100).unwrap();
+        assert!(p.contains("-0001-"), "{p}");
+    }
+
+    #[test]
+    fn prune_errors_on_a_missing_directory() {
+        assert!(prune("/nonexistent/ipt-history", "t", 3).is_err());
     }
 
     #[test]

@@ -146,6 +146,17 @@ pub struct BenchReport {
     pub name: String,
     /// Worker thread count the suite ran with.
     pub threads: usize,
+    /// Which kernel-dispatch tier was active for the run: `"override"`
+    /// (`IPT_KERNEL` forced a kernel), `"calibrated"` (a loaded
+    /// calibration profile decided), or `"static"` (the built-in
+    /// heuristic). Reports written before this field existed load as
+    /// `"static"` — the only tier that existed then.
+    pub dispatch_tier: String,
+    /// Content hash of the loaded calibration profile (see
+    /// `ipt_core::kernels::calibrate::CalibrationProfile::hash`), or
+    /// `"none"` when no profile was loaded — so bench history can tell
+    /// calibrated runs apart, and apart from each other.
+    pub calibration: String,
     /// One entry per measured (algorithm, shape) pair.
     pub entries: Vec<BenchEntry>,
 }
@@ -157,6 +168,8 @@ impl BenchReport {
             ("schema", Json::Str(SCHEMA.to_string())),
             ("name", Json::Str(self.name.clone())),
             ("threads", Json::Num(self.threads as f64)),
+            ("dispatch_tier", Json::Str(self.dispatch_tier.clone())),
+            ("calibration", Json::Str(self.calibration.clone())),
             (
                 "entries",
                 Json::Arr(self.entries.iter().map(BenchEntry::to_json).collect()),
@@ -165,6 +178,8 @@ impl BenchReport {
     }
 
     /// Decode from a parsed [`Json`] document, checking the schema tag.
+    /// The dispatch stamps default to `"static"` / `"none"` so baselines
+    /// written before calibration existed keep loading.
     pub fn from_json(v: &Json) -> Result<BenchReport, String> {
         match v.get("schema").and_then(Json::as_str) {
             Some(SCHEMA) => {}
@@ -181,6 +196,16 @@ impl BenchReport {
                 .get("threads")
                 .and_then(Json::as_u64)
                 .ok_or("missing \"threads\"")? as usize,
+            dispatch_tier: v
+                .get("dispatch_tier")
+                .and_then(Json::as_str)
+                .unwrap_or("static")
+                .to_string(),
+            calibration: v
+                .get("calibration")
+                .and_then(Json::as_str)
+                .unwrap_or("none")
+                .to_string(),
             entries: v
                 .get("entries")
                 .and_then(Json::as_arr)
@@ -367,6 +392,8 @@ mod tests {
         BenchReport {
             name: "test".to_string(),
             threads: 4,
+            dispatch_tier: "static".to_string(),
+            calibration: "none".to_string(),
             entries,
         }
     }
@@ -391,6 +418,8 @@ mod tests {
             "\"schema\"",
             "\"name\"",
             "\"threads\"",
+            "\"dispatch_tier\"",
+            "\"calibration\"",
             "\"entries\"",
             "\"algorithm\"",
             "\"m\"",
@@ -423,6 +452,31 @@ mod tests {
             .map(|p| p.get("fraction").unwrap().as_f64().unwrap())
             .collect();
         assert_eq!(fractions, vec![0.25, 0.75]);
+    }
+
+    #[test]
+    fn pre_calibration_reports_load_with_default_stamps() {
+        // A baseline written before the dispatch stamps existed has no
+        // dispatch_tier/calibration keys; it must load as the only tier
+        // that existed then.
+        let doc = Json::obj(vec![
+            ("schema", Json::Str(SCHEMA.to_string())),
+            ("name", Json::Str("old".to_string())),
+            ("threads", Json::Num(1.0)),
+            ("entries", Json::Arr(vec![])),
+        ]);
+        let r = BenchReport::from_json(&doc).unwrap();
+        assert_eq!(r.dispatch_tier, "static");
+        assert_eq!(r.calibration, "none");
+    }
+
+    #[test]
+    fn dispatch_stamps_round_trip() {
+        let mut r = report(vec![entry("c2r", 8, 4, 1.0)]);
+        r.dispatch_tier = "calibrated".to_string();
+        r.calibration = "00d1f2e3a4b5c697".to_string();
+        let back = BenchReport::from_json(&Json::parse(&r.to_json().render()).unwrap()).unwrap();
+        assert_eq!(back, r);
     }
 
     #[test]

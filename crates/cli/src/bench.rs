@@ -40,7 +40,7 @@ ipt bench — run the fixed benchmark suite / compare reports
 USAGE:
   ipt bench --suite transpose|parallel|kernels|aos|batched
             [--out PATH] [--samples N] [--threads N] [--quick]
-            [--history DIR]
+            [--history DIR] [--keep N]
   ipt bench --compare OLD.json NEW.json [--threshold PCT]
   ipt bench --compare NEW.json --history DIR [--threshold PCT] [--window K]
 
@@ -52,7 +52,11 @@ the pool default (IPT_THREADS or all cores). --quick shrinks the suite
 for smoke tests; for `kernels`, `aos` and `batched` it keeps the full
 shape set (so entries stay comparable against the committed baseline)
 and only cuts samples. --history DIR also archives the run into DIR as
-a dated file (SOURCE_DATE_EPOCH makes the stamp deterministic).
+a dated file (SOURCE_DATE_EPOCH makes the stamp deterministic); --keep N
+then prunes the suite's archive to the N newest files, oldest first.
+Every report stamps the kernel-dispatch decision tier (override when
+IPT_KERNEL forces a kernel, calibrated when an IPT_CALIBRATION profile
+loaded, static otherwise) and the loaded profile's content hash.
 
 The `kernels` suite isolates the row-shuffle pass (Eq. 31) and pits the
 scalar incremental kernel against the run-blocked block4/block8 kernels
@@ -115,6 +119,7 @@ struct BenchOpts {
     threshold: f64,
     history: Option<String>,
     window: Option<usize>,
+    keep: Option<usize>,
 }
 
 /// Parse a flag value that must be a (non-huge) positive integer, with
@@ -140,6 +145,7 @@ fn parse(args: &[String]) -> Result<BenchOpts, String> {
         threshold: 10.0,
         history: None,
         window: None,
+        keep: None,
     };
     let mut it = args.iter().peekable();
     while let Some(flag) = it.next() {
@@ -178,6 +184,7 @@ fn parse(args: &[String]) -> Result<BenchOpts, String> {
             }
             "--history" => o.history = Some(grab("--history")?),
             "--window" => o.window = Some(parse_count("--window", &grab("--window")?)?),
+            "--keep" => o.keep = Some(parse_count("--keep", &grab("--keep")?)?),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -201,6 +208,9 @@ fn parse(args: &[String]) -> Result<BenchOpts, String> {
     }
     if o.window.is_some() && o.history.is_none() {
         return Err("--window only applies together with --history".to_string());
+    }
+    if o.keep.is_some() && (o.history.is_none() || o.suite.is_none()) {
+        return Err("--keep only applies to a --suite run with --history".to_string());
     }
     Ok(o)
 }
@@ -256,6 +266,19 @@ pub fn main(args: &[String]) -> ExitCode {
             Err(msg) => {
                 eprintln!("error: {msg}");
                 return ExitCode::from(2);
+            }
+        }
+        if let Some(keep) = opts.keep {
+            match history::prune(dir, &report.name, keep) {
+                Ok(removed) if removed.is_empty() => {}
+                Ok(removed) => println!(
+                    "pruned {} archived run(s) past --keep {keep}",
+                    removed.len()
+                ),
+                Err(msg) => {
+                    eprintln!("error: {msg}");
+                    return ExitCode::from(2);
+                }
             }
         }
     }
@@ -500,7 +523,14 @@ fn run_suite(suite: &str, opts: &BenchOpts) -> Result<BenchReport, String> {
                 let mut s = Scratch::new();
                 Box::new(move |buf: &mut [u64], m, n| {
                     let p = C2rParams::new(m, n);
-                    let kernel = forced.unwrap_or_else(|| kernels::select(&p));
+                    let kernel = match forced {
+                        Some(k) => k,
+                        None => {
+                            let (k, tier) = kernels::select_with_tier(&p);
+                            ipt_pool::stats::record_decision(tier.name());
+                            k
+                        }
+                    };
                     ipt_pool::stats::record_kernel(kernel.name());
                     let tmp = s.ensure(n, 0u64);
                     kernels::row_shuffle(buf, &p, tmp, kernel, ShuffleDirection::Inverse);
@@ -568,6 +598,10 @@ fn run_suite(suite: &str, opts: &BenchOpts) -> Result<BenchReport, String> {
     Ok(BenchReport {
         name: suite.to_string(),
         threads,
+        dispatch_tier: kernels::active_tier().name().to_string(),
+        calibration: kernels::calibrate::loaded()
+            .map(|p| p.hash())
+            .unwrap_or_else(|| "none".to_string()),
         entries,
     })
 }

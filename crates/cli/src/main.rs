@@ -14,6 +14,7 @@
 //! ipt info       FILE --elem-size S
 //! ipt bench      --suite transpose|parallel|kernels|aos|batched [...]
 //! ipt bench      --compare OLD NEW | --compare NEW --history DIR
+//! ipt calibrate  [--force] [--show] [--out PATH]
 //! ```
 //!
 //! `gen` writes a position-identifying pattern; `verify` checks that a
@@ -23,6 +24,7 @@
 //! `BENCH_*.json` baselines and diffs two such reports.
 
 mod bench;
+mod calibrate;
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -41,21 +43,27 @@ USAGE:
   ipt verify    FILE --rows R --cols C --elem-size S
   ipt info      FILE --elem-size S
   ipt bench     --suite transpose|parallel|kernels|aos|batched [--out PATH]
-                [--quick] [--history DIR]
+                [--quick] [--history DIR] [--keep N]
   ipt bench     --compare OLD.json NEW.json [--threshold PCT]
   ipt bench     --compare NEW.json --history DIR [--threshold PCT] [--window K]
+  ipt calibrate [--force] [--show] [--out PATH]
 
 Matrices are dense binary dumps: rows x cols elements of elem-size bytes.
 `transpose` rewrites FILE in place unless --out is given. `gen` fills a
 file with a position pattern; `verify` accepts a file produced by
 `gen ... | transpose` and checks every element landed where the
 transpose says it must. `bench` runs the fixed benchmark suite and emits
-machine-readable BENCH_*.json baselines (see `ipt bench --help`).";
+machine-readable BENCH_*.json baselines (see `ipt bench --help`).
+`calibrate` measures this host's kernel crossovers and persists them so
+dispatch uses measured thresholds (see `ipt calibrate --help`).";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("bench") {
         return bench::main(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("calibrate") {
+        return calibrate::main(&args[1..]);
     }
     match run(&args) {
         Ok(msg) => {

@@ -456,6 +456,8 @@ fn bench_compare_flags_injected_regression() {
     let report = |median: f64| BenchReport {
         name: "injected".to_string(),
         threads: 1,
+        dispatch_tier: "static".to_string(),
+        calibration: "none".to_string(),
         entries: vec![entry(median)],
     };
     let old = tmpfile("BENCH_old.json");
@@ -586,6 +588,8 @@ fn bench_compare_zero_baseline_cannot_mask_regression() {
     BenchReport {
         name: "injected".to_string(),
         threads: 1,
+        dispatch_tier: "static".to_string(),
+        calibration: "none".to_string(),
         entries: vec![entry(0.0)],
     }
     .save(&old)
@@ -593,6 +597,8 @@ fn bench_compare_zero_baseline_cannot_mask_regression() {
     BenchReport {
         name: "injected".to_string(),
         threads: 1,
+        dispatch_tier: "static".to_string(),
+        calibration: "none".to_string(),
         entries: vec![entry(0.001)],
     }
     .save(&new)
@@ -621,6 +627,8 @@ fn bench_compare_surfaces_one_sided_entries() {
     let report = |algs: &[&str]| BenchReport {
         name: "sided".to_string(),
         threads: 1,
+        dispatch_tier: "static".to_string(),
+        calibration: "none".to_string(),
         entries: algs.iter().map(|a| entry(a)).collect(),
     };
     let old = tmpfile("BENCH_sided_old.json");
@@ -710,6 +718,8 @@ fn bench_trend_gate_flags_creeping_regression() {
     let report = |median: f64| BenchReport {
         name: "synthetic".to_string(),
         threads: 1,
+        dispatch_tier: "static".to_string(),
+        calibration: "none".to_string(),
         entries: vec![entry(median)],
     };
     let dir = tmpfile("hist_creeping");
@@ -757,6 +767,8 @@ fn bench_trend_compare_needs_existing_history() {
     BenchReport {
         name: "lonely".to_string(),
         threads: 1,
+        dispatch_tier: "static".to_string(),
+        calibration: "none".to_string(),
         entries: Vec::new(),
     }
     .save(&newest)
@@ -817,4 +829,287 @@ fn bench_aos_and_batched_quick_emit_full_entry_sets() {
         // Self-compare round-trips the emit -> parse -> gate pipeline.
         assert_ok(&ipt(&["bench", "--compare", &f, &f]));
     }
+}
+
+/// Run the binary with extra environment variables set.
+fn ipt_env(args: &[&str], envs: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_ipt-cli"));
+    cmd.args(args);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("running ipt binary")
+}
+
+#[test]
+fn invalid_ipt_threads_warns_exactly_once_and_falls_back() {
+    // The parallel suite leaves the pool on its environment default, so
+    // IPT_THREADS actually reaches the parser (transpose/kernels pin the
+    // pool to 1 thread and would mask the bug this regression-tests: the
+    // old parser silently swallowed bad values via `.ok()`).
+    let run = |threads: &str| {
+        let f = tmpfile("BENCH_threads_env.json");
+        ipt_env(
+            &[
+                "bench",
+                "--suite",
+                "parallel",
+                "--quick",
+                "--samples",
+                "1",
+                "--out",
+                &f,
+            ],
+            &[("IPT_THREADS", threads), ("IPT_CALIBRATION", "off")],
+        )
+    };
+    for bad in ["0", "  0 ", "lots", "-3", ""] {
+        let out = run(bad);
+        assert_ok(&out);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        let warnings = stderr.lines().filter(|l| l.contains("IPT_THREADS")).count();
+        assert_eq!(
+            warnings, 1,
+            "IPT_THREADS={bad:?} should warn exactly once: {stderr}"
+        );
+        assert!(
+            stderr.contains("ipt: ignoring"),
+            "warning should use the ignoring idiom: {stderr}"
+        );
+    }
+    // A valid value (with shell-style padding) is accepted silently.
+    let out = run(" 2 ");
+    assert_ok(&out);
+    assert!(
+        !String::from_utf8_lossy(&out.stderr).contains("IPT_THREADS"),
+        "valid IPT_THREADS must not warn: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn calibrate_writes_shows_and_skips_an_up_to_date_profile() {
+    use ipt_core::kernels::calibrate::CalibrationProfile;
+    let profile_path = tmpfile("calibrate_rt.json");
+    let _ = std::fs::remove_file(&profile_path);
+
+    // First run probes and writes the profile.
+    let out = ipt(&["calibrate", "--out", &profile_path]);
+    assert_ok(&out);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("calibrated"), "{stdout}");
+    let profile =
+        CalibrationProfile::load(std::path::Path::new(&profile_path)).expect("valid profile");
+    assert!(stdout.contains(&profile.hash()), "{stdout}");
+
+    // A second run without --force skips the probe.
+    let out = ipt(&["calibrate", "--out", &profile_path]);
+    assert_ok(&out);
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("up to date"),
+        "existing valid profile should short-circuit"
+    );
+
+    // --show prints the stored table without re-probing.
+    let out = ipt(&["calibrate", "--show", "--out", &profile_path]);
+    assert_ok(&out);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains(&profile.hash()) && stdout.contains("best"),
+        "--show should print the stored rung table and hash: {stdout}"
+    );
+
+    // --force re-measures and rewrites (the file stays valid).
+    let out = ipt(&["calibrate", "--force", "--out", &profile_path]);
+    assert_ok(&out);
+    CalibrationProfile::load(std::path::Path::new(&profile_path)).expect("still valid");
+
+    // --show on a missing path is a clean error.
+    let missing = tmpfile("calibrate_missing.json");
+    let _ = std::fs::remove_file(&missing);
+    let out = ipt(&["calibrate", "--show", "--out", &missing]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error:"));
+}
+
+#[test]
+fn bench_stamps_the_dispatch_tier_and_profile_hash() {
+    use ipt_core::kernels::calibrate::CalibrationProfile;
+    let profile_path = tmpfile("calibrate_stamp.json");
+    assert_ok(&ipt(&["calibrate", "--force", "--out", &profile_path]));
+    let hash = CalibrationProfile::load(std::path::Path::new(&profile_path))
+        .expect("valid profile")
+        .hash();
+
+    // With the profile loaded, reports stamp the calibrated tier + hash.
+    let f = tmpfile("BENCH_stamped.json");
+    assert_ok(&ipt_env(
+        &[
+            "bench",
+            "--suite",
+            "kernels",
+            "--quick",
+            "--samples",
+            "1",
+            "--out",
+            &f,
+        ],
+        &[("IPT_CALIBRATION", &profile_path)],
+    ));
+    let report = ipt_bench::report::BenchReport::load(&f).expect("well-formed report");
+    assert_eq!(report.dispatch_tier, "calibrated");
+    assert_eq!(report.calibration, hash);
+
+    // With calibration off, the stamp records the static heuristic.
+    assert_ok(&ipt_env(
+        &[
+            "bench",
+            "--suite",
+            "kernels",
+            "--quick",
+            "--samples",
+            "1",
+            "--out",
+            &f,
+        ],
+        &[("IPT_CALIBRATION", "off")],
+    ));
+    let report = ipt_bench::report::BenchReport::load(&f).expect("well-formed report");
+    assert_eq!(report.dispatch_tier, "static");
+    assert_eq!(report.calibration, "none");
+
+    // An IPT_KERNEL override outranks the loaded profile.
+    assert_ok(&ipt_env(
+        &[
+            "bench",
+            "--suite",
+            "kernels",
+            "--quick",
+            "--samples",
+            "1",
+            "--out",
+            &f,
+        ],
+        &[("IPT_CALIBRATION", &profile_path), ("IPT_KERNEL", "scalar")],
+    ));
+    let report = ipt_bench::report::BenchReport::load(&f).expect("well-formed report");
+    assert_eq!(report.dispatch_tier, "override");
+}
+
+#[test]
+fn corrupt_calibration_profile_warns_once_and_falls_back_to_static() {
+    let profile_path = tmpfile("calibrate_corrupt.json");
+    std::fs::write(&profile_path, "{\"schema\": \"wat\"").unwrap();
+    let f = tmpfile("BENCH_corrupt_profile.json");
+    let out = ipt_env(
+        &[
+            "bench",
+            "--suite",
+            "kernels",
+            "--quick",
+            "--samples",
+            "1",
+            "--out",
+            &f,
+        ],
+        &[("IPT_CALIBRATION", &profile_path)],
+    );
+    // Never a panic or abort: the run completes on the static heuristic.
+    assert_ok(&out);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let warnings = stderr
+        .lines()
+        .filter(|l| l.contains("calibration profile"))
+        .count();
+    assert_eq!(
+        warnings, 1,
+        "corrupt profile should warn exactly once: {stderr}"
+    );
+    let report = ipt_bench::report::BenchReport::load(&f).expect("well-formed report");
+    assert_eq!(report.dispatch_tier, "static");
+    assert_eq!(report.calibration, "none");
+}
+
+#[test]
+fn bench_keep_prunes_history_oldest_first() {
+    let dir = tmpfile("hist_keep");
+    let _ = std::fs::remove_dir_all(&dir);
+    let f = tmpfile("BENCH_keep.json");
+    let run = || {
+        ipt_env(
+            &[
+                "bench",
+                "--suite",
+                "transpose",
+                "--quick",
+                "--samples",
+                "1",
+                "--out",
+                &f,
+                "--history",
+                &dir,
+                "--keep",
+                "1",
+            ],
+            &[("SOURCE_DATE_EPOCH", "1700000000")],
+        )
+    };
+    assert_ok(&run());
+    let out = run();
+    assert_ok(&out);
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("pruned 1 archived run(s)"),
+        "second run should prune the first archive"
+    );
+    let names: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_str().unwrap().to_string())
+        .collect();
+    // Only the newer archive (sequence 0002) survives --keep 1.
+    assert_eq!(
+        names,
+        ["ipt-bench-transpose-20231114T221320Z-0002-t1-auto.json"]
+    );
+
+    // --keep outside a --suite run with --history is a usage error.
+    for args in [
+        &["bench", "--suite", "transpose", "--keep", "2"][..],
+        &["bench", "--compare", "a.json", "b.json", "--keep", "2"][..],
+        &[
+            "bench",
+            "--suite",
+            "transpose",
+            "--history",
+            "d",
+            "--keep",
+            "0",
+        ][..],
+    ] {
+        let out = ipt(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?} should exit 2");
+    }
+}
+
+#[test]
+fn calibrate_rejects_bad_flags() {
+    for args in [
+        &["calibrate", "--bogus"][..],
+        &["calibrate", "--out"][..],
+        &["calibrate", "--force", "--show"][..],
+    ] {
+        let out = ipt(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?} should exit 2");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("error:"),
+            "{args:?} should explain itself"
+        );
+    }
+    // Persistence disabled and no --out: nothing to write, clean error.
+    let out = ipt_env(&["calibrate"], &[("IPT_CALIBRATION", "off")]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("disabled"));
+    // --help prints usage.
+    let out = ipt(&["calibrate", "--help"]);
+    assert_ok(&out);
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
 }

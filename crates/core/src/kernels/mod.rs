@@ -26,10 +26,14 @@
 //! `O(max(m, n))` auxiliary bound of Theorem 6 is untouched — the kernels
 //! change the *order of index evaluation*, not the data movement.
 //!
-//! [`select`] picks a kernel per shape at runtime (runs shorter than a
-//! strip are not worth the per-run setup), and the `IPT_KERNEL`
-//! environment variable (`auto` / `scalar` / `block4` / `block8`)
-//! overrides it for ablation studies.
+//! [`select`] picks a kernel per shape at runtime through three tiers:
+//! the `IPT_KERNEL` environment variable (`auto` / `scalar` / `block4` /
+//! `block8`) overrides everything for ablation studies; otherwise a
+//! per-host [`calibrate::CalibrationProfile`] — measured crossovers,
+//! persisted and lazily loaded — decides; otherwise the static
+//! [`select_auto`] heuristic (runs shorter than a strip are not worth
+//! the per-run setup) is the fallback. [`select_with_tier`] additionally
+//! reports which tier decided, for observability.
 //!
 //! ```
 //! use ipt_core::index::C2rParams;
@@ -47,6 +51,8 @@
 //!                      ShuffleDirection::Inverse);
 //! assert_eq!(a, b);
 //! ```
+
+pub mod calibrate;
 
 mod blocked;
 mod scalar;
@@ -99,17 +105,19 @@ impl RowShuffleKernel {
         }
     }
 
-    /// Parse an `IPT_KERNEL` value. `Ok(None)` means `auto` (defer to the
-    /// [`select`] heuristic); unknown names are an error carrying the
+    /// Parse an `IPT_KERNEL` value, ignoring surrounding whitespace and
+    /// ASCII case (shell-exported overrides arrive as `"BLOCK8"` or
+    /// `" block4 "` often enough). `Ok(None)` means `auto` (defer to the
+    /// [`select`] resolution); unknown names are an error carrying the
     /// offending string.
     pub fn parse(s: &str) -> Result<Option<RowShuffleKernel>, String> {
-        match s.trim() {
+        match s.trim().to_ascii_lowercase().as_str() {
             "" | "auto" => Ok(None),
             "scalar" => Ok(Some(RowShuffleKernel::Scalar)),
             "block4" => Ok(Some(RowShuffleKernel::Block4)),
             "block8" => Ok(Some(RowShuffleKernel::Block8)),
-            other => Err(format!(
-                "unknown IPT_KERNEL {other:?} (expected auto, scalar, block4 or block8)"
+            _ => Err(format!(
+                "unknown IPT_KERNEL {s:?} (expected auto, scalar, block4 or block8)"
             )),
         }
     }
@@ -171,12 +179,70 @@ pub fn select_auto(p: &C2rParams) -> RowShuffleKernel {
     }
 }
 
-/// Pick the kernel to run for this shape: the env-free heuristic
-/// [`select_auto`], unless the `IPT_KERNEL` environment variable forces a
-/// specific member (`scalar` / `block4` / `block8`; `auto` and unset defer
-/// to the heuristic — unknown values warn once and defer too).
+/// Which resolution tier decided a kernel choice (see [`select_with_tier`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecisionTier {
+    /// The `IPT_KERNEL` environment variable forced the kernel.
+    Override,
+    /// A loaded [`calibrate::CalibrationProfile`] decided from
+    /// measurements.
+    Calibrated,
+    /// The static [`select_auto`] heuristic decided.
+    Static,
+}
+
+impl DecisionTier {
+    /// Stable identifier used by the pool's decision counters and the
+    /// bench report stamps.
+    pub fn name(self) -> &'static str {
+        match self {
+            DecisionTier::Override => "override",
+            DecisionTier::Calibrated => "calibrated",
+            DecisionTier::Static => "static",
+        }
+    }
+}
+
+/// Pick the kernel to run for this shape and report which tier decided:
+///
+/// 1. **override** — the `IPT_KERNEL` environment variable forces a
+///    specific member (`scalar` / `block4` / `block8`; `auto` and unset
+///    defer — unknown values warn once and defer too);
+/// 2. **calibrated** — a persisted per-host profile
+///    ([`calibrate::loaded`], cache path `IPT_CALIBRATION`) answers from
+///    measured crossovers;
+/// 3. **static** — the built-in [`select_auto`] heuristic.
+///
+/// With no profile on disk (or a corrupt one, which warns once) tier 3
+/// makes this byte-identical to the uncalibrated dispatch.
+pub fn select_with_tier(p: &C2rParams) -> (RowShuffleKernel, DecisionTier) {
+    if let Some(kernel) = env_override() {
+        return (kernel, DecisionTier::Override);
+    }
+    if let Some(profile) = calibrate::loaded() {
+        return (profile.select(p), DecisionTier::Calibrated);
+    }
+    (select_auto(p), DecisionTier::Static)
+}
+
+/// [`select_with_tier`] without the provenance — the call every dispatch
+/// site uses.
 pub fn select(p: &C2rParams) -> RowShuffleKernel {
-    env_override().unwrap_or_else(|| select_auto(p))
+    select_with_tier(p).0
+}
+
+/// The tier that will decide dispatch for *any* shape in this process:
+/// [`DecisionTier::Override`] when `IPT_KERNEL` forces a kernel,
+/// [`DecisionTier::Calibrated`] when a profile loaded, else
+/// [`DecisionTier::Static`]. Benchmarks stamp this into their reports.
+pub fn active_tier() -> DecisionTier {
+    if env_override().is_some() {
+        DecisionTier::Override
+    } else if calibrate::loaded().is_some() {
+        DecisionTier::Calibrated
+    } else {
+        DecisionTier::Static
+    }
 }
 
 /// Shuffle every row of an `m x n` row-major buffer with the given kernel:
@@ -380,6 +446,33 @@ mod tests {
             Ok(Some(RowShuffleKernel::Block8))
         );
         assert!(RowShuffleKernel::parse("avx512").is_err());
+    }
+
+    #[test]
+    fn parse_folds_case_like_shell_exports_do() {
+        assert_eq!(
+            RowShuffleKernel::parse("BLOCK8"),
+            Ok(Some(RowShuffleKernel::Block8))
+        );
+        assert_eq!(
+            RowShuffleKernel::parse(" Block4 "),
+            Ok(Some(RowShuffleKernel::Block4))
+        );
+        assert_eq!(
+            RowShuffleKernel::parse("SCALAR"),
+            Ok(Some(RowShuffleKernel::Scalar))
+        );
+        assert_eq!(RowShuffleKernel::parse("AUTO"), Ok(None));
+        // The error still carries the raw (untrimmed, unfolded) value.
+        let err = RowShuffleKernel::parse(" AVX512 ").unwrap_err();
+        assert!(err.contains(" AVX512 "), "{err}");
+    }
+
+    #[test]
+    fn decision_tier_names_are_stable() {
+        assert_eq!(DecisionTier::Override.name(), "override");
+        assert_eq!(DecisionTier::Calibrated.name(), "calibrated");
+        assert_eq!(DecisionTier::Static.name(), "static");
     }
 
     #[test]

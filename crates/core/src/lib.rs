@@ -47,6 +47,7 @@
 //! | [`gcd`] | §4.2–4.3 | gcd, extended Euclid, modular inverse |
 //! | [`fastdiv`] | §4.4 | strength-reduced division/modulus |
 //! | [`index`] | §3–4 Eqs. 22–36 | the C2R/R2C index machinery |
+//! | [`json`] | — | zero-dep JSON for persisted artifacts |
 //! | [`matrix`] | — | matrix views over `&mut [T]` |
 //! | [`noncopy`] | — | swap-only transposes for non-`Copy` element types |
 //! | [`erased`] | — | type-erased transposes over raw byte buffers |
@@ -71,6 +72,7 @@ pub mod error;
 pub mod fastdiv;
 pub mod gcd;
 pub mod index;
+pub mod json;
 pub mod kernels;
 pub mod layout;
 pub mod matrix;

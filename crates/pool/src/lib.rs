@@ -68,12 +68,33 @@ static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
 /// `IPT_THREADS` parsed once.
 static ENV_THREADS: OnceLock<Option<usize>> = OnceLock::new();
 
+/// Parse an `IPT_THREADS` value: a positive thread count after trimming
+/// whitespace. Zero and garbage are explicit errors, not silent fallbacks.
+fn parse_env_threads(raw: &str) -> Result<usize, String> {
+    match raw.trim().parse::<usize>() {
+        Ok(0) => Err(format!(
+            "IPT_THREADS {raw:?} is zero (expected a positive thread count)"
+        )),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "IPT_THREADS {raw:?} is not a thread count (expected a positive integer)"
+        )),
+    }
+}
+
 fn env_threads() -> Option<usize> {
-    *ENV_THREADS.get_or_init(|| {
-        std::env::var("IPT_THREADS")
-            .ok()
-            .and_then(|s| s.trim().parse::<usize>().ok())
-            .filter(|&n| n > 0)
+    *ENV_THREADS.get_or_init(|| match std::env::var("IPT_THREADS") {
+        Ok(raw) => match parse_env_threads(&raw) {
+            Ok(n) => Some(n),
+            Err(e) => {
+                // Warn exactly once (the OnceLock guarantees it), like the
+                // dispatcher's IPT_KERNEL handling, instead of silently
+                // ignoring a knob the user set.
+                eprintln!("ipt: ignoring {e}");
+                None
+            }
+        },
+        Err(_) => None,
     })
 }
 
@@ -373,6 +394,18 @@ mod tests {
     fn thread_count_resolution() {
         assert!(Pool::new(3).threads() == 3);
         assert!(Pool::global().threads() >= 1);
+    }
+
+    #[test]
+    fn env_threads_parser_trims_and_rejects_zero_and_garbage() {
+        assert_eq!(parse_env_threads("4"), Ok(4));
+        assert_eq!(parse_env_threads(" 8 "), Ok(8));
+        assert_eq!(parse_env_threads("\t2\n"), Ok(2));
+        for bad in ["0", " 0 ", "", "many", "-1", "1.5", "4x"] {
+            let err = parse_env_threads(bad).unwrap_err();
+            assert!(err.contains("IPT_THREADS"), "{bad:?}: {err}");
+            assert!(err.contains(&format!("{bad:?}")), "{bad:?}: {err}");
+        }
     }
 
     #[test]

@@ -13,6 +13,10 @@
 #                          file (the `--history` trend archive; gate a
 #                          later run with
 #                          `ipt-cli bench --compare NEW --history DIR`).
+#   IPT_BENCH_HISTORY_KEEP per-suite retention for that archive (default
+#                          24): after each run the suite's archive is
+#                          pruned to the newest N files, oldest first,
+#                          so a long-lived history dir stays bounded.
 #
 # Numbers are machine-dependent: regenerate on the machine you compare
 # on, and gate changes with
@@ -36,7 +40,8 @@ CLI=target/release/ipt-cli
 
 HISTORY_FLAGS=()
 if [ -n "${IPT_BENCH_HISTORY_DIR:-}" ]; then
-    HISTORY_FLAGS=(--history "$IPT_BENCH_HISTORY_DIR")
+    HISTORY_FLAGS=(--history "$IPT_BENCH_HISTORY_DIR"
+        --keep "${IPT_BENCH_HISTORY_KEEP:-24}")
 fi
 
 for suite in "${SUITES[@]}"; do

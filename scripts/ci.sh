@@ -9,6 +9,9 @@
 #   tier 0  shellcheck   scripts/*.sh, if installed
 #   tier 1  verify       scripts/verify.sh            (hermetic build+test)
 #   tier 2  rustdoc      -D warnings across the workspace
+#   tier 2  calibrate    ipt-cli calibrate --force writes this box's
+#                        kernel-crossover profile into the history dir;
+#                        the smoke runs below execute with it loaded
 #   tier 2  bench smoke  kernels/aos/batched suites: emit -> parse ->
 #                        compare against the committed BENCH_*.json
 #                        baselines, archiving each run into the history
@@ -22,9 +25,10 @@
 #   IPT_BENCH_THRESHOLD    regression gate percent for the bench smoke
 #                          (default 40 — see the note at that stage).
 #   IPT_BENCH_HISTORY_DIR  where the smoke runs archive their dated
-#                          reports (default: a temp dir, removed on
-#                          exit; set it to keep the archive, e.g. for a
-#                          CI artifact upload).
+#                          reports and the calibrate stage its profile
+#                          (default: a temp dir, removed on exit; set it
+#                          to keep the archive, e.g. for a CI artifact
+#                          upload).
 
 set -euo pipefail
 
@@ -79,11 +83,25 @@ cleanup() {
     fi
 }
 trap cleanup EXIT
+
+stage "calibrate: per-host kernel crossovers (tier 2)"
+# Measure this box's scalar/block4/block8 crossovers and persist the
+# profile next to the bench archive (so a CI artifact upload of the
+# history dir carries it too). Exporting IPT_CALIBRATION makes every
+# bench run below resolve dispatch through the measured profile — the
+# smoke gates then double as an assertion that calibrated dispatch
+# keeps the committed baselines' headline wins.
+export IPT_CALIBRATION="$IPT_BENCH_HISTORY_DIR/ipt-calibration.json"
+"$CLI" calibrate --force
+
 run_smoke() {
     local suite="$1"
     "$CLI" bench --suite "$suite" --quick --samples 3 --out "$SMOKE" \
         --history "$IPT_BENCH_HISTORY_DIR" > /dev/null
     grep -q '"schema": "ipt-bench-report-v1"' "$SMOKE"
+    # The calibrate stage exported IPT_CALIBRATION: every smoke report
+    # must record that the profile (not the static fallback) decided.
+    grep -q '"dispatch_tier": "calibrated"' "$SMOKE"
     "$CLI" bench --compare "$SMOKE" "$SMOKE" > /dev/null  # parse round-trip
     "$CLI" bench --compare "BENCH_${suite}.json" "$SMOKE" --threshold "$THRESHOLD"
 }
