@@ -460,6 +460,7 @@ mod tests {
             p10_gbps: median,
             p90_gbps: median,
             phases: Vec::new(),
+            model: None,
         }
     }
 

@@ -1,10 +1,18 @@
-//! Re-export of the workspace's zero-dep JSON machinery.
+//! Deprecated re-export of the workspace's zero-dep JSON machinery.
 //!
 //! The `Json` value type originally lived here, next to the bench
 //! reports it serializes. The kernel calibration subsystem
 //! ([`ipt_core::kernels::calibrate`]) persists its profiles through the
 //! same machinery, and `ipt-bench` depends on `ipt-core` — so the module
-//! moved down into [`ipt_core::json`] and this re-export keeps the
-//! `ipt_bench::json::Json` path (and every existing caller) working.
+//! moved down into [`ipt_core::json`] and this re-export kept the
+//! `ipt_bench::json::Json` path working for existing callers.
+//!
+//! **Deprecated:** every in-repo caller now imports
+//! [`ipt_core::json::Json`] directly; this shim exists only so external
+//! users get a warning instead of a break, and will be removed in the
+//! next release. Migrate `use ipt_bench::json::Json;` to
+//! `use ipt_core::json::Json;`.
 
+#[deprecated(note = "the JSON machinery lives in ipt_core::json; \
+            use `ipt_core::json::Json` directly — this re-export will be removed")]
 pub use ipt_core::json::Json;

@@ -14,7 +14,7 @@
 //! publication-grade numbers use the `src/bin/` harnesses, which follow
 //! the paper's own measurement protocol.
 
-use crate::json::Json;
+use ipt_core::json::Json;
 use std::cell::RefCell;
 use std::fmt::Display;
 use std::hint::black_box;

@@ -4,12 +4,12 @@
 //! (`BENCH_transpose.json`, `BENCH_parallel.json`) so regressions show up
 //! in review instead of in production. This module defines the typed
 //! report ([`BenchReport`] / [`BenchEntry`]), its stable JSON encoding
-//! (schema tag `ipt-bench-report-v1`, built on [`crate::json`]), and the
+//! (schema tag `ipt-bench-report-v1`, built on [`ipt_core::json`]), and the
 //! [`compare`] routine behind `ipt-cli bench --compare`, which flags any
 //! entry whose median throughput (the paper's Eq. 37 metric) dropped by
 //! more than a threshold.
 
-use crate::json::Json;
+use ipt_core::json::Json;
 
 /// Schema tag written into (and required from) every report file.
 pub const SCHEMA: &str = "ipt-bench-report-v1";
@@ -25,6 +25,105 @@ pub struct PhaseBreak {
     pub calls: u64,
     /// Total wall time in nanoseconds across those runs.
     pub nanos: u64,
+    /// Payload bytes the phase reported touching (read + write of every
+    /// element per executed pass, via
+    /// `ipt_pool::stats::record_phase_bytes`); `0` in reports written
+    /// before this field existed.
+    pub bytes: u64,
+}
+
+/// One phase's predicted-vs-measured share pair inside a [`ModelBreak`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelPhase {
+    /// Phase name (`pre_rotate`, `row_shuffle`, `col_shuffle`,
+    /// `post_rotate`).
+    pub name: String,
+    /// Model-predicted fraction of total transpose time, in `[0, 1]`.
+    pub predicted: f64,
+    /// Measured wall-time fraction over the same phases, in `[0, 1]`.
+    pub measured: f64,
+}
+
+/// The phase-attributed cost-model stamp `bench --model` adds to an
+/// entry: `memsim::phases` predicted shares next to the measured
+/// wall-time shares, with the agreement summaries (see `MODEL.md`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelBreak {
+    /// Device preset the prediction used (`"cpu"` or `"k20c"`).
+    pub device: String,
+    /// Total variation distance between predicted and measured share
+    /// distributions, in `[0, 1]` (0 = identical splits).
+    pub divergence: f64,
+    /// Whether predicted and measured phase cost orderings agree.
+    pub rank_agrees: bool,
+    /// Per-phase share pairs, prediction order first.
+    pub phases: Vec<ModelPhase>,
+}
+
+impl ModelBreak {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("device", Json::Str(self.device.clone())),
+            ("divergence", Json::Num(self.divergence)),
+            ("rank_agrees", Json::Bool(self.rank_agrees)),
+            (
+                "model_phases",
+                Json::Arr(
+                    self.phases
+                        .iter()
+                        .map(|p| {
+                            Json::obj(vec![
+                                ("name", Json::Str(p.name.clone())),
+                                ("predicted", Json::Num(p.predicted)),
+                                ("measured", Json::Num(p.measured)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<ModelBreak, String> {
+        Ok(ModelBreak {
+            device: v
+                .get("device")
+                .and_then(Json::as_str)
+                .ok_or("model missing \"device\"")?
+                .to_string(),
+            divergence: v
+                .get("divergence")
+                .and_then(Json::as_f64)
+                .ok_or("model missing \"divergence\"")?,
+            rank_agrees: v
+                .get("rank_agrees")
+                .and_then(Json::as_bool)
+                .ok_or("model missing \"rank_agrees\"")?,
+            phases: v
+                .get("model_phases")
+                .and_then(Json::as_arr)
+                .ok_or("model missing \"model_phases\"")?
+                .iter()
+                .map(|p| {
+                    Ok(ModelPhase {
+                        name: p
+                            .get("name")
+                            .and_then(Json::as_str)
+                            .ok_or("model phase missing \"name\"")?
+                            .to_string(),
+                        predicted: p
+                            .get("predicted")
+                            .and_then(Json::as_f64)
+                            .ok_or("model phase missing \"predicted\"")?,
+                        measured: p
+                            .get("measured")
+                            .and_then(Json::as_f64)
+                            .ok_or("model phase missing \"measured\"")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+        })
+    }
 }
 
 /// One measured configuration: an algorithm on a fixed shape.
@@ -49,6 +148,9 @@ pub struct BenchEntry {
     /// Per-phase wall-time breakdown (empty when the algorithm doesn't
     /// report phases, e.g. single-threaded cycle-following).
     pub phases: Vec<PhaseBreak>,
+    /// Predicted-vs-measured phase-share stamp (`bench --model`); `None`
+    /// for plain runs and reports written before the model existed.
+    pub model: Option<ModelBreak>,
 }
 
 impl BenchEntry {
@@ -67,6 +169,7 @@ impl BenchEntry {
                     ("name", Json::Str(p.name.clone())),
                     ("calls", Json::Num(p.calls as f64)),
                     ("nanos", Json::Num(p.nanos as f64)),
+                    ("bytes", Json::Num(p.bytes as f64)),
                     (
                         "fraction",
                         Json::Num(if phase_total > 0 {
@@ -78,7 +181,7 @@ impl BenchEntry {
                 ])
             })
             .collect();
-        Json::obj(vec![
+        let mut fields = vec![
             ("algorithm", Json::Str(self.algorithm.clone())),
             ("m", Json::Num(self.m as f64)),
             ("n", Json::Num(self.n as f64)),
@@ -88,7 +191,11 @@ impl BenchEntry {
             ("p10_gbps", Json::Num(self.p10_gbps)),
             ("p90_gbps", Json::Num(self.p90_gbps)),
             ("phases", Json::Arr(phases)),
-        ])
+        ];
+        if let Some(model) = &self.model {
+            fields.push(("model", model.to_json()));
+        }
+        Json::obj(fields)
     }
 
     fn from_json(v: &Json) -> Result<BenchEntry, String> {
@@ -118,9 +225,14 @@ impl BenchEntry {
                             .to_string(),
                         calls: p.get("calls").and_then(Json::as_u64).unwrap_or(0),
                         nanos: p.get("nanos").and_then(Json::as_u64).unwrap_or(0),
+                        bytes: p.get("bytes").and_then(Json::as_u64).unwrap_or(0),
                     })
                 })
                 .collect::<Result<Vec<_>, String>>()?,
+        };
+        let model = match v.get("model") {
+            None => None,
+            Some(m) => Some(ModelBreak::from_json(m)?),
         };
         Ok(BenchEntry {
             algorithm: field("algorithm")?
@@ -135,6 +247,7 @@ impl BenchEntry {
             p10_gbps: num("p10_gbps")?,
             p90_gbps: num("p90_gbps")?,
             phases,
+            model,
         })
     }
 }
@@ -378,11 +491,53 @@ mod tests {
                     name: "row_shuffle".to_string(),
                     calls: 5,
                     nanos: 1_000,
+                    bytes: 2_048,
                 },
                 PhaseBreak {
                     name: "col_shuffle".to_string(),
                     calls: 5,
                     nanos: 3_000,
+                    bytes: 2_048,
+                },
+            ],
+            model: None,
+        }
+    }
+
+    /// Recursively delete every object key named `key` — simulates a
+    /// baseline written before that field existed.
+    fn drop_keys(v: &mut Json, key: &str) {
+        match v {
+            Json::Obj(pairs) => {
+                pairs.retain(|(k, _)| k != key);
+                for (_, v) in pairs {
+                    drop_keys(v, key);
+                }
+            }
+            Json::Arr(items) => {
+                for v in items {
+                    drop_keys(v, key);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn model_break() -> ModelBreak {
+        ModelBreak {
+            device: "cpu".to_string(),
+            divergence: 0.12,
+            rank_agrees: true,
+            phases: vec![
+                ModelPhase {
+                    name: "row_shuffle".to_string(),
+                    predicted: 0.3,
+                    measured: 0.25,
+                },
+                ModelPhase {
+                    name: "col_shuffle".to_string(),
+                    predicted: 0.7,
+                    measured: 0.75,
                 },
             ],
         }
@@ -413,7 +568,9 @@ mod tests {
 
     #[test]
     fn json_keys_appear_in_schema_order() {
-        let text = report(vec![entry("c2r", 8, 4, 1.0)]).to_json().render();
+        let mut e = entry("c2r", 8, 4, 1.0);
+        e.model = Some(model_break());
+        let text = report(vec![e]).to_json().render();
         let order = [
             "\"schema\"",
             "\"name\"",
@@ -430,7 +587,15 @@ mod tests {
             "\"p10_gbps\"",
             "\"p90_gbps\"",
             "\"phases\"",
+            "\"bytes\"",
             "\"fraction\"",
+            "\"model\"",
+            "\"device\"",
+            "\"divergence\"",
+            "\"rank_agrees\"",
+            "\"model_phases\"",
+            "\"predicted\"",
+            "\"measured\"",
         ];
         let mut last = 0;
         for key in order {
@@ -438,6 +603,30 @@ mod tests {
             assert!(at > last, "{key} out of order in:\n{text}");
             last = at;
         }
+    }
+
+    #[test]
+    fn model_stamp_round_trips_and_stays_optional() {
+        let mut e = entry("c2r", 192, 256, 3.0);
+        e.model = Some(model_break());
+        let r = report(vec![e]);
+        let text = r.to_json().render();
+        let back = BenchReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, r);
+        // Entries without a model stamp (all pre-existing baselines)
+        // still load, with model = None and bytes = 0.
+        let plain = report(vec![entry("c2r", 8, 4, 1.0)]);
+        let mut stripped = plain.clone();
+        for e in &mut stripped.entries {
+            for p in &mut e.phases {
+                p.bytes = 0;
+            }
+        }
+        let mut doc = Json::parse(&plain.to_json().render()).unwrap();
+        drop_keys(&mut doc, "bytes");
+        let back = BenchReport::from_json(&doc).unwrap();
+        assert_eq!(back, stripped);
+        assert!(back.entries[0].model.is_none());
     }
 
     #[test]

@@ -39,7 +39,7 @@ ipt bench — run the fixed benchmark suite / compare reports
 
 USAGE:
   ipt bench --suite transpose|parallel|kernels|aos|batched
-            [--out PATH] [--samples N] [--threads N] [--quick]
+            [--out PATH] [--samples N] [--threads N] [--quick] [--model]
             [--history DIR] [--keep N]
   ipt bench --compare OLD.json NEW.json [--threshold PCT]
   ipt bench --compare NEW.json --history DIR [--threshold PCT] [--window K]
@@ -57,6 +57,10 @@ then prunes the suite's archive to the N newest files, oldest first.
 Every report stamps the kernel-dispatch decision tier (override when
 IPT_KERNEL forces a kernel, calibrated when an IPT_CALIBRATION profile
 loaded, static otherwise) and the loaded profile's content hash.
+--model additionally stamps every c2r*/r2c* entry with the
+phase-attributed cost model's predicted-vs-measured share breakdown
+(memsim::phases against the cpu preset — see `ipt model --help` and
+MODEL.md), carried in the report JSON under \"model\".
 
 The `kernels` suite isolates the row-shuffle pass (Eq. 31) and pits the
 scalar incremental kernel against the run-blocked block4/block8 kernels
@@ -113,6 +117,9 @@ struct BenchOpts {
     samples: usize,
     threads: Option<usize>,
     quick: bool,
+    /// Stamp each transpose entry with the predicted-vs-measured phase
+    /// share breakdown (`crate::model::model_stamp`).
+    model: bool,
     /// `--compare` paths: `(OLD, Some(NEW))` pairwise, `(NEW, None)`
     /// with `--history`.
     compare: Option<(String, Option<String>)>,
@@ -141,6 +148,7 @@ fn parse(args: &[String]) -> Result<BenchOpts, String> {
         samples: 7,
         threads: None,
         quick: false,
+        model: false,
         compare: None,
         threshold: 10.0,
         history: None,
@@ -160,6 +168,7 @@ fn parse(args: &[String]) -> Result<BenchOpts, String> {
             "--samples" => o.samples = parse_count("--samples", &grab("--samples")?)?,
             "--threads" => o.threads = Some(parse_count("--threads", &grab("--threads")?)?),
             "--quick" => o.quick = true,
+            "--model" => o.model = true,
             "--compare" => {
                 let first = grab("--compare")?;
                 // The second path is optional (trend mode supplies the
@@ -211,6 +220,9 @@ fn parse(args: &[String]) -> Result<BenchOpts, String> {
     }
     if o.keep.is_some() && (o.history.is_none() || o.suite.is_none()) {
         return Err("--keep only applies to a --suite run with --history".to_string());
+    }
+    if o.model && o.suite.is_none() {
+        return Err("--model only applies to a --suite run".to_string());
     }
     Ok(o)
 }
@@ -590,7 +602,15 @@ fn run_suite(suite: &str, opts: &BenchOpts) -> Result<BenchReport, String> {
     );
     for (alg, mut run) in algorithms {
         for &(m, n) in shapes {
-            let e = measure(alg, m, n, elems_per_call(m, n), samples, &mut *run);
+            let e = measure(
+                alg,
+                m,
+                n,
+                elems_per_call(m, n),
+                samples,
+                opts.model,
+                &mut *run,
+            );
             print_entry(&e);
             entries.push(e);
         }
@@ -617,6 +637,7 @@ fn measure(
     n: usize,
     elems: usize,
     samples: usize,
+    model: bool,
     run: &mut dyn FnMut(&mut [u64], usize, usize),
 ) -> BenchEntry {
     let mut buf = vec![0u64; elems];
@@ -630,16 +651,30 @@ fn measure(
         tputs.push(harness::throughput_gbps(elems, 1, 8, secs));
     }
     let delta = ipt_pool::stats::snapshot().delta_since(&before);
-    let phases = phases::ALL
+    let phases: Vec<PhaseBreak> = phases::ALL
         .iter()
         .filter_map(|&name| {
             delta.phase(name).map(|p| PhaseBreak {
                 name: name.to_string(),
                 calls: p.calls,
                 nanos: p.nanos,
+                bytes: p.bytes,
             })
         })
         .collect();
+    // The model describes single-core traffic of a whole decomposed
+    // transpose: stamp only phases that reported payload bytes (a no-op
+    // rotation times a call but moves nothing).
+    let model = if model {
+        let measured: Vec<(&str, u64)> = phases
+            .iter()
+            .filter(|p| p.bytes > 0)
+            .map(|p| (p.name.as_str(), p.nanos))
+            .collect();
+        crate::model::model_stamp("cpu", alg, m, n, 8, &measured)
+    } else {
+        None
+    };
     BenchEntry {
         algorithm: alg.to_string(),
         m,
@@ -650,6 +685,7 @@ fn measure(
         p10_gbps: harness::percentile(&tputs, 10.0),
         p90_gbps: harness::percentile(&tputs, 90.0),
         phases,
+        model,
     }
 }
 
@@ -669,4 +705,13 @@ fn print_entry(e: &BenchEntry) {
         "  {:<20} {:>5}x{:<5} median {:8.3} GB/s  (p10 {:.3}, p90 {:.3}){split}",
         e.algorithm, e.m, e.n, e.median_gbps, e.p10_gbps, e.p90_gbps
     );
+    if let Some(model) = &e.model {
+        println!(
+            "  {:<20} model({}): divergence {:.3}, rank {}",
+            "",
+            model.device,
+            model.divergence,
+            if model.rank_agrees { "agrees" } else { "flips" }
+        );
+    }
 }

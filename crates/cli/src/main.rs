@@ -14,6 +14,7 @@
 //! ipt info       FILE --elem-size S
 //! ipt bench      --suite transpose|parallel|kernels|aos|batched [...]
 //! ipt bench      --compare OLD NEW | --compare NEW --history DIR
+//! ipt model      --rows R --cols C --elem N [--max-divergence X]
 //! ipt calibrate  [--force] [--show] [--out PATH]
 //! ```
 //!
@@ -25,6 +26,7 @@
 
 mod bench;
 mod calibrate;
+mod model;
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -46,6 +48,8 @@ USAGE:
                 [--quick] [--history DIR] [--keep N]
   ipt bench     --compare OLD.json NEW.json [--threshold PCT]
   ipt bench     --compare NEW.json --history DIR [--threshold PCT] [--window K]
+  ipt model     --rows R --cols C --elem N [--algorithm c2r|r2c|auto]
+                [--device cpu|k20c] [--max-divergence X]
   ipt calibrate [--force] [--show] [--out PATH]
 
 Matrices are dense binary dumps: rows x cols elements of elem-size bytes.
@@ -54,8 +58,11 @@ file with a position pattern; `verify` accepts a file produced by
 `gen ... | transpose` and checks every element landed where the
 transpose says it must. `bench` runs the fixed benchmark suite and emits
 machine-readable BENCH_*.json baselines (see `ipt bench --help`).
-`calibrate` measures this host's kernel crossovers and persists them so
-dispatch uses measured thresholds (see `ipt calibrate --help`).";
+`model` prints memsim's predicted per-phase cost shares next to the
+measured phase timers for one shape and gates on their divergence (see
+`ipt model --help`). `calibrate` measures this host's kernel crossovers
+and persists them so dispatch uses measured thresholds (see
+`ipt calibrate --help`).";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -64,6 +71,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("calibrate") {
         return calibrate::main(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("model") {
+        return model::main(&args[1..]);
     }
     match run(&args) {
         Ok(msg) => {

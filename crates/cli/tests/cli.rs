@@ -452,6 +452,7 @@ fn bench_compare_flags_injected_regression() {
         p10_gbps: median,
         p90_gbps: median,
         phases: Vec::new(),
+        model: None,
     };
     let report = |median: f64| BenchReport {
         name: "injected".to_string(),
@@ -582,6 +583,7 @@ fn bench_compare_zero_baseline_cannot_mask_regression() {
         p10_gbps: median,
         p90_gbps: median,
         phases: Vec::new(),
+        model: None,
     };
     let old = tmpfile("BENCH_zero_old.json");
     let new = tmpfile("BENCH_zero_new.json");
@@ -623,6 +625,7 @@ fn bench_compare_surfaces_one_sided_entries() {
         p10_gbps: 1.0,
         p90_gbps: 1.0,
         phases: Vec::new(),
+        model: None,
     };
     let report = |algs: &[&str]| BenchReport {
         name: "sided".to_string(),
@@ -714,6 +717,7 @@ fn bench_trend_gate_flags_creeping_regression() {
         p10_gbps: median,
         p90_gbps: median,
         phases: Vec::new(),
+        model: None,
     };
     let report = |median: f64| BenchReport {
         name: "synthetic".to_string(),
@@ -1112,4 +1116,186 @@ fn calibrate_rejects_bad_flags() {
     let out = ipt(&["calibrate", "--help"]);
     assert_ok(&out);
     assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn model_prints_predicted_vs_measured_table() {
+    let out = ipt(&[
+        "model",
+        "--rows",
+        "96",
+        "--cols",
+        "64",
+        "--elem",
+        "8",
+        "--samples",
+        "3",
+    ]);
+    assert_ok(&out);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // gcd(96, 64) = 32: all three C2R phases appear, with the share
+    // columns and the agreement summary.
+    for needle in [
+        "pre_rotate",
+        "row_shuffle",
+        "col_shuffle",
+        "predicted",
+        "measured",
+        "divergence",
+        "rank agreement",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle:?} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn model_gate_fails_on_impossible_threshold() {
+    // Perfect agreement (divergence 0.000) is unattainable on real
+    // timers at 3 decimal places of tolerance 0 — the gate must trip
+    // with the dedicated exit code.
+    let out = ipt(&[
+        "model",
+        "--rows",
+        "96",
+        "--cols",
+        "64",
+        "--elem",
+        "8",
+        "--samples",
+        "3",
+        "--max-divergence",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(3), "gate must exit 3");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("divergence"));
+    // A generous threshold passes.
+    let out = ipt(&[
+        "model",
+        "--rows",
+        "96",
+        "--cols",
+        "64",
+        "--elem",
+        "8",
+        "--samples",
+        "3",
+        "--max-divergence",
+        "0.9",
+    ]);
+    assert_ok(&out);
+    assert!(String::from_utf8_lossy(&out.stdout).contains("gate ok"));
+}
+
+#[test]
+fn model_rejects_bad_flags() {
+    for args in [
+        &["model"][..],
+        &["model", "--rows", "8", "--cols", "8"][..],
+        &["model", "--rows", "8", "--cols", "8", "--elem", "3"][..],
+        &["model", "--rows", "1", "--cols", "8", "--elem", "8"][..],
+        &[
+            "model", "--rows", "8", "--cols", "8", "--elem", "8", "--device", "tpu",
+        ][..],
+        &[
+            "model",
+            "--rows",
+            "8",
+            "--cols",
+            "8",
+            "--elem",
+            "8",
+            "--algorithm",
+            "x",
+        ][..],
+        &[
+            "model",
+            "--rows",
+            "8",
+            "--cols",
+            "8",
+            "--elem",
+            "8",
+            "--max-divergence",
+            "2",
+        ][..],
+        &["model", "--bogus", "1"][..],
+    ] {
+        let out = ipt(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?} should exit 2");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("error:"),
+            "{args:?} should explain itself"
+        );
+    }
+    let out = ipt(&["model", "--help"]);
+    assert_ok(&out);
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn bench_model_stamps_transpose_entries() {
+    use ipt_bench::report::BenchReport;
+    let out_path = tmpfile("BENCH_model_stamp.json");
+    let out = ipt(&[
+        "bench",
+        "--suite",
+        "transpose",
+        "--quick",
+        "--samples",
+        "1",
+        "--model",
+        "--out",
+        &out_path,
+    ]);
+    assert_ok(&out);
+    let report = BenchReport::load(&out_path).unwrap();
+    for e in &report.entries {
+        if e.algorithm.starts_with("c2r_parallel") || e.algorithm.starts_with("r2c_parallel") {
+            let model = e.model.as_ref().unwrap_or_else(|| {
+                panic!("{} {}x{} should carry a model stamp", e.algorithm, e.m, e.n)
+            });
+            assert_eq!(model.device, "cpu");
+            assert!((0.0..=1.0).contains(&model.divergence), "{model:?}");
+            let pred_total: f64 = model.phases.iter().map(|p| p.predicted).sum();
+            let meas_total: f64 = model.phases.iter().map(|p| p.measured).sum();
+            assert!((pred_total - 1.0).abs() < 1e-9, "{model:?}");
+            assert!((meas_total - 1.0).abs() < 1e-9, "{model:?}");
+        }
+        // Every measured phase now carries its payload-bytes tally.
+        for p in &e.phases {
+            if p.nanos > 0 && e.algorithm.contains("parallel") {
+                assert!(p.bytes > 0, "{} {}: no bytes", e.algorithm, p.name);
+            }
+        }
+    }
+    // The stamp round-trips through the JSON text ("model" key present).
+    let text = std::fs::read_to_string(&out_path).unwrap();
+    assert!(text.contains("\"model\""), "stamp missing from JSON");
+    assert!(text.contains("\"model_phases\""));
+    // Without --model the stamp is absent.
+    let plain_path = tmpfile("BENCH_model_plain.json");
+    let out = ipt(&[
+        "bench",
+        "--suite",
+        "transpose",
+        "--quick",
+        "--samples",
+        "1",
+        "--out",
+        &plain_path,
+    ]);
+    assert_ok(&out);
+    let report = BenchReport::load(&plain_path).unwrap();
+    assert!(report.entries.iter().all(|e| e.model.is_none()));
+}
+
+#[test]
+fn bench_model_requires_a_suite_run() {
+    let old = tmpfile("BENCH_model_old.json");
+    let new = tmpfile("BENCH_model_new.json");
+    std::fs::write(&old, "{}").unwrap();
+    std::fs::write(&new, "{}").unwrap();
+    let out = ipt(&["bench", "--compare", &old, &new, "--model"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--model"));
 }

@@ -4,7 +4,7 @@
 //! §5), so every machine-readable artifact — the `BENCH_*.json` baselines
 //! and the [`kernels::calibrate`](crate::kernels::calibrate) profiles —
 //! is produced and consumed by this ~300-line module instead of `serde`.
-//! It lives in `ipt-core` (and is re-exported as `ipt_bench::json` for
+//! It lives in `ipt-core` (and was re-exported as the now-deprecated `ipt_bench::json` for
 //! the bench crates) so the calibration subsystem can persist profiles
 //! without inverting the `bench -> core` dependency. Scope is exactly
 //! what those artifacts need:
@@ -70,6 +70,14 @@ impl Json {
     pub fn as_u64(&self) -> Option<u64> {
         match self {
             Json::Num(x) if x.fract() == 0.0 && *x >= 0.0 && *x <= 2f64.powi(53) => Some(*x as u64),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
             _ => None,
         }
     }
@@ -424,6 +432,11 @@ mod tests {
             doc.get("b").unwrap().get("nested"),
             Some(&Json::Bool(false))
         );
+        assert_eq!(
+            doc.get("b").unwrap().get("nested").unwrap().as_bool(),
+            Some(false)
+        );
+        assert_eq!(doc.get("c").unwrap().as_bool(), None);
         assert_eq!(doc.get("c").unwrap().as_str(), Some("xAy"));
         assert_eq!(doc.get("missing"), None);
     }

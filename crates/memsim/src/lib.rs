@@ -29,9 +29,10 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod model;
+pub mod phases;
 
 /// Memory-system parameters.
 ///

@@ -47,6 +47,12 @@ pub struct DeviceModel {
     pub l2_bytes: u64,
     /// Bandwidth derating when gather traffic is served through L2.
     pub l2_factor: f64,
+    /// Bandwidth derating of the cache-aware column passes (rotations,
+    /// sub-row permutes, [`DeviceModel::column_pass`]): their traffic is
+    /// line-granular but scattered in placement. 0.45 reproduces the
+    /// K20c's column-pass share of Figures 4–5; a CPU cache hierarchy
+    /// hides the scatter better (see [`DeviceModel::reference_cpu`]).
+    pub col_factor: f64,
 }
 
 impl Default for DeviceModel {
@@ -62,8 +68,27 @@ impl Default for DeviceModel {
             onchip_bytes: 24 * 1024,
             l2_bytes: 1_536 * 1024,
             l2_factor: 0.35,
+            col_factor: 0.45,
         }
     }
+}
+
+/// Which of the three §4.5 regimes a row/column shuffle falls into —
+/// the discriminant behind [`DeviceModel::shuffle_pass`], public so the
+/// per-phase traffic accounting in [`crate::phases`] can count
+/// transactions with the matching access pattern (streaming vs
+/// per-element gather).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShuffleRegime {
+    /// The shuffled vector fits in on-chip staging: one coalesced read
+    /// plus one coalesced write.
+    OnChip,
+    /// It fits in L2: two passes through a scratch vector, gathers
+    /// bouncing through the cache at derated bandwidth.
+    Cache,
+    /// It fits nowhere: the gather side pays about one transaction per
+    /// element, plus a staging round trip.
+    Spill,
 }
 
 /// Cost of one pass, in equivalent DRAM-seconds per byte of matrix.
@@ -79,59 +104,111 @@ pub struct PassCost {
 }
 
 impl DeviceModel {
+    /// A model of the class of host this repository actually measures
+    /// on: one CPU core behind a 64-byte-line cache hierarchy with
+    /// container-grade memory bandwidth (see `EXPERIMENTS.md`).
+    ///
+    /// The regime boundaries move to the L1/L2 capacities, and the two
+    /// derating knobs relax: a CPU's caches absorb both the L2-gather
+    /// bounce (`l2_factor`) and the column passes' scattered line
+    /// placement (`col_factor`) far better than the K20c's coalescer.
+    /// This is the default device of `ipt-cli model`, whose phase-share
+    /// validation is the calibration evidence for these values.
+    ///
+    /// ```
+    /// use memsim::model::DeviceModel;
+    ///
+    /// let cpu = DeviceModel::reference_cpu();
+    /// // Same band structure as the K20c, gentler cliffs.
+    /// assert!(cpu.c2r_gbps(20_000, 2_000, 8) > cpu.c2r_gbps(20_000, 20_000, 8));
+    /// ```
+    pub fn reference_cpu() -> DeviceModel {
+        DeviceModel {
+            line_bytes: 64,
+            peak_gbps: 3.2,
+            onchip_bytes: 32 * 1024,
+            l2_bytes: 1_536 * 1024,
+            l2_factor: 0.6,
+            col_factor: 0.8,
+        }
+    }
+
+    /// Which §4.5 regime a shuffle of `vec_bytes`-byte vectors runs in
+    /// (the discriminant of [`DeviceModel::shuffle_pass`]).
+    pub fn shuffle_regime(&self, vec_bytes: u64) -> ShuffleRegime {
+        if vec_bytes <= self.onchip_bytes {
+            ShuffleRegime::OnChip
+        } else if vec_bytes <= self.l2_bytes {
+            ShuffleRegime::Cache
+        } else {
+            ShuffleRegime::Spill
+        }
+    }
+
     /// Cost of shuffling vectors of `vec_bytes` (a row for C2R's row
     /// shuffle, a column for R2C's) under the three-regime model.
     pub fn shuffle_pass(&self, vec_bytes: u64, elem: u64) -> PassCost {
-        if vec_bytes <= self.onchip_bytes {
+        match self.shuffle_regime(vec_bytes) {
             // Single pass (§4.5): read + write, both coalesced.
-            PassCost {
+            ShuffleRegime::OnChip => PassCost {
                 dram_bytes_per_byte: 2.0,
                 bandwidth_factor: 1.0,
-            }
-        } else if vec_bytes <= self.l2_bytes {
+            },
             // Two passes through a temporary (Algorithm 1's scratch
             // vector), gathers bouncing through L2 at derated bandwidth.
             // Gathers move one element per L2 request, so wider elements
             // use the sectors better — the paper's observation that
             // doubles transpose faster than floats (§5.2).
-            let elem_eff = (elem as f64 / 8.0).clamp(0.5, 1.0);
-            PassCost {
-                dram_bytes_per_byte: 4.0,
-                bandwidth_factor: self.l2_factor * elem_eff,
+            ShuffleRegime::Cache => {
+                let elem_eff = (elem as f64 / 8.0).clamp(0.5, 1.0);
+                PassCost {
+                    dram_bytes_per_byte: 4.0,
+                    bandwidth_factor: self.l2_factor * elem_eff,
+                }
             }
-        } else {
             // Spill: the gather side touches ~one line per element and a
             // staging buffer costs a round trip.
-            let waste = (self.line_bytes as f64 / elem as f64).max(1.0);
-            PassCost {
-                dram_bytes_per_byte: 1.0 + waste.min(8.0) + 2.0,
-                bandwidth_factor: 1.0,
+            ShuffleRegime::Spill => {
+                let waste = (self.line_bytes as f64 / elem as f64).max(1.0);
+                PassCost {
+                    dram_bytes_per_byte: 1.0 + waste.min(8.0) + 2.0,
+                    bandwidth_factor: 1.0,
+                }
             }
         }
     }
 
     /// Cost of the cache-aware column pass family (rotations, sub-row
     /// permutes): sub-rows are line-sized, so the traffic is coalesced;
-    /// scattered line-granule placement derates bandwidth mildly.
+    /// scattered line-granule placement derates bandwidth by
+    /// [`DeviceModel::col_factor`].
     pub fn column_pass(&self) -> PassCost {
         PassCost {
             dram_bytes_per_byte: 2.0,
-            bandwidth_factor: 0.45,
+            bandwidth_factor: self.col_factor,
         }
     }
 
     /// Estimated effective throughput (paper Eq. 37 GB/s) of the C2R
     /// transpose of an `m x n` matrix with `elem`-byte elements.
+    ///
+    /// Derived from the per-phase plan of [`crate::phases::predict_c2r`]
+    /// (pre-rotation when `gcd(m, n) > 1`, the three-regime row shuffle,
+    /// fine rotation + row permutation), so the whole-transpose estimate
+    /// and the phase attribution can never disagree.
+    ///
+    /// ```
+    /// use memsim::model::DeviceModel;
+    ///
+    /// let k20c = DeviceModel::default();
+    /// // Figure 4's band: short input rows stay on chip...
+    /// let banded = k20c.c2r_gbps(20_000, 2_000, 8);
+    /// // ...long ones spill to scattered gathers.
+    /// let interior = k20c.c2r_gbps(20_000, 20_000, 8);
+    /// assert!(banded > interior);
+    /// ```
     pub fn c2r_gbps(&self, m: usize, n: usize, elem: usize) -> f64 {
-        let coprime = ipt_gcd(m as u64, n as u64) == 1;
-        let mut passes: Vec<PassCost> = Vec::new();
-        if !coprime {
-            passes.push(self.column_pass()); // pre-rotation
-        }
-        passes.push(self.shuffle_pass(n as u64 * elem as u64, elem as u64)); // row shuffle
-        passes.push(self.column_pass()); // fine rotation
-        passes.push(self.column_pass()); // row permutation
-        self.combine(m, n, elem, &passes)
+        crate::phases::predict_c2r(self, m, n, elem).effective_gbps()
     }
 
     /// Estimated effective throughput of transposing the same **input**
@@ -139,16 +216,19 @@ impl DeviceModel {
     /// swapped-parameter call `r2c(data, n, m)`, whose operating view is
     /// `n x m`): the shuffled vectors are the *input columns*, of length
     /// `m` — hence Figure 5's fast band at small `m`.
+    ///
+    /// ```
+    /// use memsim::model::DeviceModel;
+    ///
+    /// let k20c = DeviceModel::default();
+    /// // Figure 5's band: short input columns stay on chip...
+    /// let banded = k20c.r2c_gbps(2_000, 20_000, 8);
+    /// // ...tall ones spill.
+    /// let interior = k20c.r2c_gbps(20_000, 20_000, 8);
+    /// assert!(banded > interior);
+    /// ```
     pub fn r2c_gbps(&self, m: usize, n: usize, elem: usize) -> f64 {
-        let coprime = ipt_gcd(m as u64, n as u64) == 1;
-        let mut passes: Vec<PassCost> = Vec::new();
-        passes.push(self.column_pass()); // inverse permutation
-        passes.push(self.column_pass()); // inverse rotation
-        passes.push(self.shuffle_pass(m as u64 * elem as u64, elem as u64));
-        if !coprime {
-            passes.push(self.column_pass()); // post-rotation
-        }
-        self.combine(m, n, elem, &passes)
+        crate::phases::predict_r2c(self, m, n, elem).effective_gbps()
     }
 
     /// Estimated throughput under the §5.2 heuristic: C2R when `m > n`,
@@ -176,7 +256,7 @@ impl DeviceModel {
     }
 }
 
-fn ipt_gcd(mut a: u64, mut b: u64) -> u64 {
+pub(crate) fn ipt_gcd(mut a: u64, mut b: u64) -> u64 {
     while b != 0 {
         let t = a % b;
         a = b;
@@ -251,5 +331,52 @@ mod tests {
         d.peak_gbps *= 2.0;
         let doubled = d.c2r_gbps(5000, 5000, 4);
         assert!((doubled - 2.0 * base).abs() < 1e-9 * doubled);
+    }
+
+    #[test]
+    fn single_row_and_single_column_estimates_stay_finite() {
+        // Degenerate matrices (the b = 1 / c = 1 corners of Eq. 22's
+        // blocking) are already transposed or one long vector; the model
+        // must still produce a finite positive estimate, not NaN/inf.
+        let d = k20c();
+        for (m, n) in [(1usize, 4096usize), (4096, 1), (1, 1)] {
+            for est in [d.c2r_gbps(m, n, 8), d.r2c_gbps(m, n, 8)] {
+                assert!(est.is_finite() && est > 0.0, "{m}x{n}: {est}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_elements_behave_like_their_neighbors() {
+        // 6-byte elements (e.g. 3 x u16 texels) must interpolate the
+        // 4- and 8-byte behavior, not fall off a cliff: in the cache
+        // regime wider elements use the L2 sectors better (§5.2), so
+        // the estimate is monotone non-decreasing in elem width.
+        let d = k20c();
+        let (m, n) = (512usize, 8_000usize); // cache-regime rows
+        assert_eq!(d.shuffle_regime((n * 6) as u64), ShuffleRegime::Cache);
+        let e4 = d.c2r_gbps(m, n, 4);
+        let e6 = d.c2r_gbps(m, n, 6);
+        let e8 = d.c2r_gbps(m, n, 8);
+        assert!(e4 < e6 && e6 < e8, "{e4} / {e6} / {e8}");
+        assert!(e6.is_finite() && e6 > 0.0);
+    }
+
+    #[test]
+    fn elements_wider_than_a_line_cap_the_gather_waste() {
+        // line_bytes < elem: a gathered element already spans whole
+        // lines, so the spill waste term must clamp at 1 (no waste), not
+        // go below one line per element.
+        let mut d = k20c();
+        d.line_bytes = 8;
+        let p = d.shuffle_pass(100 * 1024 * 1024, 32); // spill, elem > line
+                                                       // 1 gather (no waste) + 2 staging round-trip passes.
+        assert!(
+            (p.dram_bytes_per_byte - 4.0).abs() < 1e-9,
+            "expected clamped waste, got {}",
+            p.dram_bytes_per_byte
+        );
+        let est = d.c2r_gbps(4096, 4096, 32);
+        assert!(est.is_finite() && est > 0.0, "{est}");
     }
 }

@@ -1,0 +1,210 @@
+//! Property tests for `memsim::phases`: every phase's predicted
+//! transaction count is **exact** for the synthetic access stream it
+//! describes, verified by replaying that stream — element-granular warp
+//! accesses, like `warp-sim` issues — through [`memsim::Memory`] and
+//! comparing against the prediction's closed-form count.
+//!
+//! Exactness needs warp spans to align with cache lines (otherwise a
+//! line shared by two warps is double-counted, which the closed form
+//! deliberately ignores): every `(device, elem)` pair used here has
+//! `line_bytes` dividing `WARP * elem`.
+
+use memsim::model::{DeviceModel, ShuffleRegime};
+use memsim::phases::{self, PhaseTraffic, COL_SHUFFLE, POST_ROTATE, PRE_ROTATE, ROW_SHUFFLE};
+use memsim::{Memory, MemoryConfig};
+
+/// Lanes per warp-wide access, as in the paper's GPU and `warp-sim`.
+const WARP: u64 = 32;
+
+fn memory_for(d: &DeviceModel) -> Memory {
+    Memory::new(MemoryConfig {
+        line_bytes: d.line_bytes,
+        peak_gbps: d.peak_gbps,
+    })
+}
+
+/// Replay one coalesced sweep over `bytes` contiguous bytes as
+/// element-granular warp accesses (one read *or* one write of every
+/// element, in address order).
+fn sweep(mem: &mut Memory, bytes: u64, elem: u64, write: bool) {
+    assert_eq!(bytes % elem, 0, "whole elements only");
+    let elems = bytes / elem;
+    let mut lanes = Vec::with_capacity(WARP as usize);
+    let mut e = 0;
+    while e < elems {
+        lanes.clear();
+        for lane in e..(e + WARP).min(elems) {
+            lanes.push((lane * elem, elem as u32));
+        }
+        if write {
+            mem.record_write(&lanes);
+        } else {
+            mem.record_read(&lanes);
+        }
+        e += WARP;
+    }
+}
+
+/// Replay the spill-regime gather: `elems` element reads, each landing
+/// on its own cache line (worst-case scattered addresses, one line —
+/// and so one transaction — per element).
+fn gather(mem: &mut Memory, elems: u64, elem: u64, line: u64) {
+    let mut lanes = Vec::with_capacity(WARP as usize);
+    let mut e = 0;
+    while e < elems {
+        lanes.clear();
+        for lane in e..(e + WARP).min(elems) {
+            lanes.push((lane * line, elem as u32));
+        }
+        mem.record_read(&lanes);
+        e += WARP;
+    }
+}
+
+/// Replay the streaming phase `ph` describes (rotations, column stage)
+/// and return the transactions the memory system actually issued: each
+/// pass reads and writes the whole matrix coalesced.
+fn replay_streaming(d: &DeviceModel, ph: &PhaseTraffic, matrix_bytes: u64, elem: u64) -> u64 {
+    assert!(
+        matches!(ph.name, PRE_ROTATE | COL_SHUFFLE | POST_ROTATE),
+        "streaming replay asked for {}",
+        ph.name
+    );
+    let mut mem = memory_for(d);
+    for _ in 0..ph.passes {
+        sweep(&mut mem, matrix_bytes, elem, false);
+        sweep(&mut mem, matrix_bytes, elem, true);
+    }
+    let s = mem.stats();
+    s.read_transactions + s.write_transactions
+}
+
+/// Assert every phase of `pred` replays to exactly its predicted count.
+fn assert_exact(d: &DeviceModel, m: usize, n: usize, elem: usize, r2c: bool) {
+    let pred = if r2c {
+        phases::predict_r2c(d, m, n, elem)
+    } else {
+        phases::predict_c2r(d, m, n, elem)
+    };
+    let matrix_bytes = (m * n * elem) as u64;
+    // The row shuffle's regime is decided by the vector length the
+    // direction shuffles: input rows (n) for C2R, input columns (m)
+    // for R2C.
+    let vec_bytes = if r2c { m * elem } else { n * elem } as u64;
+    for ph in &pred.phases {
+        let got = if ph.name == ROW_SHUFFLE {
+            replay_shuffle(d, matrix_bytes, vec_bytes, elem as u64)
+        } else {
+            replay_streaming(d, ph, matrix_bytes, elem as u64)
+        };
+        assert_eq!(
+            got,
+            ph.transactions,
+            "{}x{}x{elem} {} ({})",
+            m,
+            n,
+            ph.name,
+            if r2c { "r2c" } else { "c2r" }
+        );
+    }
+}
+
+/// Replay the row shuffle for a known vector length (regime source of
+/// truth) and return the issued transactions.
+fn replay_shuffle(d: &DeviceModel, matrix_bytes: u64, vec_bytes: u64, elem: u64) -> u64 {
+    let mut mem = memory_for(d);
+    match d.shuffle_regime(vec_bytes) {
+        ShuffleRegime::OnChip => {
+            sweep(&mut mem, matrix_bytes, elem, false);
+            sweep(&mut mem, matrix_bytes, elem, true);
+        }
+        ShuffleRegime::Cache => {
+            for _ in 0..2 {
+                sweep(&mut mem, matrix_bytes, elem, false);
+                sweep(&mut mem, matrix_bytes, elem, true);
+            }
+        }
+        ShuffleRegime::Spill => {
+            gather(&mut mem, matrix_bytes / elem, elem, d.line_bytes);
+            sweep(&mut mem, matrix_bytes, elem, true);
+            sweep(&mut mem, matrix_bytes, elem, false);
+            sweep(&mut mem, matrix_bytes, elem, true);
+        }
+    }
+    let s = mem.stats();
+    s.read_transactions + s.write_transactions
+}
+
+#[test]
+fn onchip_shapes_replay_exactly() {
+    // Rows fit in staging on both presets: committed bench shapes.
+    for d in [DeviceModel::default(), DeviceModel::reference_cpu()] {
+        for (m, n) in [(192, 256), (320, 96), (257, 131), (512, 512)] {
+            for elem in [4usize, 8] {
+                assert_exact(&d, m, n, elem, false);
+                assert_exact(&d, m, n, elem, true);
+            }
+        }
+    }
+}
+
+#[test]
+fn cache_regime_shapes_replay_exactly() {
+    let d = DeviceModel::default();
+    // 8000 * 8 = 64 KB vectors: past the K20c staging budget, within L2.
+    assert_eq!(d.shuffle_regime(8_000 * 8), ShuffleRegime::Cache);
+    assert_exact(&d, 512, 8_000, 8, false);
+    assert_exact(&d, 8_000, 512, 8, true); // r2c shuffles input columns
+}
+
+#[test]
+fn spill_regime_shapes_replay_exactly() {
+    let d = DeviceModel::default();
+    // 196_640 * 8 B ≈ 1.57 MB vectors: past the K20c 1.5 MB L2 budget.
+    let n = 196_640usize;
+    assert_eq!(d.shuffle_regime((n * 8) as u64), ShuffleRegime::Spill);
+    assert_exact(&d, 2, n, 8, false);
+    assert_exact(&d, n, 2, 8, true);
+}
+
+#[test]
+fn streaming_phases_replay_their_useful_bytes() {
+    // For streaming phases the replayed request bytes equal the
+    // prediction's useful bytes (the coalesced stream wastes nothing).
+    let d = DeviceModel::default();
+    let (m, n, elem) = (192usize, 256usize, 8usize);
+    let pred = phases::predict_c2r(&d, m, n, elem);
+    let matrix_bytes = (m * n * elem) as u64;
+    for ph in pred.phases.iter().filter(|p| p.name != ROW_SHUFFLE) {
+        let mut mem = memory_for(&d);
+        for _ in 0..ph.passes {
+            sweep(&mut mem, matrix_bytes, elem as u64, false);
+            sweep(&mut mem, matrix_bytes, elem as u64, true);
+        }
+        let s = mem.stats();
+        assert_eq!(
+            s.bytes_read + s.bytes_written,
+            ph.useful_bytes,
+            "{}",
+            ph.name
+        );
+        // And the line-granular transfer matches too.
+        assert_eq!(
+            (s.read_transactions + s.write_transactions) * d.line_bytes,
+            ph.transferred_bytes,
+            "{}",
+            ph.name
+        );
+    }
+}
+
+#[test]
+fn gather_transactions_cost_one_line_per_element() {
+    // The spill model's `elems` gather term is the exact coalescer
+    // behavior for scattered reads: one transaction per element when
+    // every element lands on its own line.
+    let d = DeviceModel::default();
+    let mut mem = memory_for(&d);
+    gather(&mut mem, 4_096, 8, d.line_bytes);
+    assert_eq!(mem.stats().read_transactions, 4_096);
+}

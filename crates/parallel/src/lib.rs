@@ -161,6 +161,7 @@ pub fn c2r_parallel<T: Copy + Send + Sync>(data: &mut [T], m: usize, n: usize, o
     }
     let p = C2rParams::new(m, n);
     let w = opts.group_width::<T>();
+    let pass_bytes = phase_pass_bytes::<T>(data.len());
     use ipt_pool::stats::phase;
     if opts.cache_aware {
         phase(phases::PRE_ROTATE, || {
@@ -177,6 +178,20 @@ pub fn c2r_parallel<T: Copy + Send + Sync>(data: &mut [T], m: usize, n: usize, o
             cols::col_shuffle_parallel(data, &p, w)
         });
     }
+    if p.c > 1 {
+        ipt_pool::stats::record_phase_bytes(phases::PRE_ROTATE, pass_bytes);
+    }
+    ipt_pool::stats::record_phase_bytes(phases::ROW_SHUFFLE, pass_bytes);
+    ipt_pool::stats::record_phase_bytes(phases::COL_SHUFFLE, pass_bytes);
+}
+
+/// Payload bytes one decomposition pass touches: a read and a write of
+/// every element — the *useful bytes* convention `memsim::phases` uses,
+/// reported to [`ipt_pool::stats::record_phase_bytes`] once per executed
+/// phase (the rotation passes skip reporting when `gcd(m, n) = 1` turns
+/// them into no-ops, matching the model's skipped-phase prediction).
+fn phase_pass_bytes<T>(len: usize) -> u64 {
+    2 * (len * core::mem::size_of::<T>()) as u64
 }
 
 /// Parallel R2C: the inverse of [`c2r_parallel`] — consumes an `n x m`
@@ -188,6 +203,7 @@ pub fn r2c_parallel<T: Copy + Send + Sync>(data: &mut [T], m: usize, n: usize, o
     }
     let p = C2rParams::new(m, n);
     let w = opts.group_width::<T>();
+    let pass_bytes = phase_pass_bytes::<T>(data.len());
     use ipt_pool::stats::phase;
     if opts.cache_aware {
         phase(phases::COL_SHUFFLE, || {
@@ -210,6 +226,11 @@ pub fn r2c_parallel<T: Copy + Send + Sync>(data: &mut [T], m: usize, n: usize, o
         phase(phases::POST_ROTATE, || {
             cols::postrotate_inverse_parallel(data, &p, w)
         });
+    }
+    ipt_pool::stats::record_phase_bytes(phases::COL_SHUFFLE, pass_bytes);
+    ipt_pool::stats::record_phase_bytes(phases::ROW_SHUFFLE, pass_bytes);
+    if p.c > 1 {
+        ipt_pool::stats::record_phase_bytes(phases::POST_ROTATE, pass_bytes);
     }
 }
 
@@ -394,6 +415,30 @@ mod tests {
         }
         assert!(d.tasks > 0, "pool dispatches recorded: {d:?}");
         assert!(d.chunks > 0, "work items recorded: {d:?}");
+        // Every executed pass reports read + write of the whole matrix.
+        let pass = 2 * (m * n * core::mem::size_of::<u64>()) as u64;
+        for name in [phases::PRE_ROTATE, phases::POST_ROTATE] {
+            assert_eq!(d.phase(name).unwrap().bytes, pass, "{name}: {d:?}");
+        }
+        for name in [phases::ROW_SHUFFLE, phases::COL_SHUFFLE] {
+            assert_eq!(d.phase(name).unwrap().bytes, 2 * pass, "{name}: {d:?}");
+        }
+    }
+
+    #[test]
+    fn coprime_shapes_report_no_rotation_bytes() {
+        crate::force_multithreaded_pool();
+        let (m, n) = (61usize, 48usize); // gcd = 1: rotations are no-ops
+        let before = ipt_pool::stats::snapshot();
+        let mut a = vec![0u64; m * n];
+        fill_pattern(&mut a);
+        c2r_parallel(&mut a, m, n, &ParOptions::default());
+        let d = ipt_pool::stats::snapshot().delta_since(&before);
+        let pre = d.phase(phases::PRE_ROTATE).map_or(0, |p| p.bytes);
+        assert_eq!(pre, 0, "no-op pre-rotation must report no traffic: {d:?}");
+        let pass = 2 * (m * n * core::mem::size_of::<u64>()) as u64;
+        assert_eq!(d.phase(phases::ROW_SHUFFLE).unwrap().bytes, pass);
+        assert_eq!(d.phase(phases::COL_SHUFFLE).unwrap().bytes, pass);
     }
 
     #[test]

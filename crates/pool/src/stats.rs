@@ -67,6 +67,7 @@ struct PhaseSlot {
     name: &'static str,
     calls: u64,
     nanos: u64,
+    bytes: u64,
 }
 
 /// The phase table. A `Mutex` is fine here: [`phase`] locks once per
@@ -198,9 +199,41 @@ pub fn phase<R>(name: &'static str, f: impl FnOnce() -> R) -> R {
             name,
             calls: 1,
             nanos: dt,
+            bytes: 0,
         }),
     }
     out
+}
+
+/// Attribute `bytes` of memory traffic to the named phase.
+///
+/// Engine code calls this next to [`phase`] with the payload the pass
+/// touched — `ipt-parallel` records `2 * matrix bytes` (one read + one
+/// write of every element) per executed decomposition pass, the same
+/// *useful bytes* convention `memsim::phases` predicts. Dividing a
+/// snapshot delta's [`PhaseStats::bytes`] by [`PhaseStats::secs`] gives
+/// the phase's achieved payload bandwidth.
+///
+/// ```
+/// use ipt_pool::stats;
+///
+/// let before = stats::snapshot();
+/// stats::phase("bytes_doc_phase", || ());
+/// stats::record_phase_bytes("bytes_doc_phase", 4096);
+/// let delta = stats::snapshot().delta_since(&before);
+/// assert_eq!(delta.phase("bytes_doc_phase").unwrap().bytes, 4096);
+/// ```
+pub fn record_phase_bytes(name: &'static str, bytes: u64) {
+    let mut table = PHASES.lock().unwrap();
+    match table.iter_mut().find(|s| s.name == name) {
+        Some(slot) => slot.bytes += bytes,
+        None => table.push(PhaseSlot {
+            name,
+            calls: 0,
+            nanos: 0,
+            bytes,
+        }),
+    }
 }
 
 /// Accumulated totals for one named phase (see [`phase`]).
@@ -212,12 +245,25 @@ pub struct PhaseStats {
     pub calls: u64,
     /// Total wall time across those invocations, in nanoseconds.
     pub nanos: u64,
+    /// Payload bytes attributed via [`record_phase_bytes`] (read + write
+    /// of every element the phase touched; `0` when the recorder never
+    /// reported traffic for this phase).
+    pub bytes: u64,
 }
 
 impl PhaseStats {
     /// Total wall time in seconds.
     pub fn secs(&self) -> f64 {
         self.nanos as f64 / 1e9
+    }
+
+    /// Achieved payload bandwidth in GB/s (`bytes / secs / 1e9`), or
+    /// `None` when no time or no bytes were recorded.
+    pub fn gbps(&self) -> Option<f64> {
+        if self.nanos == 0 || self.bytes == 0 {
+            return None;
+        }
+        Some(self.bytes as f64 / self.secs() / 1e9)
     }
 }
 
@@ -323,9 +369,10 @@ impl PoolStats {
                     name: p.name,
                     calls: p.calls.saturating_sub(prev.map_or(0, |q| q.calls)),
                     nanos: p.nanos.saturating_sub(prev.map_or(0, |q| q.nanos)),
+                    bytes: p.bytes.saturating_sub(prev.map_or(0, |q| q.bytes)),
                 }
             })
-            .filter(|p| p.calls > 0 || p.nanos > 0)
+            .filter(|p| p.calls > 0 || p.nanos > 0 || p.bytes > 0)
             .collect();
         let workers = self
             .workers
@@ -392,6 +439,7 @@ pub fn snapshot() -> PoolStats {
             name: s.name,
             calls: s.calls,
             nanos: s.nanos,
+            bytes: s.bytes,
         })
         .collect();
     let workers = WORKERS
@@ -530,6 +578,28 @@ mod tests {
     }
 
     #[test]
+    fn phase_bytes_accumulate_and_expose_bandwidth() {
+        let before = snapshot();
+        phase("stats_bytes_phase", || {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        });
+        record_phase_bytes("stats_bytes_phase", 1000);
+        record_phase_bytes("stats_bytes_phase", 24);
+        let d = snapshot().delta_since(&before);
+        let p = d.phase("stats_bytes_phase").expect("phase recorded");
+        assert_eq!(p.bytes, 1024);
+        let gbps = p.gbps().expect("time and bytes recorded");
+        assert!(gbps > 0.0 && gbps.is_finite());
+        // Bytes on a never-timed phase still surface in the delta.
+        let before = snapshot();
+        record_phase_bytes("stats_bytes_only_phase", 7);
+        let d = snapshot().delta_since(&before);
+        let p = d.phase("stats_bytes_only_phase").unwrap();
+        assert_eq!((p.calls, p.nanos, p.bytes), (0, 0, 7));
+        assert!(p.gbps().is_none());
+    }
+
+    #[test]
     fn phase_total_sums() {
         let s = PoolStats {
             phases: vec![
@@ -537,11 +607,13 @@ mod tests {
                     name: "a",
                     calls: 1,
                     nanos: 10,
+                    bytes: 0,
                 },
                 PhaseStats {
                     name: "b",
                     calls: 1,
                     nanos: 32,
+                    bytes: 0,
                 },
             ],
             ..PoolStats::default()

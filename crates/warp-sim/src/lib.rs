@@ -23,7 +23,7 @@
 //! Figure 10.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod coalesced;
 pub mod compiled;

@@ -112,6 +112,22 @@ for suite in kernels aos batched; do
     fi
 done
 
+stage "model smoke: phase attribution vs measured timers (tier 2)"
+# The analytical phase model (MODEL.md) against this box's measured
+# phase timers on the first committed bench shape. The gate is a loose
+# sanity bound, far above the ~0.1-0.19 divergence a healthy build
+# measures (see EXPERIMENTS.md): it catches the model and the engine
+# drifting apart structurally (wrong phase set, wrong ranking, a
+# broken bytes accounting), not machine noise. Same retry rationale as
+# the bench smoke above.
+MODEL_GATE=0.45
+if ! "$CLI" model --rows 192 --cols 256 --elem 8 --samples 48 \
+    --max-divergence "$MODEL_GATE"; then
+    echo "-- model smoke breached once; retrying to rule out machine noise --"
+    "$CLI" model --rows 192 --cols 256 --elem 8 --samples 48 \
+        --max-divergence "$MODEL_GATE"
+fi
+
 stage "bench trend: history gate (tier 2)"
 # A second kernels run, gated against the archive the smoke stage just
 # wrote with the trailing-median + monotone-drift gate — this exercises
