@@ -26,10 +26,10 @@
 //!
 //! // 4 particles of (x, y, z): AoS = [x0,y0,z0, x1,y1,z1, ...]
 //! let mut buf: Vec<f32> = (0..12).map(|v| v as f32).collect();
-//! aos_to_soa(&mut buf, 4, 3);
+//! aos_to_soa(&mut buf, 4, 3).unwrap();
 //! let soa = SoaView::new(&buf, 3, 4);
 //! assert_eq!(soa.field(0), [0.0, 3.0, 6.0, 9.0]); // all x together
-//! soa_to_aos(&mut buf, 4, 3);
+//! soa_to_aos(&mut buf, 4, 3).unwrap();
 //! assert_eq!(buf[4], 4.0); // back to AoS
 //! ```
 
@@ -47,7 +47,7 @@ pub use skinny::{transpose_skinny_c2r, transpose_skinny_r2c};
 ///
 /// // Two (x, y) points: [x0, y0, x1, y1] -> [x0, x1, y0, y1].
 /// let mut pts = vec![1.0f32, 10.0, 2.0, 20.0];
-/// aos_to_soa(&mut pts, 2, 2);
+/// aos_to_soa(&mut pts, 2, 2).unwrap();
 /// assert_eq!(pts, [1.0, 2.0, 10.0, 20.0]);
 /// ```
 ///
@@ -59,22 +59,39 @@ pub use skinny::{transpose_skinny_c2r, transpose_skinny_r2c};
 /// # Panics
 ///
 /// Panics if `data.len() != n_structs * fields` or either count is zero.
-pub fn aos_to_soa<T: Copy + Send + Sync>(data: &mut [T], n_structs: usize, fields: usize) {
+///
+/// # Errors
+///
+/// Returns [`ipt_parallel::TransposeAborted`] if a worker panicked
+/// mid-conversion (the buffer may be torn; see `ipt_parallel`).
+pub fn aos_to_soa<T: Copy + Send + Sync>(
+    data: &mut [T],
+    n_structs: usize,
+    fields: usize,
+) -> Result<(), ipt_parallel::TransposeAborted> {
     assert!(n_structs > 0 && fields > 0, "degenerate AoS shape");
     assert_eq!(data.len(), n_structs * fields, "buffer/shape mismatch");
     // R2C with the small dimension as the view's row count: consumes the
     // N x s buffer, produces s x N.
-    skinny::transpose_skinny_r2c(data, fields, n_structs);
+    skinny::transpose_skinny_r2c(data, fields, n_structs)
 }
 
 /// Convert a Structure of Arrays back to an Array of Structures in place —
 /// the exact inverse of [`aos_to_soa`].
 ///
 /// `data` holds `fields` arrays of `n_structs` elements.
-pub fn soa_to_aos<T: Copy + Send + Sync>(data: &mut [T], n_structs: usize, fields: usize) {
+///
+/// # Errors
+///
+/// As for [`aos_to_soa`].
+pub fn soa_to_aos<T: Copy + Send + Sync>(
+    data: &mut [T],
+    n_structs: usize,
+    fields: usize,
+) -> Result<(), ipt_parallel::TransposeAborted> {
     assert!(n_structs > 0 && fields > 0, "degenerate SoA shape");
     assert_eq!(data.len(), n_structs * fields, "buffer/shape mismatch");
-    skinny::transpose_skinny_c2r(data, fields, n_structs);
+    skinny::transpose_skinny_c2r(data, fields, n_structs)
 }
 
 /// A read-only Structure-of-Arrays view: `fields` arrays of `len`
@@ -137,7 +154,7 @@ mod tests {
             let mut a = vec![0u64; n * s];
             fill_pattern(&mut a);
             let want = reference_transpose(&a, n, s, Layout::RowMajor);
-            aos_to_soa(&mut a, n, s);
+            aos_to_soa(&mut a, n, s).unwrap();
             assert_eq!(a, want, "N={n} s={s}");
         }
     }
@@ -148,8 +165,8 @@ mod tests {
             let mut a = vec![0u32; n * s];
             fill_pattern(&mut a);
             let orig = a.clone();
-            aos_to_soa(&mut a, n, s);
-            soa_to_aos(&mut a, n, s);
+            aos_to_soa(&mut a, n, s).unwrap();
+            soa_to_aos(&mut a, n, s).unwrap();
             assert_eq!(a, orig, "N={n} s={s}");
         }
     }
@@ -160,7 +177,7 @@ mod tests {
         let n = 5usize;
         let s = 3usize;
         let mut a: Vec<u32> = (0..(n * s) as u32).collect();
-        aos_to_soa(&mut a, n, s);
+        aos_to_soa(&mut a, n, s).unwrap();
         let v = SoaView::new(&a, s, n);
         assert_eq!(v.fields(), 3);
         assert_eq!(v.len(), 5);
@@ -176,9 +193,9 @@ mod tests {
     fn single_field_structs_are_noops() {
         let mut a: Vec<u8> = (0..9).collect();
         let orig = a.clone();
-        aos_to_soa(&mut a, 9, 1);
+        aos_to_soa(&mut a, 9, 1).unwrap();
         assert_eq!(a, orig);
-        soa_to_aos(&mut a, 9, 1);
+        soa_to_aos(&mut a, 9, 1).unwrap();
         assert_eq!(a, orig);
     }
 
@@ -186,6 +203,6 @@ mod tests {
     #[should_panic(expected = "mismatch")]
     fn wrong_shape_panics() {
         let mut a = vec![0u8; 7];
-        aos_to_soa(&mut a, 3, 3);
+        let _ = aos_to_soa(&mut a, 3, 3);
     }
 }

@@ -22,6 +22,13 @@
 use ipt_core::index::C2rParams;
 use ipt_parallel::cols::par_process_column_blocks;
 use ipt_parallel::rows::row_shuffle_incremental;
+use ipt_parallel::{phases, TransposeAborted};
+use ipt_pool::PoolError;
+
+/// Lift a contained pool panic into a phase-attributed abort error.
+fn aborted(phase: &'static str) -> impl FnOnce(PoolError) -> TransposeAborted {
+    move |source| TransposeAborted { phase, source }
+}
 
 /// Target bytes for one staged column block (`m x width` elements).
 const BLOCK_BYTES: usize = 16 * 1024;
@@ -71,10 +78,14 @@ fn rotate_block_column<T: Copy>(block: &mut [T], m: usize, gw: usize, k: usize, 
 /// Skinny C2R: identical contract to `ipt_core::c2r(data, m, n)` —
 /// consumes an `m x n` row-major buffer (small `m`), leaves the `n x m`
 /// row-major transpose. This is the SoA → AoS direction.
-pub fn transpose_skinny_c2r<T: Copy + Send + Sync>(data: &mut [T], m: usize, n: usize) {
+pub fn transpose_skinny_c2r<T: Copy + Send + Sync>(
+    data: &mut [T],
+    m: usize,
+    n: usize,
+) -> Result<(), TransposeAborted> {
     assert_eq!(data.len(), m * n, "buffer length must be m * n");
     if m <= 1 || n <= 1 {
-        return;
+        return Ok(());
     }
     let p = C2rParams::new(m, n);
     let w = block_width::<T>(m);
@@ -85,11 +96,12 @@ pub fn transpose_skinny_c2r<T: Copy + Send + Sync>(data: &mut [T], m: usize, n: 
             for k in 0..gw {
                 rotate_block_column(block, m, gw, k, p.rotate_amount(j0 + k) % m);
             }
-        });
+        })
+        .map_err(aborted(phases::PRE_ROTATE))?;
     }
 
     // Pass 2: row shuffle, scattering with incrementally-computed d'.
-    row_shuffle_incremental(data, &p, true);
+    row_shuffle_incremental(data, &p, true).map_err(aborted(phases::ROW_SHUFFLE))?;
 
     // Pass 3: the entire column shuffle (rotation p_j then permutation q)
     // fused into one block-local pass — the "on-chip" column operations
@@ -100,16 +112,21 @@ pub fn transpose_skinny_c2r<T: Copy + Send + Sync>(data: &mut [T], m: usize, n: 
             rotate_block_column(block, m, gw, k, (j0 + k) % m);
         }
         permute_block_rows(block, m, gw, &q_table, scratch);
-    });
+    })
+    .map_err(aborted(phases::COL_SHUFFLE))
 }
 
 /// Skinny R2C: identical contract to `ipt_core::r2c(data, m, n)` —
 /// consumes an `n x m` row-major buffer, leaves the `m x n` row-major
 /// transpose (small `m`). This is the AoS → SoA direction.
-pub fn transpose_skinny_r2c<T: Copy + Send + Sync>(data: &mut [T], m: usize, n: usize) {
+pub fn transpose_skinny_r2c<T: Copy + Send + Sync>(
+    data: &mut [T],
+    m: usize,
+    n: usize,
+) -> Result<(), TransposeAborted> {
     assert_eq!(data.len(), m * n, "buffer length must be m * n");
     if m <= 1 || n <= 1 {
-        return;
+        return Ok(());
     }
     let p = C2rParams::new(m, n);
     let w = block_width::<T>(m);
@@ -122,10 +139,11 @@ pub fn transpose_skinny_r2c<T: Copy + Send + Sync>(data: &mut [T], m: usize, n: 
         for k in 0..gw {
             rotate_block_column(block, m, gw, k, (m - (j0 + k) % m) % m);
         }
-    });
+    })
+    .map_err(aborted(phases::COL_SHUFFLE))?;
 
     // Pass 2: row shuffle, gathering with incrementally-computed d' (§4.3).
-    row_shuffle_incremental(data, &p, false);
+    row_shuffle_incremental(data, &p, false).map_err(aborted(phases::ROW_SHUFFLE))?;
 
     // Pass 3 (only if gcd > 1): undo the pre-rotation, block-local.
     if !p.coprime() {
@@ -133,8 +151,10 @@ pub fn transpose_skinny_r2c<T: Copy + Send + Sync>(data: &mut [T], m: usize, n: 
             for k in 0..gw {
                 rotate_block_column(block, m, gw, k, (m - p.rotate_amount(j0 + k) % m) % m);
             }
-        });
+        })
+        .map_err(aborted(phases::POST_ROTATE))?;
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -176,7 +196,7 @@ mod tests {
             let mut a = vec![0u64; m * n];
             fill_pattern(&mut a);
             let mut b = a.clone();
-            transpose_skinny_c2r(&mut a, m, n);
+            transpose_skinny_c2r(&mut a, m, n).unwrap();
             ipt_core::c2r(&mut b, m, n, &mut Scratch::new());
             assert_eq!(a, b, "{m}x{n}");
         }
@@ -188,7 +208,7 @@ mod tests {
             let mut a = vec![0u32; m * n];
             fill_pattern(&mut a);
             let mut b = a.clone();
-            transpose_skinny_r2c(&mut a, m, n);
+            transpose_skinny_r2c(&mut a, m, n).unwrap();
             ipt_core::r2c(&mut b, m, n, &mut Scratch::new());
             assert_eq!(a, b, "{m}x{n}");
         }
@@ -213,7 +233,7 @@ mod tests {
             let mut got = vec![0u64; m * n];
             fill_pattern(&mut got);
             let mut want = got.clone();
-            row_shuffle_incremental(&mut got, &p, true);
+            row_shuffle_incremental(&mut got, &p, true).unwrap();
             let mut tmp = vec![0u64; n];
             ipt_core::permute::row_shuffle_scatter(&mut want, &p, &mut tmp);
             assert_eq!(got, want, "scatter {m}x{n}");
@@ -221,7 +241,7 @@ mod tests {
             let mut got = vec![0u64; m * n];
             fill_pattern(&mut got);
             let mut want = got.clone();
-            row_shuffle_incremental(&mut got, &p, false);
+            row_shuffle_incremental(&mut got, &p, false).unwrap();
             ipt_core::permute::row_shuffle_gather_forward(&mut want, &p, &mut tmp);
             assert_eq!(got, want, "gather {m}x{n}");
         }
@@ -233,8 +253,8 @@ mod tests {
             let mut a = vec![0u64; m * n];
             fill_pattern(&mut a);
             let orig = a.clone();
-            transpose_skinny_c2r(&mut a, m, n);
-            transpose_skinny_r2c(&mut a, m, n);
+            transpose_skinny_c2r(&mut a, m, n).unwrap();
+            transpose_skinny_r2c(&mut a, m, n).unwrap();
             assert_eq!(a, orig, "{m}x{n}");
         }
     }
@@ -249,7 +269,7 @@ mod tests {
             let mut a = vec![0u64; m * n];
             fill_pattern(&mut a);
             let mut b = a.clone();
-            transpose_skinny_c2r(&mut a, m, n);
+            transpose_skinny_c2r(&mut a, m, n).unwrap();
             ipt_core::c2r(&mut b, m, n, &mut Scratch::new());
             assert_eq!(a, b, "{m}x{n}");
         }

@@ -17,7 +17,7 @@ fn conversion_places_every_field() {
         let s = rng.range(1..33);
         let orig: Vec<u64> = (0..n * s).map(|_| rng.next_u64()).collect();
         let mut data = orig.clone();
-        aos_to_soa(&mut data, n, s);
+        aos_to_soa(&mut data, n, s).unwrap();
         for i in 0..n {
             for k in 0..s {
                 assert_eq!(
@@ -27,7 +27,7 @@ fn conversion_places_every_field() {
                 );
             }
         }
-        soa_to_aos(&mut data, n, s);
+        soa_to_aos(&mut data, n, s).unwrap();
         assert_eq!(data, orig, "case {case}: n={n} s={s}");
     }
 }
@@ -41,14 +41,14 @@ fn skinny_kernels_equal_core_for_any_shape() {
         let mut a = vec![0u64; m * n];
         fill_pattern(&mut a);
         let mut b = a.clone();
-        transpose_skinny_c2r(&mut a, m, n);
+        transpose_skinny_c2r(&mut a, m, n).unwrap();
         ipt_core::c2r(&mut b, m, n, &mut Scratch::new());
         assert_eq!(&a, &b, "case {case}: c2r {m}x{n}");
 
         let mut a = vec![0u32; m * n];
         fill_pattern(&mut a);
         let mut b = a.clone();
-        transpose_skinny_r2c(&mut a, m, n);
+        transpose_skinny_r2c(&mut a, m, n).unwrap();
         ipt_core::r2c(&mut b, m, n, &mut Scratch::new());
         assert_eq!(a, b, "case {case}: r2c {m}x{n}");
     }
@@ -94,10 +94,10 @@ fn conversion_commutes_with_per_field_maps() {
         for st in via_aos.chunks_exact_mut(s) {
             st[k] = st[k].wrapping_mul(3);
         }
-        aos_to_soa(&mut via_aos, n, s);
+        aos_to_soa(&mut via_aos, n, s).unwrap();
 
         let mut via_soa: Vec<u64> = (0..(n * s) as u64).collect();
-        aos_to_soa(&mut via_soa, n, s);
+        aos_to_soa(&mut via_soa, n, s).unwrap();
         for v in &mut via_soa[k * n..(k + 1) * n] {
             *v = v.wrapping_mul(3);
         }
@@ -113,8 +113,8 @@ fn large_conversion_round_trip() {
         .map(|x| x.wrapping_mul(0x9e3779b9))
         .collect();
     let mut data = orig.clone();
-    aos_to_soa(&mut data, n, s);
+    aos_to_soa(&mut data, n, s).unwrap();
     assert_ne!(data, orig);
-    soa_to_aos(&mut data, n, s);
+    soa_to_aos(&mut data, n, s).unwrap();
     assert_eq!(data, orig);
 }

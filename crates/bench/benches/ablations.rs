@@ -62,14 +62,14 @@ fn cache_aware_columns(c: &mut Criterion) {
         let opts = ParOptions::default();
         b.iter(|| {
             fill(&mut buf);
-            ipt_parallel::c2r_parallel(black_box(&mut buf), m, n, &opts);
+            ipt_parallel::c2r_parallel(black_box(&mut buf), m, n, &opts).unwrap();
         })
     });
     g.bench_function("plain-strided", |b| {
         let opts = ParOptions::plain();
         b.iter(|| {
             fill(&mut buf);
-            ipt_parallel::c2r_parallel(black_box(&mut buf), m, n, &opts);
+            ipt_parallel::c2r_parallel(black_box(&mut buf), m, n, &opts).unwrap();
         })
     });
     g.finish();
@@ -153,7 +153,7 @@ fn skinny_specialization(c: &mut Criterion) {
     g.bench_function("specialized-skinny", |b| {
         b.iter(|| {
             fill(&mut buf);
-            ipt_aos_soa::aos_to_soa(black_box(&mut buf), n_structs, fields);
+            ipt_aos_soa::aos_to_soa(black_box(&mut buf), n_structs, fields).unwrap();
         })
     });
     g.bench_function("general-engine", |b| {
@@ -166,7 +166,8 @@ fn skinny_specialization(c: &mut Criterion) {
                 fields,
                 ipt_core::Layout::RowMajor,
                 &opts,
-            );
+            )
+            .unwrap();
         })
     });
     g.finish();
@@ -221,13 +222,13 @@ fn incremental_indexing(c: &mut Criterion) {
     g.bench_function("incremental", |b| {
         b.iter(|| {
             fill(&mut buf);
-            ipt_parallel::rows::row_shuffle_parallel(black_box(&mut buf), &p);
+            ipt_parallel::rows::row_shuffle_parallel(black_box(&mut buf), &p).unwrap();
         })
     });
     g.bench_function("fastdiv-gather", |b| {
         b.iter(|| {
             fill(&mut buf);
-            ipt_parallel::rows::row_shuffle_parallel_fastdiv(black_box(&mut buf), &p);
+            ipt_parallel::rows::row_shuffle_parallel_fastdiv(black_box(&mut buf), &p).unwrap();
         })
     });
     g.finish();
@@ -243,14 +244,14 @@ fn fused_column_shuffle(c: &mut Criterion) {
     g.bench_function("fused", |b| {
         b.iter(|| {
             fill(&mut buf);
-            ipt_parallel::cache_aware::col_shuffle_fused(black_box(&mut buf), &p, 32, 256);
+            ipt_parallel::cache_aware::col_shuffle_fused(black_box(&mut buf), &p, 32, 256).unwrap();
         })
     });
     g.bench_function("rotate-then-permute", |b| {
         b.iter(|| {
             fill(&mut buf);
-            ipt_parallel::cache_aware::col_rotate_j(black_box(&mut buf), &p, 32, 256);
-            ipt_parallel::cache_aware::row_permute(black_box(&mut buf), &p, 32, false);
+            ipt_parallel::cache_aware::col_rotate_j(black_box(&mut buf), &p, 32, 256).unwrap();
+            ipt_parallel::cache_aware::row_permute(black_box(&mut buf), &p, 32, false).unwrap();
         })
     });
     g.finish();
@@ -305,7 +306,7 @@ fn special_case_dow(c: &mut Criterion) {
         let opts = ParOptions::default();
         b.iter(|| {
             fill(&mut buf);
-            ipt_parallel::c2r_parallel(black_box(&mut buf), m, n, &opts);
+            ipt_parallel::c2r_parallel(black_box(&mut buf), m, n, &opts).unwrap();
         })
     });
     g.finish();

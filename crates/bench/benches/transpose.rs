@@ -47,13 +47,13 @@ fn bench_engines(c: &mut Criterion) {
             let opts = ParOptions::default();
             b.iter(|| {
                 fill(&mut buf);
-                ipt_parallel::c2r_parallel(black_box(&mut buf), m, n, &opts);
+                ipt_parallel::c2r_parallel(black_box(&mut buf), m, n, &opts).unwrap();
             })
         });
         g.bench_function(BenchmarkId::from_parameter("skinny"), |b| {
             b.iter(|| {
                 fill(&mut buf);
-                ipt_aos_soa::transpose_skinny_c2r(black_box(&mut buf), m, n);
+                ipt_aos_soa::transpose_skinny_c2r(black_box(&mut buf), m, n).unwrap();
             })
         });
         g.bench_function(BenchmarkId::from_parameter("baseline-cycle-marked"), |b| {

@@ -44,7 +44,7 @@ fn main() {
             ipt_core::c2r(d, m, n, &mut Scratch::new())
         }),
         ("C2R, parallel", |d, m, n| {
-            ipt_parallel::c2r_parallel(d, m, n, &ipt_parallel::ParOptions::default())
+            ipt_parallel::c2r_parallel(d, m, n, &ipt_parallel::ParOptions::default()).unwrap()
         }),
         ("Gustavson-style tiled", |d, m, n| {
             ipt_baselines::transpose_gustavson(d, m, n);

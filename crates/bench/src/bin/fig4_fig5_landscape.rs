@@ -97,11 +97,13 @@ fn main() {
                     fill_u64(&mut buf, (m + n) as u64);
                     let secs = time_secs(|| {
                         if which == "c2r" {
-                            ipt_parallel::c2r_parallel(&mut buf, m, n, &ParOptions::default());
+                            ipt_parallel::c2r_parallel(&mut buf, m, n, &ParOptions::default())
+                                .unwrap();
                         } else {
                             // R2C transposing the same m x n row-major input
                             // (Theorem 2: swapped parameters).
-                            ipt_parallel::r2c_parallel(&mut buf, n, m, &ParOptions::default());
+                            ipt_parallel::r2c_parallel(&mut buf, n, m, &ParOptions::default())
+                                .unwrap();
                         }
                     });
                     throughput_gbps(m, n, 8, secs)

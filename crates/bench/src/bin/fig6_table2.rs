@@ -162,7 +162,7 @@ fn main() {
         for &(m, n) in &shapes {
             let mut buf: Vec<f32> = (0..m * n).map(|i| i as f32).collect();
             let secs = time_secs(|| {
-                ipt_parallel::c2r_parallel(&mut buf, m, n, &ParOptions::default());
+                ipt_parallel::c2r_parallel(&mut buf, m, n, &ParOptions::default()).unwrap();
             });
             if args.verify {
                 verify_f32(&buf, m, n, "c2r f32");
@@ -182,7 +182,7 @@ fn main() {
             let mut buf = vec![0u64; m * n];
             fill_u64(&mut buf, (m ^ n) as u64);
             let secs = time_secs(|| {
-                ipt_parallel::c2r_parallel(&mut buf, m, n, &ParOptions::default());
+                ipt_parallel::c2r_parallel(&mut buf, m, n, &ParOptions::default()).unwrap();
             });
             let t = throughput_gbps(m, n, 8, secs);
             gbps.push(t);

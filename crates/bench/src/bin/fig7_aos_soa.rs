@@ -137,7 +137,7 @@ fn main() {
         let orig = if args.verify { buf.clone() } else { Vec::new() };
 
         // Specialized skinny conversion (the Figure 7 subject).
-        let secs = time_secs(|| ipt_aos_soa::aos_to_soa(&mut buf, n_structs, fields));
+        let secs = time_secs(|| ipt_aos_soa::aos_to_soa(&mut buf, n_structs, fields).unwrap());
         let t = throughput_gbps(n_structs, fields, 8, secs);
         specialized.push(t);
         csv.row(format!("specialized,{n_structs},{fields},{t:.4}"));
@@ -163,6 +163,7 @@ fn main() {
                 ipt_core::Layout::RowMajor,
                 &ipt_parallel::ParOptions::default(),
             )
+            .unwrap()
         });
         let t = throughput_gbps(n_structs, fields, 8, secs);
         general.push(t);

@@ -7,7 +7,7 @@
 //! run on the in-repo [`micro`] harness (enable the `criterion` feature:
 //! `cargo bench --features criterion`).
 //!
-//! Machine-readable output: [`json`] is a dependency-free JSON
+//! Machine-readable output: [`ipt_core::json`] is a dependency-free JSON
 //! serializer/parser with deterministic key order, and [`report`] defines
 //! the `BENCH_*.json` baseline schema plus the regression [`report::compare`]
 //! used by `ipt-cli bench --compare`. [`history`] layers a trend archive
@@ -20,6 +20,5 @@
 
 pub mod harness;
 pub mod history;
-pub mod json;
 pub mod micro;
 pub mod report;

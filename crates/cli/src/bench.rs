@@ -441,6 +441,15 @@ fn run_trend_compare(new_path: &str, dir: &str, threshold: f64, window: usize) -
 /// A boxed benchmark body: `(buf, m, n)` runs one timed pass in place.
 type AlgRunner = Box<dyn FnMut(&mut [u64], usize, usize)>;
 
+/// A worker panic (real or injected via `IPT_FAULT`) leaves the matrix
+/// torn, so no further timing over that buffer is meaningful. Report the
+/// structured abort and exit with a dedicated code so CI can tell a
+/// contained abort (4) from a crash (SIGSEGV/101).
+fn abort_exit(e: ipt_parallel::TransposeAborted) -> ! {
+    eprintln!("ipt bench: {e}");
+    std::process::exit(4);
+}
+
 fn run_suite(suite: &str, opts: &BenchOpts) -> Result<BenchReport, String> {
     // The transpose and kernels suites measure single-threaded
     // algorithms, so they pin the pool to one worker unless --threads
@@ -496,12 +505,14 @@ fn run_suite(suite: &str, opts: &BenchOpts) -> Result<BenchReport, String> {
                     "c2r_parallel",
                     Box::new(|buf: &mut [u64], m, n| {
                         c2r_parallel(buf, m, n, &ParOptions::default())
+                            .unwrap_or_else(|e| abort_exit(e))
                     }),
                 ),
                 (
                     "r2c_parallel",
                     Box::new(|buf: &mut [u64], m, n| {
                         r2c_parallel(buf, m, n, &ParOptions::default())
+                            .unwrap_or_else(|e| abort_exit(e))
                     }),
                 ),
             ]
@@ -509,20 +520,29 @@ fn run_suite(suite: &str, opts: &BenchOpts) -> Result<BenchReport, String> {
         "parallel" => vec![
             (
                 "c2r_parallel",
-                Box::new(|buf: &mut [u64], m, n| c2r_parallel(buf, m, n, &ParOptions::default()))
-                    as AlgRunner,
+                Box::new(|buf: &mut [u64], m, n| {
+                    c2r_parallel(buf, m, n, &ParOptions::default())
+                        .unwrap_or_else(|e| abort_exit(e))
+                }) as AlgRunner,
             ),
             (
                 "r2c_parallel",
-                Box::new(|buf: &mut [u64], m, n| r2c_parallel(buf, m, n, &ParOptions::default())),
+                Box::new(|buf: &mut [u64], m, n| {
+                    r2c_parallel(buf, m, n, &ParOptions::default())
+                        .unwrap_or_else(|e| abort_exit(e))
+                }),
             ),
             (
                 "c2r_parallel_plain",
-                Box::new(|buf: &mut [u64], m, n| c2r_parallel(buf, m, n, &ParOptions::plain())),
+                Box::new(|buf: &mut [u64], m, n| {
+                    c2r_parallel(buf, m, n, &ParOptions::plain()).unwrap_or_else(|e| abort_exit(e))
+                }),
             ),
             (
                 "r2c_parallel_plain",
-                Box::new(|buf: &mut [u64], m, n| r2c_parallel(buf, m, n, &ParOptions::plain())),
+                Box::new(|buf: &mut [u64], m, n| {
+                    r2c_parallel(buf, m, n, &ParOptions::plain()).unwrap_or_else(|e| abort_exit(e))
+                }),
             ),
         ],
         "kernels" => {
@@ -571,21 +591,29 @@ fn run_suite(suite: &str, opts: &BenchOpts) -> Result<BenchReport, String> {
             // timed standalone over refilled data.
             (
                 "aos_to_soa",
-                Box::new(|buf: &mut [u64], m, n| ipt_aos_soa::aos_to_soa(buf, m, n)) as AlgRunner,
+                Box::new(|buf: &mut [u64], m, n| {
+                    ipt_aos_soa::aos_to_soa(buf, m, n).unwrap_or_else(|e| abort_exit(e))
+                }) as AlgRunner,
             ),
             (
                 "soa_to_aos",
-                Box::new(|buf: &mut [u64], m, n| ipt_aos_soa::soa_to_aos(buf, m, n)),
+                Box::new(|buf: &mut [u64], m, n| {
+                    ipt_aos_soa::soa_to_aos(buf, m, n).unwrap_or_else(|e| abort_exit(e))
+                }),
             ),
         ],
         "batched" => vec![
             (
                 "c2r_batched_b16",
-                Box::new(|buf: &mut [u64], m, n| c2r_batched(buf, BATCH, m, n)) as AlgRunner,
+                Box::new(|buf: &mut [u64], m, n| {
+                    c2r_batched(buf, BATCH, m, n).unwrap_or_else(|e| abort_exit(e))
+                }) as AlgRunner,
             ),
             (
                 "r2c_batched_b16",
-                Box::new(|buf: &mut [u64], m, n| r2c_batched(buf, BATCH, m, n)),
+                Box::new(|buf: &mut [u64], m, n| {
+                    r2c_batched(buf, BATCH, m, n).unwrap_or_else(|e| abort_exit(e))
+                }),
             ),
         ],
         other => {
@@ -651,6 +679,15 @@ fn measure(
         tputs.push(harness::throughput_gbps(elems, 1, 8, secs));
     }
     let delta = ipt_pool::stats::snapshot().delta_since(&before);
+    if delta.panics_contained > 0 {
+        // Shouldn't be reachable (an abort exits above), but if a future
+        // runner swallows aborts, make the contamination loud.
+        eprintln!(
+            "ipt bench: WARNING: {} worker panic(s) contained during {alg} {m}x{n}; \
+             timings for this entry are suspect",
+            delta.panics_contained
+        );
+    }
     let phases: Vec<PhaseBreak> = phases::ALL
         .iter()
         .filter_map(|&name| {

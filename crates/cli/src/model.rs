@@ -205,9 +205,15 @@ fn run_measured<T: Copy + Send + Sync + Default>(
 ) -> Vec<MeasuredPhase> {
     let opts = ParOptions::default();
     let mut buf = vec![T::default(); m * n];
-    let run = |buf: &mut [T]| match alg {
-        "c2r" => c2r_parallel(buf, m, n, &opts),
-        _ => r2c_parallel(buf, m, n, &opts),
+    let run = |buf: &mut [T]| {
+        match alg {
+            "c2r" => c2r_parallel(buf, m, n, &opts),
+            _ => r2c_parallel(buf, m, n, &opts),
+        }
+        .unwrap_or_else(|e| {
+            eprintln!("ipt model: {e}");
+            std::process::exit(4);
+        })
     };
     run(&mut buf); // warm-up: page in the buffer, size the pool scratch
     let before = ipt_pool::stats::snapshot();

@@ -4,10 +4,9 @@
 //! §5), so every machine-readable artifact — the `BENCH_*.json` baselines
 //! and the [`kernels::calibrate`](crate::kernels::calibrate) profiles —
 //! is produced and consumed by this ~300-line module instead of `serde`.
-//! It lives in `ipt-core` (and was re-exported as the now-deprecated `ipt_bench::json` for
-//! the bench crates) so the calibration subsystem can persist profiles
-//! without inverting the `bench -> core` dependency. Scope is exactly
-//! what those artifacts need:
+//! It lives in `ipt-core` so the calibration subsystem can persist
+//! profiles without inverting the `bench -> core` dependency. Scope is
+//! exactly what those artifacts need:
 //!
 //! * **Stable output** — objects are ordered `Vec`s of key/value pairs,
 //!   so serialization preserves insertion order and identical reports

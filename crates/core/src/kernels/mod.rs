@@ -53,6 +53,7 @@
 //! ```
 
 pub mod calibrate;
+pub mod faulty;
 
 mod blocked;
 mod scalar;

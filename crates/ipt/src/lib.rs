@@ -26,8 +26,10 @@
 //! transpose(&mut data, 1000, 37, Layout::RowMajor, &mut scratch);
 //! assert_eq!(data[1], 37.0); // (0, 1) of the 37 x 1000 transpose
 //!
-//! // Or in parallel:
-//! transpose_parallel(&mut data, 37, 1000, Layout::RowMajor, &ParOptions::default());
+//! // Or in parallel — the parallel entry points return a `Result`: a
+//! // worker panic is contained by the pool and surfaced as a structured
+//! // [`parallel::TransposeAborted`] instead of tearing down the process.
+//! transpose_parallel(&mut data, 37, 1000, Layout::RowMajor, &ParOptions::default()).unwrap();
 //! assert_eq!(data[1], 1.0);
 //! ```
 //!
@@ -53,7 +55,9 @@ pub mod prelude {
     pub use ipt_core::{c2r, r2c, transpose, transpose_with, Algorithm, Layout, Matrix, Scratch};
     pub use ipt_parallel::{
         c2r_parallel, r2c_parallel, transpose_parallel, transpose_parallel_with, ParOptions,
+        TransposeAborted,
     };
+    pub use ipt_pool::PoolError;
     pub use memsim::{Memory, MemoryConfig};
     pub use warp_sim::{AccessStrategy, CoalescedPtr, CompiledTranspose, GpuSim, Warp};
 }
@@ -68,7 +72,7 @@ mod tests {
         let mut scratch = Scratch::new();
         transpose(&mut data, 3, 4, Layout::RowMajor, &mut scratch);
         assert_eq!(data, [0, 4, 8, 1, 5, 9, 2, 6, 10, 3, 7, 11]);
-        transpose_parallel(&mut data, 4, 3, Layout::RowMajor, &ParOptions::default());
+        transpose_parallel(&mut data, 4, 3, Layout::RowMajor, &ParOptions::default()).unwrap();
         assert_eq!(data, (0..12).collect::<Vec<u32>>());
     }
 }

@@ -9,7 +9,9 @@
 //! whole matrices with its own scratch row.
 
 use crate::group_grain;
+use crate::TransposeAborted;
 use ipt_core::index::C2rParams;
+use ipt_core::kernels::faulty;
 use ipt_core::{permute, Layout};
 
 /// C2R-transpose `batch` contiguous `m x n` row-major matrices in place;
@@ -20,7 +22,7 @@ use ipt_core::{permute, Layout};
 ///
 /// // Two 2 x 3 matrices back to back.
 /// let mut data = vec![1, 2, 3, 4, 5, 6,   7, 8, 9, 10, 11, 12];
-/// c2r_batched(&mut data, 2, 2, 3);
+/// c2r_batched(&mut data, 2, 2, 3).unwrap();
 /// assert_eq!(&data[..6], &[1, 4, 2, 5, 3, 6]);
 /// assert_eq!(&data[6..], &[7, 10, 8, 11, 9, 12]);
 /// ```
@@ -28,14 +30,19 @@ use ipt_core::{permute, Layout};
 /// # Panics
 ///
 /// Panics if `data.len() != batch * m * n`.
-pub fn c2r_batched<T: Copy + Send + Sync>(data: &mut [T], batch: usize, m: usize, n: usize) {
+pub fn c2r_batched<T: Copy + Send + Sync>(
+    data: &mut [T],
+    batch: usize,
+    m: usize,
+    n: usize,
+) -> Result<(), TransposeAborted> {
     assert_eq!(
         data.len(),
         batch * m * n,
         "buffer must hold `batch` m x n matrices"
     );
     if m <= 1 || n <= 1 || batch == 0 {
-        return;
+        return Ok(());
     }
     let p = C2rParams::new(m, n);
     let fill = data[0];
@@ -44,25 +51,35 @@ pub fn c2r_batched<T: Copy + Send + Sync>(data: &mut [T], batch: usize, m: usize
         m * n,
         group_grain(m * n),
         || vec![fill; m.max(n)],
-        |tmp, _b, mat| {
+        |tmp, b, mat| {
+            faulty::maybe_panic("batched", b);
             permute::prerotate_cycles(mat, &p);
             permute::row_shuffle_gather(mat, &p, tmp);
             permute::col_shuffle_decomposed(mat, &p, tmp);
         },
-    );
+    )
+    .map_err(|source| TransposeAborted {
+        phase: "batched",
+        source,
+    })
 }
 
 /// R2C-transpose `batch` contiguous matrices: the inverse of
 /// [`c2r_batched`] with the same parameters (each chunk is an `n x m`
 /// row-major matrix and becomes `m x n`).
-pub fn r2c_batched<T: Copy + Send + Sync>(data: &mut [T], batch: usize, m: usize, n: usize) {
+pub fn r2c_batched<T: Copy + Send + Sync>(
+    data: &mut [T],
+    batch: usize,
+    m: usize,
+    n: usize,
+) -> Result<(), TransposeAborted> {
     assert_eq!(
         data.len(),
         batch * m * n,
         "buffer must hold `batch` matrices"
     );
     if m <= 1 || n <= 1 || batch == 0 {
-        return;
+        return Ok(());
     }
     let p = C2rParams::new(m, n);
     let fill = data[0];
@@ -71,13 +88,18 @@ pub fn r2c_batched<T: Copy + Send + Sync>(data: &mut [T], batch: usize, m: usize
         m * n,
         group_grain(m * n),
         || vec![fill; m.max(n)],
-        |tmp, _b, mat| {
+        |tmp, b, mat| {
+            faulty::maybe_panic("batched", b);
             permute::row_permute_inverse(mat, &p, tmp);
             permute::col_rotate_inverse(mat, &p);
             permute::row_shuffle_gather_forward(mat, &p, tmp);
             permute::postrotate_inverse(mat, &p);
         },
-    );
+    )
+    .map_err(|source| TransposeAborted {
+        phase: "batched",
+        source,
+    })
 }
 
 /// Transpose `batch` contiguous `rows x cols` matrices of the given
@@ -88,7 +110,7 @@ pub fn transpose_batched<T: Copy + Send + Sync>(
     rows: usize,
     cols: usize,
     layout: Layout,
-) {
+) -> Result<(), TransposeAborted> {
     assert_eq!(
         data.len(),
         batch * rows * cols,
@@ -99,9 +121,9 @@ pub fn transpose_batched<T: Copy + Send + Sync>(
         Layout::ColMajor => (cols, rows),
     };
     if m > n {
-        c2r_batched(data, batch, m, n);
+        c2r_batched(data, batch, m, n)
     } else {
-        r2c_batched(data, batch, n, m);
+        r2c_batched(data, batch, n, m)
     }
 }
 
@@ -122,7 +144,7 @@ mod tests {
         for mat in want.chunks_exact_mut(m * n) {
             ipt_core::c2r(mat, m, n, &mut s);
         }
-        c2r_batched(&mut a, batch, m, n);
+        c2r_batched(&mut a, batch, m, n).unwrap();
         assert_eq!(a, want);
     }
 
@@ -133,8 +155,8 @@ mod tests {
         let mut a = vec![0u32; batch * m * n];
         fill_pattern(&mut a);
         let orig = a.clone();
-        c2r_batched(&mut a, batch, m, n);
-        r2c_batched(&mut a, batch, m, n);
+        c2r_batched(&mut a, batch, m, n).unwrap();
+        r2c_batched(&mut a, batch, m, n).unwrap();
         assert_eq!(a, orig);
     }
 
@@ -148,7 +170,7 @@ mod tests {
                 .chunks_exact(rows * cols)
                 .flat_map(|mat| reference_transpose(mat, rows, cols, layout))
                 .collect();
-            transpose_batched(&mut a, batch, rows, cols, layout);
+            transpose_batched(&mut a, batch, rows, cols, layout).unwrap();
             assert_eq!(a, want, "{layout:?}");
         }
     }
@@ -156,10 +178,10 @@ mod tests {
     #[test]
     fn degenerate_batches() {
         let mut empty: Vec<u8> = vec![];
-        transpose_batched(&mut empty, 0, 3, 4, Layout::RowMajor);
+        transpose_batched(&mut empty, 0, 3, 4, Layout::RowMajor).unwrap();
         let mut vecs: Vec<u8> = (0..12).collect();
         let orig = vecs.clone();
-        transpose_batched(&mut vecs, 4, 1, 3, Layout::RowMajor); // 1 x 3: no-op per matrix
+        transpose_batched(&mut vecs, 4, 1, 3, Layout::RowMajor).unwrap(); // 1 x 3: no-op per matrix
         assert_eq!(vecs, orig);
     }
 
@@ -167,6 +189,6 @@ mod tests {
     #[should_panic(expected = "batch")]
     fn wrong_batch_len_panics() {
         let mut a = vec![0u8; 10];
-        c2r_batched(&mut a, 2, 2, 3);
+        let _ = c2r_batched(&mut a, 2, 2, 3);
     }
 }

@@ -28,10 +28,12 @@
 
 use crate::cols::row_permute_groups;
 use crate::group_grain;
-use crate::unsafe_slice::UnsafeSlice;
+use crate::unsafe_slice::{CheckScope, UnsafeSlice};
 use ipt_core::cycles::CycleSet;
 use ipt_core::gcd::gcd;
 use ipt_core::index::C2rParams;
+use ipt_core::kernels::faulty;
+use ipt_pool::PoolError;
 
 /// Rotate every column `j` left by `amount(j)` using the two-phase
 /// cache-aware scheme, column groups of width `w` in parallel.
@@ -42,25 +44,31 @@ pub fn rotate_columns_cache_aware<T, A>(
     w: usize,
     block_rows: usize,
     amount: A,
-) where
+) -> Result<(), PoolError>
+where
     T: Copy + Send + Sync,
     A: Fn(usize) -> usize + Send + Sync,
 {
     assert_eq!(data.len(), m * n, "buffer length must be m * n");
     if m <= 1 || n == 0 {
-        return;
+        return Ok(());
     }
     let h = block_rows.max(1);
-    let us = UnsafeSlice::new(data);
+    let scope = CheckScope::new(data.len(), n, || {
+        format!("rotate_columns_cache_aware (§4.6 two-phase): m={m}, n={n}, group width w={w}")
+    });
+    let us = UnsafeSlice::new(data, &scope);
     let groups = n.div_ceil(w);
     ipt_pool::par_chunks(0..groups, group_grain(m * w), |sub| {
         for g in sub {
+            faulty::maybe_panic("col_cache_aware", g);
             let j0 = g * w;
             let gw = w.min(n - j0);
+            us.claim_columns(g, j0, gw);
             let amounts: Vec<usize> = (j0..j0 + gw).map(|j| amount(j) % m).collect();
             rotate_group(us, m, n, j0, gw, &amounts, h);
         }
-    });
+    })
 }
 
 /// One group's two-phase rotation. `amounts[k]` is the (already reduced)
@@ -301,19 +309,29 @@ fn permute_subrows<T: Copy + Send + Sync>(
 
 /// Cache-aware C2R step 1: pre-rotation by `floor(j/b)` (Eq. 23). The fine
 /// pass is usually skipped because the amount changes every `b` columns.
-pub fn prerotate<T: Copy + Send + Sync>(data: &mut [T], p: &C2rParams, w: usize, h: usize) {
+pub fn prerotate<T: Copy + Send + Sync>(
+    data: &mut [T],
+    p: &C2rParams,
+    w: usize,
+    h: usize,
+) -> Result<(), PoolError> {
     if p.coprime() {
-        return;
+        return Ok(());
     }
-    rotate_columns_cache_aware(data, p.m, p.n, w, h, |j| p.rotate_amount(j));
+    rotate_columns_cache_aware(data, p.m, p.n, w, h, |j| p.rotate_amount(j))
 }
 
 /// Cache-aware C2R step 3a: column rotation by `p_j(i) = (i + j) mod m`
 /// (Eq. 32) — amount `j mod m`. Kept for the fused-vs-separate ablation;
 /// the engine uses [`col_shuffle_fused`].
-pub fn col_rotate_j<T: Copy + Send + Sync>(data: &mut [T], p: &C2rParams, w: usize, h: usize) {
+pub fn col_rotate_j<T: Copy + Send + Sync>(
+    data: &mut [T],
+    p: &C2rParams,
+    w: usize,
+    h: usize,
+) -> Result<(), PoolError> {
     let m = p.m;
-    rotate_columns_cache_aware(data, m, p.n, w, h, move |j| j % m);
+    rotate_columns_cache_aware(data, m, p.n, w, h, move |j| j % m)
 }
 
 /// Cache-aware R2C step 2: inverse column rotation `p^-1_j` (Eq. 35).
@@ -323,9 +341,9 @@ pub fn col_rotate_j_inverse<T: Copy + Send + Sync>(
     p: &C2rParams,
     w: usize,
     h: usize,
-) {
+) -> Result<(), PoolError> {
     let m = p.m;
-    rotate_columns_cache_aware(data, m, p.n, w, h, move |j| (m - j % m) % m);
+    rotate_columns_cache_aware(data, m, p.n, w, h, move |j| (m - j % m) % m)
 }
 
 /// Cache-aware R2C step 4: undo the pre-rotation (`r^-1_j`, Eq. 36).
@@ -334,26 +352,31 @@ pub fn postrotate_inverse<T: Copy + Send + Sync>(
     p: &C2rParams,
     w: usize,
     h: usize,
-) {
+) -> Result<(), PoolError> {
     if p.coprime() {
-        return;
+        return Ok(());
     }
     let m = p.m;
     rotate_columns_cache_aware(data, m, p.n, w, h, move |j| {
         (m - p.rotate_amount(j) % m) % m
-    });
+    })
 }
 
 /// Cache-aware row permutation (§4.7): apply `q` (C2R) or `q^-1` (R2C,
 /// `invert = true`) by moving sub-rows along dynamically computed cycles,
 /// column groups in parallel. Kept for the fused-vs-separate ablation.
-pub fn row_permute<T: Copy + Send + Sync>(data: &mut [T], p: &C2rParams, w: usize, invert: bool) {
+pub fn row_permute<T: Copy + Send + Sync>(
+    data: &mut [T],
+    p: &C2rParams,
+    w: usize,
+    invert: bool,
+) -> Result<(), PoolError> {
     if invert {
         let cycles = CycleSet::build(p.m, |i| p.q_inv(i));
-        row_permute_groups(data, p.m, p.n, w, |i| p.q_inv(i), &cycles);
+        row_permute_groups(data, p.m, p.n, w, |i| p.q_inv(i), &cycles)
     } else {
         let cycles = CycleSet::build(p.m, |i| p.q(i));
-        row_permute_groups(data, p.m, p.n, w, |i| p.q(i), &cycles);
+        row_permute_groups(data, p.m, p.n, w, |i| p.q(i), &cycles)
     }
 }
 
@@ -364,14 +387,22 @@ pub fn row_permute<T: Copy + Send + Sync>(data: &mut [T], p: &C2rParams, w: usiz
 /// Correctness: gathering first with the fine rotation and then with `g`
 /// composes (gather-then-gather applies the outer function last) to
 /// `old[(g(i) + (j - j0)) mod m] = old[(q(i) + j) mod m] = old[s'_j(i)]`.
-pub fn col_shuffle_fused<T: Copy + Send + Sync>(data: &mut [T], p: &C2rParams, w: usize, h: usize) {
+pub fn col_shuffle_fused<T: Copy + Send + Sync>(
+    data: &mut [T],
+    p: &C2rParams,
+    w: usize,
+    h: usize,
+) -> Result<(), PoolError> {
     let (m, n) = (p.m, p.n);
     assert_eq!(data.len(), m * n, "buffer length must be m * n");
     if m <= 1 || n == 0 {
-        return;
+        return Ok(());
     }
     let fill = data[0];
-    let us = UnsafeSlice::new(data);
+    let scope = CheckScope::new(data.len(), n, || {
+        format!("col_shuffle_fused (Eq. 26 = fine rotate + g(i)=(q(i)+j0) mod m): m={m}, n={n}, group width w={w}")
+    });
+    let us = UnsafeSlice::new(data, &scope);
     let groups = n.div_ceil(w);
     ipt_pool::par_chunks_init(
         0..groups,
@@ -379,15 +410,17 @@ pub fn col_shuffle_fused<T: Copy + Send + Sync>(data: &mut [T], p: &C2rParams, w
         || (vec![false; m], vec![fill; w]),
         |(visited, buf), sub| {
             for g in sub {
+                faulty::maybe_panic("col_fused", g);
                 let j0 = g * w;
                 let gw = w.min(n - j0);
+                us.claim_columns(g, j0, gw);
                 let residuals: Vec<usize> = (0..gw).map(|k| k % m).collect();
                 fine_rotate_left(us, m, n, j0, gw, &residuals, h);
                 let j0m = j0 % m;
                 permute_subrows(us, m, n, j0, gw, |i| (p.q(i) + j0m) % m, visited, buf);
             }
         },
-    );
+    )
 }
 
 /// The inverse of [`col_shuffle_fused`] (the R2C side): the group-uniform
@@ -398,14 +431,17 @@ pub fn col_shuffle_fused_inverse<T: Copy + Send + Sync>(
     p: &C2rParams,
     w: usize,
     h: usize,
-) {
+) -> Result<(), PoolError> {
     let (m, n) = (p.m, p.n);
     assert_eq!(data.len(), m * n, "buffer length must be m * n");
     if m <= 1 || n == 0 {
-        return;
+        return Ok(());
     }
     let fill = data[0];
-    let us = UnsafeSlice::new(data);
+    let scope = CheckScope::new(data.len(), n, || {
+        format!("col_shuffle_fused_inverse (Eq. 32-36 inverse): m={m}, n={n}, group width w={w}")
+    });
+    let us = UnsafeSlice::new(data, &scope);
     let groups = n.div_ceil(w);
     ipt_pool::par_chunks_init(
         0..groups,
@@ -413,8 +449,10 @@ pub fn col_shuffle_fused_inverse<T: Copy + Send + Sync>(
         || (vec![false; m], vec![fill; w]),
         |(visited, buf), sub| {
             for g in sub {
+                faulty::maybe_panic("col_fused_inverse", g);
                 let j0 = g * w;
                 let gw = w.min(n - j0);
+                us.claim_columns(g, j0, gw);
                 let j0m = j0 % m;
                 permute_subrows(
                     us,
@@ -430,7 +468,7 @@ pub fn col_shuffle_fused_inverse<T: Copy + Send + Sync>(
                 fine_rotate_right(us, m, n, j0, gw, &residuals, h);
             }
         },
-    );
+    )
 }
 
 #[cfg(test)]
@@ -464,7 +502,7 @@ mod tests {
                     let mut a = vec![0u64; m * n];
                     fill_pattern(&mut a);
                     let orig = a.clone();
-                    rotate_columns_cache_aware(&mut a, m, n, w, h, |j| j);
+                    rotate_columns_cache_aware(&mut a, m, n, w, h, |j| j).unwrap();
                     assert_eq!(
                         a,
                         reference_rotate(&orig, m, n, |j| j),
@@ -483,7 +521,7 @@ mod tests {
         let mut a = vec![0u64; m * n];
         fill_pattern(&mut a);
         let orig = a.clone();
-        rotate_columns_cache_aware(&mut a, m, n, 6, 4, |j| (m - j % m) % m);
+        rotate_columns_cache_aware(&mut a, m, n, 6, 4, |j| (m - j % m) % m).unwrap();
         assert_eq!(a, reference_rotate(&orig, m, n, |j| (m - j % m) % m));
     }
 
@@ -496,7 +534,7 @@ mod tests {
         let mut a = vec![0u64; m * n];
         fill_pattern(&mut a);
         let orig = a.clone();
-        rotate_columns_cache_aware(&mut a, m, n, 8, 5, |j| j / b);
+        rotate_columns_cache_aware(&mut a, m, n, 8, 5, |j| j / b).unwrap();
         assert_eq!(a, reference_rotate(&orig, m, n, |j| j / b));
     }
 
@@ -508,11 +546,13 @@ mod tests {
                     let mut a = vec![0u64; m * n];
                     fill_pattern(&mut a);
                     let orig = a.clone();
-                    let us = UnsafeSlice::new(&mut a);
+                    let scope = CheckScope::new(m * n, n, || "fine rotate test".to_string());
+                    let us = UnsafeSlice::new(&mut a, &scope);
                     let groups = n.div_ceil(w);
                     for g in 0..groups {
                         let j0 = g * w;
                         let gw = w.min(n - j0);
+                        us.claim_columns(g, j0, gw);
                         let res: Vec<usize> = (0..gw).map(|k| (k * 2 + 1) % m).collect();
                         fine_rotate_left(us, m, n, j0, gw, &res, h);
                         fine_rotate_right(us, m, n, j0, gw, &res, h);
@@ -539,9 +579,9 @@ mod tests {
                 let mut fused = vec![0u32; m * n];
                 fill_pattern(&mut fused);
                 let mut separate = fused.clone();
-                col_shuffle_fused(&mut fused, &p, w, 8);
-                col_rotate_j(&mut separate, &p, w, 8);
-                row_permute(&mut separate, &p, w, false);
+                col_shuffle_fused(&mut fused, &p, w, 8).unwrap();
+                col_rotate_j(&mut separate, &p, w, 8).unwrap();
+                row_permute(&mut separate, &p, w, false).unwrap();
                 assert_eq!(fused, separate, "{m}x{n} w={w}");
             }
         }
@@ -555,8 +595,8 @@ mod tests {
             let mut a = vec![0u64; m * n];
             fill_pattern(&mut a);
             let orig = a.clone();
-            col_shuffle_fused(&mut a, &p, 4, 8);
-            col_shuffle_fused_inverse(&mut a, &p, 4, 8);
+            col_shuffle_fused(&mut a, &p, 4, 8).unwrap();
+            col_shuffle_fused_inverse(&mut a, &p, 4, 8).unwrap();
             assert_eq!(a, orig, "{m}x{n}");
         }
     }
@@ -571,21 +611,21 @@ mod tests {
             let mut b = a.clone();
             let mut tmp = vec![0u32; m.max(n)];
 
-            prerotate(&mut a, &p, 4, 8);
+            prerotate(&mut a, &p, 4, 8).unwrap();
             permute::prerotate_cycles(&mut b, &p);
             assert_eq!(a, b, "prerotate {m}x{n}");
 
-            col_shuffle_fused(&mut a, &p, 4, 8);
+            col_shuffle_fused(&mut a, &p, 4, 8).unwrap();
             permute::col_shuffle_decomposed(&mut b, &p, &mut tmp);
             assert_eq!(a, b, "col shuffle {m}x{n}");
 
-            row_permute(&mut a, &p, 4, true);
-            col_rotate_j_inverse(&mut a, &p, 4, 8);
+            row_permute(&mut a, &p, 4, true).unwrap();
+            col_rotate_j_inverse(&mut a, &p, 4, 8).unwrap();
             permute::row_permute_inverse(&mut b, &p, &mut tmp);
             permute::col_rotate_inverse(&mut b, &p);
             assert_eq!(a, b, "inverse col shuffle {m}x{n}");
 
-            postrotate_inverse(&mut a, &p, 4, 8);
+            postrotate_inverse(&mut a, &p, 4, 8).unwrap();
             permute::postrotate_inverse(&mut b, &p);
             assert_eq!(a, b, "postrotate {m}x{n}");
         }
@@ -597,7 +637,7 @@ mod tests {
         let mut a = vec![0u16; m * n];
         fill_pattern(&mut a);
         let orig: Vec<u64> = a.iter().map(|&x| x as u64).collect();
-        rotate_columns_cache_aware(&mut a, m, n, 64, 3, |j| 2 * j + 1);
+        rotate_columns_cache_aware(&mut a, m, n, 64, 3, |j| 2 * j + 1).unwrap();
         let want = reference_rotate(&orig, m, n, |j| 2 * j + 1);
         for (x, y) in a.iter().zip(&want) {
             assert_eq!(*x as u64, *y);

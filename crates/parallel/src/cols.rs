@@ -13,23 +13,33 @@
 //! all the groups that worker owns.
 
 use crate::group_grain;
-use crate::unsafe_slice::UnsafeSlice;
+use crate::unsafe_slice::{CheckScope, UnsafeSlice};
 use ipt_core::cycles::CycleSet;
 use ipt_core::index::C2rParams;
-use ipt_pool::Scratch;
+use ipt_core::kernels::faulty;
+use ipt_pool::{PoolError, Scratch};
 
 /// Iterate `groups(width w over n columns)` in parallel, handing each call
-/// a per-worker scratch, the group's starting column and its width.
-fn par_groups<T, F>(data: &mut [T], n: usize, w: usize, f: F)
+/// a per-worker scratch, the group's starting column and its width. Each
+/// group is claimed in the scope's shadow map before `f` runs, so checked
+/// mode verifies every access stays inside the group.
+fn par_groups<T, F>(
+    data: &mut [T],
+    n: usize,
+    w: usize,
+    label: impl FnOnce() -> String,
+    f: F,
+) -> Result<(), PoolError>
 where
     T: Copy + Send + Sync,
     F: Fn(&mut Scratch<T>, UnsafeSlice<'_, T>, usize, usize) + Sync,
 {
     if data.is_empty() || n == 0 {
-        return;
+        return Ok(());
     }
     let m = data.len() / n;
-    let us = UnsafeSlice::new(data);
+    let scope = CheckScope::new(data.len(), n, label);
+    let us = UnsafeSlice::new(data, &scope);
     let groups = n.div_ceil(w);
     ipt_pool::par_chunks_init(
         0..groups,
@@ -37,68 +47,100 @@ where
         Scratch::new,
         |scratch, sub| {
             for g in sub {
+                faulty::maybe_panic("col_group", g);
                 let j0 = g * w;
                 let gw = w.min(n - j0);
+                us.claim_columns(g, j0, gw);
                 f(scratch, us, j0, gw);
             }
         },
-    );
+    )
 }
 
 /// Rotate every column `j` left by `amount(j)` (gather:
 /// `col[i] = old[(i + amount) mod m]`), columns processed in parallel
 /// groups, each through an `m`-element worker-local buffer.
-pub fn rotate_columns_parallel<T, A>(data: &mut [T], m: usize, n: usize, w: usize, amount: A)
+pub fn rotate_columns_parallel<T, A>(
+    data: &mut [T],
+    m: usize,
+    n: usize,
+    w: usize,
+    amount: A,
+) -> Result<(), PoolError>
 where
     T: Copy + Send + Sync,
     A: Fn(usize) -> usize + Send + Sync,
 {
     assert_eq!(data.len(), m * n);
-    par_groups(data, n, w, |scratch, us, j0, gw| {
-        let buf = scratch.uninit_buf(m, unsafe { us.get(0) });
-        for j in j0..j0 + gw {
-            let k = amount(j) % m;
-            if k == 0 {
-                continue;
+    par_groups(
+        data,
+        n,
+        w,
+        || format!("rotate_columns (Eq. 23/35): m={m}, n={n}, group width w={w}"),
+        |scratch, us, j0, gw| {
+            // Fill value must come from this worker's own claimed group
+            // (reading column 0 here would race with group 0's writer).
+            let buf = scratch.uninit_buf(m, unsafe { us.get(j0) });
+            for j in j0..j0 + gw {
+                let k = amount(j) % m;
+                if k == 0 {
+                    continue;
+                }
+                for (i, slot) in buf.iter_mut().enumerate() {
+                    let src = i + k - if i + k >= m { m } else { 0 };
+                    // SAFETY: index src*n + j belongs to column j of this
+                    // worker's group; bounds: src < m, j < n.
+                    *slot = unsafe { us.get(src * n + j) };
+                }
+                let jw = faulty::skew_column("rotate_columns", j, j0, gw, n);
+                for (i, &v) in buf.iter().enumerate() {
+                    // SAFETY: same column-ownership argument.
+                    unsafe { us.set(i * n + jw, v) };
+                }
             }
-            for (i, slot) in buf.iter_mut().enumerate() {
-                let src = i + k - if i + k >= m { m } else { 0 };
-                // SAFETY: index src*n + j belongs to column j of this
-                // worker's group; bounds: src < m, j < n.
-                *slot = unsafe { us.get(src * n + j) };
-            }
-            for (i, &v) in buf.iter().enumerate() {
-                // SAFETY: same column-ownership argument.
-                unsafe { us.set(i * n + j, v) };
-            }
-        }
-    });
+        },
+    )
 }
 
 /// Step 1 of parallel C2R: pre-rotation by `floor(j/b)` (Eq. 23).
-pub fn prerotate_parallel<T: Copy + Send + Sync>(data: &mut [T], p: &C2rParams, w: usize) {
+pub fn prerotate_parallel<T: Copy + Send + Sync>(
+    data: &mut [T],
+    p: &C2rParams,
+    w: usize,
+) -> Result<(), PoolError> {
     if p.coprime() {
-        return;
+        return Ok(());
     }
-    rotate_columns_parallel(data, p.m, p.n, w, |j| p.rotate_amount(j));
+    rotate_columns_parallel(data, p.m, p.n, w, |j| p.rotate_amount(j))
 }
 
 /// Step 3 of parallel C2R: the direct column shuffle with `s'_j` (Eq. 26).
-pub fn col_shuffle_parallel<T: Copy + Send + Sync>(data: &mut [T], p: &C2rParams, w: usize) {
+pub fn col_shuffle_parallel<T: Copy + Send + Sync>(
+    data: &mut [T],
+    p: &C2rParams,
+    w: usize,
+) -> Result<(), PoolError> {
     let (m, n) = (p.m, p.n);
-    par_groups(data, n, w, |scratch, us, j0, gw| {
-        let buf = scratch.uninit_buf(m, unsafe { us.get(0) });
-        for j in j0..j0 + gw {
-            for (i, slot) in buf.iter_mut().enumerate() {
-                // SAFETY: s'_j(i) < m, so the index is in column j.
-                *slot = unsafe { us.get(p.s(j, i) * n + j) };
+    par_groups(
+        data,
+        n,
+        w,
+        || format!("col_shuffle (Eq. 26): m={m}, n={n}, group width w={w}"),
+        |scratch, us, j0, gw| {
+            let buf = scratch.uninit_buf(m, unsafe { us.get(j0) });
+            for j in j0..j0 + gw {
+                for (i, slot) in buf.iter_mut().enumerate() {
+                    // SAFETY: s'_j(i) < m, so the index is in column j.
+                    *slot = unsafe { us.get(p.s(j, i) * n + j) };
+                }
+                let jw = faulty::skew_column("col_shuffle", j, j0, gw, n);
+                for (i, &v) in buf.iter().enumerate() {
+                    // SAFETY: column-ownership.
+                    unsafe { us.set(i * n + jw, v) };
+                }
             }
-            for (i, &v) in buf.iter().enumerate() {
-                // SAFETY: column-ownership.
-                unsafe { us.set(i * n + j, v) };
-            }
-        }
-    });
+        },
+    )
 }
 
 /// R2C step 1 (plain): row permutation by `q^-1`, moving `w`-wide sub-rows
@@ -107,9 +149,9 @@ pub fn row_permute_inverse_parallel<T: Copy + Send + Sync>(
     data: &mut [T],
     p: &C2rParams,
     w: usize,
-) {
+) -> Result<(), PoolError> {
     let cycles = CycleSet::build(p.m, |i| p.q_inv(i));
-    row_permute_groups(data, p.m, p.n, w, |i| p.q_inv(i), &cycles);
+    row_permute_groups(data, p.m, p.n, w, |i| p.q_inv(i), &cycles)
 }
 
 /// Shared sub-row cycle follower: apply the gather row permutation `perm`
@@ -121,37 +163,44 @@ pub(crate) fn row_permute_groups<T, P>(
     w: usize,
     perm: P,
     cycles: &CycleSet,
-) where
+) -> Result<(), PoolError>
+where
     T: Copy + Send + Sync,
     P: Fn(usize) -> usize + Send + Sync,
 {
     assert_eq!(data.len(), m * n);
     debug_assert_eq!(cycles.domain(), m);
-    par_groups(data, n, w, |scratch, us, j0, gw| {
-        let buf = scratch.uninit_buf(gw, unsafe { us.get(0) });
-        for &leader in &cycles.leaders {
-            for (k, slot) in buf.iter_mut().enumerate() {
-                // SAFETY: (leader, j0+k) is in this worker's group.
-                *slot = unsafe { us.get(leader * n + j0 + k) };
-            }
-            let mut i = leader;
-            loop {
-                let src = perm(i);
-                if src == leader {
-                    for (k, &v) in buf.iter().enumerate() {
-                        // SAFETY: column-ownership.
-                        unsafe { us.set(i * n + j0 + k, v) };
+    par_groups(
+        data,
+        n,
+        w,
+        || format!("row_permute (Eq. 31/q^-1 cycles): m={m}, n={n}, group width w={w}"),
+        |scratch, us, j0, gw| {
+            let buf = scratch.uninit_buf(gw, unsafe { us.get(j0) });
+            for &leader in &cycles.leaders {
+                for (k, slot) in buf.iter_mut().enumerate() {
+                    // SAFETY: (leader, j0+k) is in this worker's group.
+                    *slot = unsafe { us.get(leader * n + j0 + k) };
+                }
+                let mut i = leader;
+                loop {
+                    let src = perm(i);
+                    if src == leader {
+                        for (k, &v) in buf.iter().enumerate() {
+                            // SAFETY: column-ownership.
+                            unsafe { us.set(i * n + j0 + k, v) };
+                        }
+                        break;
                     }
-                    break;
+                    for k in 0..gw {
+                        // SAFETY: both (i, j0+k) and (src, j0+k) are in-group.
+                        unsafe { us.set(i * n + j0 + k, us.get(src * n + j0 + k)) };
+                    }
+                    i = src;
                 }
-                for k in 0..gw {
-                    // SAFETY: both (i, j0+k) and (src, j0+k) are in-group.
-                    unsafe { us.set(i * n + j0 + k, us.get(src * n + j0 + k)) };
-                }
-                i = src;
             }
-        }
-    });
+        },
+    )
 }
 
 /// Process disjoint column blocks of a row-major `m x n` matrix in
@@ -166,17 +215,26 @@ pub(crate) fn row_permute_groups<T, P>(
 /// never overlap; the block and scratch buffers are created once per
 /// worker and reused across its blocks, so the steady state is
 /// allocation-free.
-pub fn par_process_column_blocks<T, F>(data: &mut [T], m: usize, n: usize, w: usize, f: F)
+pub fn par_process_column_blocks<T, F>(
+    data: &mut [T],
+    m: usize,
+    n: usize,
+    w: usize,
+    f: F,
+) -> Result<(), PoolError>
 where
     T: Copy + Send + Sync,
     F: Fn(usize, &mut [T], usize, &mut [T]) + Sync,
 {
     assert_eq!(data.len(), m * n, "buffer length must be m * n");
     if m == 0 || n == 0 {
-        return;
+        return Ok(());
     }
     let fill = data[0];
-    let us = UnsafeSlice::new(data);
+    let scope = CheckScope::new(data.len(), n, || {
+        format!("par_process_column_blocks (§6.1 fused blocks): m={m}, n={n}, block width w={w}")
+    });
+    let us = UnsafeSlice::new(data, &scope);
     let groups = n.div_ceil(w);
     // SAFETY (throughout): the worker owning group g touches only columns
     // [g*w, g*w + gw).
@@ -186,8 +244,10 @@ where
         || (vec![fill; m * w], vec![fill; m * w]),
         |(block, scratch), sub| {
             for g in sub {
+                faulty::maybe_panic("col_block", g);
                 let j0 = g * w;
                 let gw = w.min(n - j0);
+                us.claim_columns(g, j0, gw);
                 let block = &mut block[..m * gw];
                 for i in 0..m {
                     for (k, slot) in block[i * gw..(i + 1) * gw].iter_mut().enumerate() {
@@ -204,22 +264,30 @@ where
                 }
             }
         },
-    );
+    )
 }
 
 /// R2C step 2 (plain): inverse column rotation `p^-1_j` (Eq. 35).
-pub fn col_rotate_inverse_parallel<T: Copy + Send + Sync>(data: &mut [T], p: &C2rParams, w: usize) {
+pub fn col_rotate_inverse_parallel<T: Copy + Send + Sync>(
+    data: &mut [T],
+    p: &C2rParams,
+    w: usize,
+) -> Result<(), PoolError> {
     let m = p.m;
-    rotate_columns_parallel(data, m, p.n, w, move |j| (m - j % m) % m);
+    rotate_columns_parallel(data, m, p.n, w, move |j| (m - j % m) % m)
 }
 
 /// R2C step 4 (plain): undo the pre-rotation with `r^-1_j` (Eq. 36).
-pub fn postrotate_inverse_parallel<T: Copy + Send + Sync>(data: &mut [T], p: &C2rParams, w: usize) {
+pub fn postrotate_inverse_parallel<T: Copy + Send + Sync>(
+    data: &mut [T],
+    p: &C2rParams,
+    w: usize,
+) -> Result<(), PoolError> {
     if p.coprime() {
-        return;
+        return Ok(());
     }
     let m = p.m;
-    rotate_columns_parallel(data, m, p.n, w, move |j| (m - p.rotate_amount(j) % m) % m);
+    rotate_columns_parallel(data, m, p.n, w, move |j| (m - p.rotate_amount(j) % m) % m)
 }
 
 #[cfg(test)]
@@ -237,7 +305,7 @@ mod tests {
                 let mut a = vec![0u64; m * n];
                 fill_pattern(&mut a);
                 let mut b = a.clone();
-                prerotate_parallel(&mut a, &p, w);
+                prerotate_parallel(&mut a, &p, w).unwrap();
                 permute::prerotate_cycles(&mut b, &p);
                 assert_eq!(a, b, "{m}x{n} w={w}");
             }
@@ -253,7 +321,7 @@ mod tests {
             fill_pattern(&mut a);
             let mut b = a.clone();
             let mut tmp = vec![0u32; m.max(n)];
-            col_shuffle_parallel(&mut a, &p, 4);
+            col_shuffle_parallel(&mut a, &p, 4).unwrap();
             permute::col_shuffle_gather(&mut b, &p, &mut tmp);
             assert_eq!(a, b, "{m}x{n}");
         }
@@ -269,15 +337,15 @@ mod tests {
             let mut b = a.clone();
             let mut tmp = vec![0u64; m.max(n)];
 
-            row_permute_inverse_parallel(&mut a, &p, 4);
+            row_permute_inverse_parallel(&mut a, &p, 4).unwrap();
             permute::row_permute_inverse(&mut b, &p, &mut tmp);
             assert_eq!(a, b, "row permute {m}x{n}");
 
-            col_rotate_inverse_parallel(&mut a, &p, 4);
+            col_rotate_inverse_parallel(&mut a, &p, 4).unwrap();
             permute::col_rotate_inverse(&mut b, &p);
             assert_eq!(a, b, "col rotate {m}x{n}");
 
-            postrotate_inverse_parallel(&mut a, &p, 4);
+            postrotate_inverse_parallel(&mut a, &p, 4).unwrap();
             permute::postrotate_inverse(&mut b, &p);
             assert_eq!(a, b, "postrotate {m}x{n}");
         }
@@ -297,7 +365,8 @@ mod tests {
                     block[i * gw + k] += (j0 as u32 + k as u32) * 1000;
                 }
             }
-        });
+        })
+        .unwrap();
         for i in 0..m {
             for j in 0..n {
                 assert_eq!(a[i * n + j], orig[i * n + j] + j as u32 * 1000);
@@ -319,7 +388,8 @@ mod tests {
                     block.swap(i * gw + k, (m - 1 - i) * gw + k);
                 }
             }
-        });
+        })
+        .unwrap();
         for i in 0..m {
             for j in 0..n {
                 assert_eq!(a[i * n + j], orig[(m - 1 - i) * n + j]);
@@ -334,7 +404,7 @@ mod tests {
         let mut a = vec![0u16; m * n];
         fill_pattern(&mut a);
         let orig = a.clone();
-        rotate_columns_parallel(&mut a, m, n, 5, |j| j);
+        rotate_columns_parallel(&mut a, m, n, 5, |j| j).unwrap();
         // Verify elementwise: col j rotated left by j mod m.
         for j in 0..n {
             for i in 0..m {

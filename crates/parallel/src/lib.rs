@@ -26,9 +26,15 @@
 //! use ipt_core::Layout;
 //!
 //! let mut a: Vec<u64> = (0..6 * 4).collect();
-//! transpose_parallel(&mut a, 6, 4, Layout::RowMajor, &ParOptions::default());
+//! transpose_parallel(&mut a, 6, 4, Layout::RowMajor, &ParOptions::default()).unwrap();
 //! assert_eq!(a[1], 4); // element (0, 1) of the 4 x 6 transpose
 //! ```
+//!
+//! All parallel entry points return `Result<(), TransposeAborted>`: if a
+//! worker panics mid-phase (a kernel bug, or an injected fault), the pool
+//! contains the panic at the chunk boundary and the error names the phase
+//! and worker — the buffer may be torn, but a torn matrix is *reported*,
+//! never silently returned as if transposed.
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
@@ -41,6 +47,52 @@ mod unsafe_slice;
 
 use ipt_core::index::C2rParams;
 use ipt_core::Layout;
+use ipt_pool::PoolError;
+
+/// A parallel transpose aborted because a worker panicked mid-phase.
+///
+/// The pool contains worker panics at the chunk boundary
+/// ([`ipt_pool::PoolError`]); this wrapper adds the decomposition phase
+/// (one of [`phases::ALL`], or `"batched"` for the batched entry points)
+/// so the caller knows *which pass* died. The buffer contents are
+/// unspecified after an abort — phases mutate in place — but every
+/// element is still a value that was previously in the buffer (workers
+/// only permute elements), so there is no UB, only a torn permutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransposeAborted {
+    /// The phase in which the worker panic was contained.
+    pub phase: &'static str,
+    /// The contained panic: worker index, chunk, and payload.
+    pub source: PoolError,
+}
+
+impl std::fmt::Display for TransposeAborted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "transpose aborted in phase {}: {}",
+            self.phase, self.source
+        )
+    }
+}
+
+impl std::error::Error for TransposeAborted {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// Time one phase into [`ipt_pool::stats`] and lift its pool error into
+/// a phase-attributed [`TransposeAborted`].
+fn run_phase(
+    name: &'static str,
+    f: impl FnOnce() -> Result<(), PoolError>,
+) -> Result<(), TransposeAborted> {
+    ipt_pool::stats::phase(name, f).map_err(|source| TransposeAborted {
+        phase: name,
+        source,
+    })
+}
 
 /// Phase names under which [`c2r_parallel`] / [`r2c_parallel`] attribute
 /// wall time to [`ipt_pool::stats`] (one [`ipt_pool::stats::phase`] call
@@ -56,7 +108,7 @@ use ipt_core::Layout;
 ///
 /// let before = ipt_pool::stats::snapshot();
 /// let mut a: Vec<u64> = (0..96 * 64).collect();
-/// c2r_parallel(&mut a, 96, 64, &ParOptions::default());
+/// c2r_parallel(&mut a, 96, 64, &ParOptions::default()).unwrap();
 /// let delta = ipt_pool::stats::snapshot().delta_since(&before);
 /// assert!(delta.phase(phases::ROW_SHUFFLE).unwrap().calls >= 1);
 /// assert!(delta.phase(phases::COL_SHUFFLE).unwrap().calls >= 1);
@@ -154,35 +206,42 @@ impl ParOptions {
 
 /// Parallel C2R: transpose an `m x n` row-major buffer in place into its
 /// `n x m` row-major transpose, using the global `ipt_pool` thread count.
-pub fn c2r_parallel<T: Copy + Send + Sync>(data: &mut [T], m: usize, n: usize, opts: &ParOptions) {
+pub fn c2r_parallel<T: Copy + Send + Sync>(
+    data: &mut [T],
+    m: usize,
+    n: usize,
+    opts: &ParOptions,
+) -> Result<(), TransposeAborted> {
     assert_eq!(data.len(), m * n, "buffer length must be m * n");
     if m <= 1 || n <= 1 {
-        return;
+        return Ok(());
     }
     let p = C2rParams::new(m, n);
     let w = opts.group_width::<T>();
     let pass_bytes = phase_pass_bytes::<T>(data.len());
-    use ipt_pool::stats::phase;
     if opts.cache_aware {
-        phase(phases::PRE_ROTATE, || {
+        run_phase(phases::PRE_ROTATE, || {
             cache_aware::prerotate(data, &p, w, opts.block_rows)
-        });
-        phase(phases::ROW_SHUFFLE, || rows::row_shuffle_parallel(data, &p));
-        phase(phases::COL_SHUFFLE, || {
+        })?;
+        run_phase(phases::ROW_SHUFFLE, || rows::row_shuffle_parallel(data, &p))?;
+        run_phase(phases::COL_SHUFFLE, || {
             cache_aware::col_shuffle_fused(data, &p, w, opts.block_rows)
-        });
+        })?;
     } else {
-        phase(phases::PRE_ROTATE, || cols::prerotate_parallel(data, &p, w));
-        phase(phases::ROW_SHUFFLE, || rows::row_shuffle_parallel(data, &p));
-        phase(phases::COL_SHUFFLE, || {
+        run_phase(phases::PRE_ROTATE, || cols::prerotate_parallel(data, &p, w))?;
+        run_phase(phases::ROW_SHUFFLE, || rows::row_shuffle_parallel(data, &p))?;
+        run_phase(phases::COL_SHUFFLE, || {
             cols::col_shuffle_parallel(data, &p, w)
-        });
+        })?;
     }
+    // Traffic is attributed only after the whole transpose succeeds: an
+    // aborted run's partial passes would skew the phase cost model.
     if p.c > 1 {
         ipt_pool::stats::record_phase_bytes(phases::PRE_ROTATE, pass_bytes);
     }
     ipt_pool::stats::record_phase_bytes(phases::ROW_SHUFFLE, pass_bytes);
     ipt_pool::stats::record_phase_bytes(phases::COL_SHUFFLE, pass_bytes);
+    Ok(())
 }
 
 /// Payload bytes one decomposition pass touches: a read and a write of
@@ -196,42 +255,47 @@ fn phase_pass_bytes<T>(len: usize) -> u64 {
 
 /// Parallel R2C: the inverse of [`c2r_parallel`] — consumes an `n x m`
 /// row-major buffer, leaves the `m x n` row-major transpose.
-pub fn r2c_parallel<T: Copy + Send + Sync>(data: &mut [T], m: usize, n: usize, opts: &ParOptions) {
+pub fn r2c_parallel<T: Copy + Send + Sync>(
+    data: &mut [T],
+    m: usize,
+    n: usize,
+    opts: &ParOptions,
+) -> Result<(), TransposeAborted> {
     assert_eq!(data.len(), m * n, "buffer length must be m * n");
     if m <= 1 || n <= 1 {
-        return;
+        return Ok(());
     }
     let p = C2rParams::new(m, n);
     let w = opts.group_width::<T>();
     let pass_bytes = phase_pass_bytes::<T>(data.len());
-    use ipt_pool::stats::phase;
     if opts.cache_aware {
-        phase(phases::COL_SHUFFLE, || {
+        run_phase(phases::COL_SHUFFLE, || {
             cache_aware::col_shuffle_fused_inverse(data, &p, w, opts.block_rows)
-        });
-        phase(phases::ROW_SHUFFLE, || {
+        })?;
+        run_phase(phases::ROW_SHUFFLE, || {
             rows::row_shuffle_forward_parallel(data, &p)
-        });
-        phase(phases::POST_ROTATE, || {
+        })?;
+        run_phase(phases::POST_ROTATE, || {
             cache_aware::postrotate_inverse(data, &p, w, opts.block_rows)
-        });
+        })?;
     } else {
-        phase(phases::COL_SHUFFLE, || {
-            cols::row_permute_inverse_parallel(data, &p, w);
-            cols::col_rotate_inverse_parallel(data, &p, w);
-        });
-        phase(phases::ROW_SHUFFLE, || {
+        run_phase(phases::COL_SHUFFLE, || {
+            cols::row_permute_inverse_parallel(data, &p, w)?;
+            cols::col_rotate_inverse_parallel(data, &p, w)
+        })?;
+        run_phase(phases::ROW_SHUFFLE, || {
             rows::row_shuffle_forward_parallel(data, &p)
-        });
-        phase(phases::POST_ROTATE, || {
+        })?;
+        run_phase(phases::POST_ROTATE, || {
             cols::postrotate_inverse_parallel(data, &p, w)
-        });
+        })?;
     }
     ipt_pool::stats::record_phase_bytes(phases::COL_SHUFFLE, pass_bytes);
     ipt_pool::stats::record_phase_bytes(phases::ROW_SHUFFLE, pass_bytes);
     if p.c > 1 {
         ipt_pool::stats::record_phase_bytes(phases::POST_ROTATE, pass_bytes);
     }
+    Ok(())
 }
 
 /// Parallel in-place transpose of a `rows x cols` matrix in `layout`,
@@ -243,16 +307,16 @@ pub fn transpose_parallel<T: Copy + Send + Sync>(
     cols: usize,
     layout: Layout,
     opts: &ParOptions,
-) {
+) -> Result<(), TransposeAborted> {
     assert_eq!(data.len(), rows * cols, "buffer length must be rows * cols");
     let (m, n) = match layout {
         Layout::RowMajor => (rows, cols),
         Layout::ColMajor => (cols, rows),
     };
     if m > n {
-        c2r_parallel(data, m, n, opts);
+        c2r_parallel(data, m, n, opts)
     } else {
-        r2c_parallel(data, n, m, opts);
+        r2c_parallel(data, n, m, opts)
     }
 }
 
@@ -266,7 +330,7 @@ pub fn transpose_parallel_with<T: Copy + Send + Sync>(
     layout: Layout,
     algorithm: ipt_core::Algorithm,
     opts: &ParOptions,
-) {
+) -> Result<(), TransposeAborted> {
     assert_eq!(data.len(), rows * cols, "buffer length must be rows * cols");
     let (m, n) = match layout {
         Layout::RowMajor => (rows, cols),
@@ -318,7 +382,7 @@ mod tests {
                 let mut a = vec![0u64; m * n];
                 fill_pattern(&mut a);
                 let mut b = a.clone();
-                c2r_parallel(&mut a, m, n, &opts);
+                c2r_parallel(&mut a, m, n, &opts).unwrap();
                 ipt_core::c2r(&mut b, m, n, &mut Scratch::new());
                 assert_eq!(a, b, "{m}x{n} cache_aware={}", opts.cache_aware);
             }
@@ -333,7 +397,7 @@ mod tests {
                 let mut a = vec![0u32; m * n];
                 fill_pattern(&mut a);
                 let mut b = a.clone();
-                r2c_parallel(&mut a, m, n, &opts);
+                r2c_parallel(&mut a, m, n, &opts).unwrap();
                 ipt_core::r2c(&mut b, m, n, &mut Scratch::new());
                 assert_eq!(a, b, "{m}x{n} cache_aware={}", opts.cache_aware);
             }
@@ -347,7 +411,7 @@ mod tests {
             for (m, n) in sizes() {
                 let mut a = vec![0u64; m * n];
                 fill_pattern(&mut a);
-                transpose_parallel(&mut a, m, n, layout, &ParOptions::default());
+                transpose_parallel(&mut a, m, n, layout, &ParOptions::default()).unwrap();
                 assert!(
                     is_transposed_pattern(&a, m, n, layout),
                     "{m}x{n} {layout:?}"
@@ -369,7 +433,7 @@ mod tests {
                 let mut a = vec![0u16; m * n];
                 fill_pattern(&mut a);
                 let mut b = a.clone();
-                c2r_parallel(&mut a, m, n, &opts);
+                c2r_parallel(&mut a, m, n, &opts).unwrap();
                 ipt_core::c2r(&mut b, m, n, &mut Scratch::new());
                 assert_eq!(a, b, "{m}x{n} w={w}");
             }
@@ -387,7 +451,7 @@ mod tests {
                 let (r, c) = (18usize, 30usize);
                 let mut a = vec![0u64; r * c];
                 fill_pattern(&mut a);
-                transpose_parallel_with(&mut a, r, c, layout, alg, &ParOptions::default());
+                transpose_parallel_with(&mut a, r, c, layout, alg, &ParOptions::default()).unwrap();
                 assert!(
                     is_transposed_pattern(&a, r, c, layout),
                     "{alg:?} {layout:?}"
@@ -404,8 +468,8 @@ mod tests {
         let mut a = vec![0u64; m * n];
         fill_pattern(&mut a);
         let opts = ParOptions::default();
-        c2r_parallel(&mut a, m, n, &opts);
-        r2c_parallel(&mut a, m, n, &opts);
+        c2r_parallel(&mut a, m, n, &opts).unwrap();
+        r2c_parallel(&mut a, m, n, &opts).unwrap();
         let d = ipt_pool::stats::snapshot().delta_since(&before);
         for name in [phases::PRE_ROTATE, phases::POST_ROTATE] {
             assert!(d.phase(name).unwrap().calls >= 1, "{name}: {d:?}");
@@ -432,7 +496,7 @@ mod tests {
         let before = ipt_pool::stats::snapshot();
         let mut a = vec![0u64; m * n];
         fill_pattern(&mut a);
-        c2r_parallel(&mut a, m, n, &ParOptions::default());
+        c2r_parallel(&mut a, m, n, &ParOptions::default()).unwrap();
         let d = ipt_pool::stats::snapshot().delta_since(&before);
         let pre = d.phase(phases::PRE_ROTATE).map_or(0, |p| p.bytes);
         assert_eq!(pre, 0, "no-op pre-rotation must report no traffic: {d:?}");
@@ -449,8 +513,8 @@ mod tests {
         fill_pattern(&mut a);
         let orig = a.clone();
         let opts = ParOptions::default();
-        c2r_parallel(&mut a, m, n, &opts);
-        r2c_parallel(&mut a, m, n, &opts);
+        c2r_parallel(&mut a, m, n, &opts).unwrap();
+        r2c_parallel(&mut a, m, n, &opts).unwrap();
         assert_eq!(a, orig);
     }
 }

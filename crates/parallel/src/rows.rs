@@ -17,7 +17,9 @@
 
 use crate::row_grain;
 use ipt_core::index::C2rParams;
+use ipt_core::kernels::faulty;
 use ipt_core::kernels::{self, RowShuffleKernel, ShuffleDirection};
+use ipt_pool::PoolError;
 
 /// Parallel row shuffle with an explicit kernel and direction: the
 /// work-distribution core every public row-shuffle entry point shares.
@@ -30,7 +32,7 @@ pub fn row_shuffle_parallel_with<T: Copy + Send + Sync>(
     p: &C2rParams,
     kernel: RowShuffleKernel,
     dir: ShuffleDirection,
-) {
+) -> Result<(), PoolError> {
     let n = p.n;
     ipt_pool::par_chunks_exact_mut(
         data,
@@ -38,11 +40,12 @@ pub fn row_shuffle_parallel_with<T: Copy + Send + Sync>(
         row_grain(n),
         || Vec::with_capacity(n),
         |tmp: &mut Vec<T>, i, row| {
+            faulty::maybe_panic("row_shuffle", i);
             tmp.clear();
             tmp.extend_from_slice(row);
             kernel.apply_row(p, i, tmp, row, dir);
         },
-    );
+    )
 }
 
 /// Parallel row shuffle with the **scalar incremental** kernel:
@@ -55,13 +58,13 @@ pub fn row_shuffle_incremental<T: Copy + Send + Sync>(
     data: &mut [T],
     p: &C2rParams,
     scatter: bool,
-) {
+) -> Result<(), PoolError> {
     let dir = if scatter {
         ShuffleDirection::Inverse
     } else {
         ShuffleDirection::Forward
     };
-    row_shuffle_parallel_with(data, p, RowShuffleKernel::Scalar, dir);
+    row_shuffle_parallel_with(data, p, RowShuffleKernel::Scalar, dir)
 }
 
 /// Parallel C2R row shuffle: row `i` becomes `row[j] = old[d'^-1_i(j)]`
@@ -69,17 +72,23 @@ pub fn row_shuffle_incremental<T: Copy + Send + Sync>(
 /// (`IPT_KERNEL` override, else a loaded calibration profile, else the
 /// static heuristic). The selection — and the tier that made it — is
 /// recorded once per pass in [`ipt_pool::stats`]'s hit counters.
-pub fn row_shuffle_parallel<T: Copy + Send + Sync>(data: &mut [T], p: &C2rParams) {
+pub fn row_shuffle_parallel<T: Copy + Send + Sync>(
+    data: &mut [T],
+    p: &C2rParams,
+) -> Result<(), PoolError> {
     let (kernel, tier) = kernels::select_with_tier(p);
     ipt_pool::stats::record_kernel(kernel.name());
     ipt_pool::stats::record_decision(tier.name());
-    row_shuffle_parallel_with(data, p, kernel, ShuffleDirection::Inverse);
+    row_shuffle_parallel_with(data, p, kernel, ShuffleDirection::Inverse)
 }
 
 /// Parallel C2R row shuffle in the paper's gather form (`d'^-1` via the
 /// strength-reduced `C2rParams`): the §4.4 ablation baseline for
 /// [`row_shuffle_parallel`]'s incremental indexing.
-pub fn row_shuffle_parallel_fastdiv<T: Copy + Send + Sync>(data: &mut [T], p: &C2rParams) {
+pub fn row_shuffle_parallel_fastdiv<T: Copy + Send + Sync>(
+    data: &mut [T],
+    p: &C2rParams,
+) -> Result<(), PoolError> {
     let n = p.n;
     ipt_pool::par_chunks_exact_mut(
         data,
@@ -91,17 +100,20 @@ pub fn row_shuffle_parallel_fastdiv<T: Copy + Send + Sync>(data: &mut [T], p: &C
             tmp.extend((0..n).map(|j| row[p.d_inv(i, j)]));
             row.copy_from_slice(tmp);
         },
-    );
+    )
 }
 
 /// Parallel R2C row shuffle: gather with `d'_i` directly (§4.3), with
 /// the same [`kernels::select_with_tier`] dispatch and hit/tier
 /// recording as [`row_shuffle_parallel`].
-pub fn row_shuffle_forward_parallel<T: Copy + Send + Sync>(data: &mut [T], p: &C2rParams) {
+pub fn row_shuffle_forward_parallel<T: Copy + Send + Sync>(
+    data: &mut [T],
+    p: &C2rParams,
+) -> Result<(), PoolError> {
     let (kernel, tier) = kernels::select_with_tier(p);
     ipt_pool::stats::record_kernel(kernel.name());
     ipt_pool::stats::record_decision(tier.name());
-    row_shuffle_parallel_with(data, p, kernel, ShuffleDirection::Forward);
+    row_shuffle_parallel_with(data, p, kernel, ShuffleDirection::Forward)
 }
 
 #[cfg(test)]
@@ -129,7 +141,7 @@ mod tests {
             fill_pattern(&mut a);
             let mut b = a.clone();
             let mut tmp = vec![0u64; n];
-            row_shuffle_parallel(&mut a, &p);
+            row_shuffle_parallel(&mut a, &p).unwrap();
             permute::row_shuffle_gather(&mut b, &p, &mut tmp);
             assert_eq!(a, b, "{m}x{n}");
         }
@@ -143,7 +155,7 @@ mod tests {
             fill_pattern(&mut a);
             let mut b = a.clone();
             let mut tmp = vec![0u32; n];
-            row_shuffle_forward_parallel(&mut a, &p);
+            row_shuffle_forward_parallel(&mut a, &p).unwrap();
             permute::row_shuffle_gather_forward(&mut b, &p, &mut tmp);
             assert_eq!(a, b, "{m}x{n}");
         }
@@ -167,8 +179,8 @@ mod tests {
             let mut a = vec![0u64; m * n];
             fill_pattern(&mut a);
             let mut b = a.clone();
-            row_shuffle_parallel(&mut a, &p);
-            row_shuffle_parallel_fastdiv(&mut b, &p);
+            row_shuffle_parallel(&mut a, &p).unwrap();
+            row_shuffle_parallel_fastdiv(&mut b, &p).unwrap();
             assert_eq!(a, b, "{m}x{n}");
         }
     }
@@ -180,8 +192,8 @@ mod tests {
         let mut a = vec![0u64; m * n];
         fill_pattern(&mut a);
         let orig = a.clone();
-        row_shuffle_parallel(&mut a, &p);
-        row_shuffle_forward_parallel(&mut a, &p);
+        row_shuffle_parallel(&mut a, &p).unwrap();
+        row_shuffle_forward_parallel(&mut a, &p).unwrap();
         assert_eq!(a, orig);
     }
 }

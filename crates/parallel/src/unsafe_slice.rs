@@ -1,4 +1,5 @@
-//! A shared-mutable slice handle for provably disjoint parallel access.
+//! A shared-mutable slice handle for provably disjoint parallel access,
+//! with an optional algorithm-aware disjointness checker.
 //!
 //! `ipt_pool` can split a slice into disjoint *contiguous* chunks safely
 //! (`par_chunks_exact_mut`), but the decomposition's column operations
@@ -16,16 +17,190 @@
 //! partition the columns, no linear index is reachable from two tasks, so
 //! concurrent `&mut`-like access through the raw pointer never aliases.
 //! All accessors bounds-check in debug builds.
+//!
+//! # Checked mode
+//!
+//! The contract above is exactly the paper's bijection argument
+//! (Theorems 3 and 6) applied to Eq. 24/31's scatter indices — and an
+//! off-by-one in that index math is silent UB, not a test failure. The
+//! checker turns it into a deterministic panic: each parallel operation
+//! opens a [`CheckScope`] backed by a *shadow map* (one `AtomicU32` per
+//! element). Workers **claim** their index sets up front
+//! ([`UnsafeSlice::claim_columns`] / [`UnsafeSlice::claim_row`]); every
+//! subsequent `get`/`set` verifies the element was claimed by the calling
+//! worker's owner group. Overlapping claims across owners, or any access
+//! to an unclaimed/foreign element, aborts with both owner groups, the
+//! offending `(row, col)`, and the operation's geometry (m, n, group
+//! width — the Eq. 24/31 parameters).
+//!
+//! Each shadow cell stores `epoch << 16 | owner_tag` (`owner_tag` = owner
+//! group + 1; 0 = unclaimed). Claims use an atomic `swap`, so of two
+//! racing claimants one is guaranteed to observe the other — detection
+//! does not depend on scheduling. Shadow allocations are leased from a
+//! process-wide pool and recycled by bumping the 16-bit epoch; stale
+//! cells from a previous scope simply mismatch the current epoch, and the
+//! cells are zeroed only when the epoch wraps. See DESIGN.md §12.
+//!
+//! Checking is controlled by `IPT_CHECK` (`1` = on, `0` = off); when the
+//! variable is unset, checking defaults to **on in debug builds** (so
+//! `cargo test` dogfoods it) and off in release builds.
 
 use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Owner tag width in a shadow word; the epoch takes the remaining bits.
+const OWNER_BITS: u32 = 16;
+const OWNER_MASK: u32 = (1 << OWNER_BITS) - 1;
+/// Epochs wrap (and cells are zeroed) after this many scope reuses.
+const EPOCH_MAX: u32 = (1 << (32 - OWNER_BITS)) - 1;
+/// Recycled shadow allocations kept for reuse (excess ones are freed).
+const MAX_LEASES: usize = 8;
+
+/// Whether checked mode is active for this process (parsed once).
+pub(crate) fn checking_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| match std::env::var("IPT_CHECK") {
+        Ok(v) if v == "1" => true,
+        Ok(v) if v == "0" => false,
+        Ok(v) => {
+            eprintln!("ipt: ignoring IPT_CHECK={v:?} (expected 0 or 1)");
+            cfg!(debug_assertions)
+        }
+        Err(_) => cfg!(debug_assertions),
+    })
+}
+
+/// A recycled shadow allocation: the cells plus the last epoch they served.
+struct Lease {
+    cells: Vec<AtomicU32>,
+    epoch: u32,
+}
+
+static LEASES: Mutex<Vec<Lease>> = Mutex::new(Vec::new());
+static NEXT_SCOPE_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// The (scope id, owner tag) this thread most recently claimed under.
+    static CURRENT_CLAIM: std::cell::Cell<(u64, u32)> =
+        const { std::cell::Cell::new((0, 0)) };
+}
+
+/// Shadow-map state for one checked parallel operation.
+struct ShadowScope {
+    cells: Vec<AtomicU32>,
+    epoch: u32,
+    id: u64,
+    cols: usize,
+    label: String,
+}
+
+impl ShadowScope {
+    fn word(&self, owner_tag: u32) -> u32 {
+        (self.epoch << OWNER_BITS) | owner_tag
+    }
+
+    fn decode(&self, word: u32) -> Option<u32> {
+        if word >> OWNER_BITS == self.epoch {
+            Some(word & OWNER_MASK)
+        } else {
+            None // stale cell from a previous scope: unclaimed.
+        }
+    }
+}
+
+fn owner_tag(owner: usize) -> u32 {
+    (owner as u32 % OWNER_MASK) + 1
+}
+
+#[cold]
+#[inline(never)]
+fn violation(scope: &ShadowScope, kind: &str, idx: usize, held_tag: u32, want_tag: u32) -> ! {
+    let (row, col) = match idx.checked_div(scope.cols) {
+        Some(row) => (row, idx % scope.cols),
+        None => (0, idx),
+    };
+    let held = match held_tag {
+        0 => "unclaimed".to_string(),
+        t => format!("group {}", t - 1),
+    };
+    panic!(
+        "ipt disjointness violation: {kind} at linear index {idx} (row {row}, col {col}): \
+         cell held by {held}, accessed as group {} by pool worker {:?}; {}",
+        want_tag - 1,
+        ipt_pool::current_worker(),
+        scope.label,
+    );
+}
+
+/// Handle for one checked parallel operation; create it before the
+/// [`UnsafeSlice`] it guards. When checking is disabled this is an empty
+/// shell and the label closure is never evaluated.
+pub(crate) struct CheckScope {
+    shadow: Option<Box<ShadowScope>>,
+}
+
+impl CheckScope {
+    /// Open a scope over `len` elements arranged as rows of `cols`
+    /// columns. `label` should render the operation's geometry and the
+    /// paper-equation parameters (e.g. `m`, `n`, group width) for
+    /// violation messages; it is evaluated only in checked mode.
+    pub(crate) fn new(len: usize, cols: usize, label: impl FnOnce() -> String) -> Self {
+        if !checking_enabled() {
+            return CheckScope { shadow: None };
+        }
+        let mut leases = LEASES.lock().unwrap();
+        let lease = leases
+            .iter()
+            .position(|l| l.cells.len() >= len)
+            .map(|i| leases.swap_remove(i));
+        drop(leases);
+        let (cells, epoch) = match lease {
+            Some(l) if l.epoch < EPOCH_MAX => (l.cells, l.epoch + 1),
+            Some(l) => {
+                // Epoch space exhausted: zero the cells and start over.
+                for c in &l.cells {
+                    c.store(0, Ordering::Relaxed);
+                }
+                (l.cells, 1)
+            }
+            None => ((0..len).map(|_| AtomicU32::new(0)).collect(), 1),
+        };
+        CheckScope {
+            shadow: Some(Box::new(ShadowScope {
+                cells,
+                epoch,
+                id: NEXT_SCOPE_ID.fetch_add(1, Ordering::Relaxed),
+                cols,
+                label: label(),
+            })),
+        }
+    }
+}
+
+impl Drop for CheckScope {
+    fn drop(&mut self) {
+        if let Some(shadow) = self.shadow.take() {
+            let mut leases = LEASES.lock().unwrap();
+            if leases.len() < MAX_LEASES {
+                leases.push(Lease {
+                    cells: shadow.cells,
+                    epoch: shadow.epoch,
+                });
+            }
+        }
+    }
+}
 
 /// A raw view of a `&mut [T]` that can be copied into worker closures.
 ///
 /// Callers must guarantee that concurrently running closures touch
-/// disjoint index sets (see module docs).
+/// disjoint index sets (see module docs). In checked mode, that guarantee
+/// is verified at runtime against the scope's shadow map.
 pub(crate) struct UnsafeSlice<'a, T> {
     ptr: *mut T,
     len: usize,
+    shadow: Option<&'a ShadowScope>,
     _marker: PhantomData<&'a mut [T]>,
 }
 
@@ -39,14 +214,18 @@ impl<T> Clone for UnsafeSlice<'_, T> {
 // SAFETY: the wrapper only ever hands out element accesses; disjointness of
 // concurrently accessed indices is the invariant callers uphold (module
 // docs). `T: Send` suffices because elements are only moved, never shared.
+// The shadow reference is a `Sync` map of atomics.
 unsafe impl<T: Send> Send for UnsafeSlice<'_, T> {}
 unsafe impl<T: Send> Sync for UnsafeSlice<'_, T> {}
 
 impl<'a, T: Copy> UnsafeSlice<'a, T> {
-    pub(crate) fn new(slice: &'a mut [T]) -> Self {
+    pub(crate) fn new(slice: &'a mut [T], scope: &'a CheckScope) -> Self {
+        let shadow = scope.shadow.as_deref();
+        debug_assert!(shadow.is_none_or(|s| s.cells.len() >= slice.len()));
         UnsafeSlice {
             ptr: slice.as_mut_ptr(),
             len: slice.len(),
+            shadow,
             _marker: PhantomData,
         }
     }
@@ -54,6 +233,72 @@ impl<'a, T: Copy> UnsafeSlice<'a, T> {
     #[cfg(test)]
     pub(crate) fn len(&self) -> usize {
         self.len
+    }
+
+    /// Claim columns `[j0, j0 + gw)` across all rows for `owner` (the
+    /// column-group index), and make `owner` this thread's identity for
+    /// subsequent accesses. Panics if any cell is already claimed by a
+    /// different owner in this scope. No-op when checking is off.
+    #[inline]
+    pub(crate) fn claim_columns(&self, owner: usize, j0: usize, gw: usize) {
+        let Some(sh) = self.shadow else { return };
+        let tag = owner_tag(owner);
+        CURRENT_CLAIM.with(|c| c.set((sh.id, tag)));
+        let word = sh.word(tag);
+        let rows = self.len.checked_div(sh.cols).unwrap_or(0);
+        for i in 0..rows {
+            let base = i * sh.cols;
+            for j in j0..j0 + gw {
+                // swap: of two racing claimants, one must see the other.
+                let prev = sh.cells[base + j].swap(word, Ordering::Relaxed);
+                match sh.decode(prev) {
+                    Some(t) if t != 0 && t != tag => {
+                        violation(sh, "overlapping column claim", base + j, t, tag)
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Claim the full row `row` for `owner` (e.g. a cycle follower that
+    /// owns whole rows), and make `owner` this thread's identity.
+    /// Idempotent per owner; panics on a cross-owner overlap.
+    #[cfg(test)]
+    #[inline]
+    pub(crate) fn claim_row(&self, owner: usize, row: usize) {
+        let Some(sh) = self.shadow else { return };
+        let tag = owner_tag(owner);
+        CURRENT_CLAIM.with(|c| c.set((sh.id, tag)));
+        let word = sh.word(tag);
+        let base = row * sh.cols;
+        for idx in base..base + sh.cols {
+            let prev = sh.cells[idx].swap(word, Ordering::Relaxed);
+            match sh.decode(prev) {
+                Some(t) if t != 0 && t != tag => {
+                    violation(sh, "overlapping row claim", idx, t, tag)
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Verify `idx` is claimed by this thread's current owner.
+    #[inline]
+    fn check_access(&self, sh: &ShadowScope, idx: usize, kind: &str) {
+        if idx >= sh.cells.len() {
+            violation(sh, "out-of-bounds access", idx, 0, 1);
+        }
+        let (scope_id, tag) = CURRENT_CLAIM.with(|c| c.get());
+        if scope_id != sh.id {
+            violation(sh, kind, idx, 0, 1); // access with no claim in scope
+        }
+        let held = sh
+            .decode(sh.cells[idx].load(Ordering::Relaxed))
+            .unwrap_or(0);
+        if held != tag {
+            violation(sh, kind, idx, held, tag);
+        }
     }
 
     /// Read element `idx`.
@@ -64,6 +309,9 @@ impl<'a, T: Copy> UnsafeSlice<'a, T> {
     #[inline]
     pub(crate) unsafe fn get(&self, idx: usize) -> T {
         debug_assert!(idx < self.len);
+        if let Some(sh) = self.shadow {
+            self.check_access(sh, idx, "unclaimed read");
+        }
         // SAFETY: caller guarantees bounds and non-aliasing.
         unsafe { *self.ptr.add(idx) }
     }
@@ -76,6 +324,9 @@ impl<'a, T: Copy> UnsafeSlice<'a, T> {
     #[inline]
     pub(crate) unsafe fn set(&self, idx: usize, v: T) {
         debug_assert!(idx < self.len);
+        if let Some(sh) = self.shadow {
+            self.check_access(sh, idx, "unclaimed write");
+        }
         // SAFETY: caller guarantees bounds and exclusivity.
         unsafe { *self.ptr.add(idx) = v };
     }
@@ -84,6 +335,11 @@ impl<'a, T: Copy> UnsafeSlice<'a, T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    fn scope_for(len: usize, cols: usize) -> CheckScope {
+        CheckScope::new(len, cols, || format!("test op ({len} elems, {cols} cols)"))
+    }
 
     #[test]
     fn disjoint_column_writes_from_parallel_tasks() {
@@ -91,18 +347,22 @@ mod tests {
         // tag.
         let (m, n) = (8usize, 16usize);
         let mut data = vec![0u32; m * n];
-        let us = UnsafeSlice::new(&mut data);
-        ipt_pool::Pool::new(4).par_chunks(0..n / 2, 1, |sub| {
-            for g in sub {
-                for j in [2 * g, 2 * g + 1] {
-                    for i in 0..m {
-                        // SAFETY: group g touches only columns {2g, 2g+1};
-                        // groups are disjoint.
-                        unsafe { us.set(i * n + j, (j * 100 + i) as u32) };
+        let scope = scope_for(m * n, n);
+        let us = UnsafeSlice::new(&mut data, &scope);
+        ipt_pool::Pool::new(4)
+            .par_chunks(0..n / 2, 1, |sub| {
+                for g in sub {
+                    us.claim_columns(g, 2 * g, 2);
+                    for j in [2 * g, 2 * g + 1] {
+                        for i in 0..m {
+                            // SAFETY: group g touches only columns
+                            // {2g, 2g+1}; groups are disjoint.
+                            unsafe { us.set(i * n + j, (j * 100 + i) as u32) };
+                        }
                     }
                 }
-            }
-        });
+            })
+            .unwrap();
         for i in 0..m {
             for j in 0..n {
                 assert_eq!(data[i * n + j], (j * 100 + i) as u32);
@@ -113,7 +373,9 @@ mod tests {
     #[test]
     fn get_reads_current_values() {
         let mut data = vec![7u8, 8, 9];
-        let us = UnsafeSlice::new(&mut data);
+        let scope = scope_for(3, 3);
+        let us = UnsafeSlice::new(&mut data, &scope);
+        us.claim_row(0, 0);
         // SAFETY: single-threaded access.
         unsafe {
             assert_eq!(us.get(0), 7);
@@ -122,5 +384,89 @@ mod tests {
         }
         assert_eq!(us.len(), 3);
         assert_eq!(data, [7, 8, 42]);
+    }
+
+    #[test]
+    fn overlapping_claims_across_owners_abort() {
+        if !checking_enabled() {
+            return; // violation detection only exists in checked mode
+        }
+        let mut data = vec![0u32; 4 * 8];
+        let scope = scope_for(4 * 8, 8);
+        let us = UnsafeSlice::new(&mut data, &scope);
+        us.claim_columns(0, 0, 3);
+        let err = catch_unwind(AssertUnwindSafe(|| us.claim_columns(1, 2, 2))).unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("ipt disjointness violation"), "{msg}");
+        assert!(msg.contains("group 0") && msg.contains("group 1"), "{msg}");
+        assert!(msg.contains("col 2"), "{msg}");
+    }
+
+    #[test]
+    fn same_owner_may_reclaim_and_rewrite() {
+        if !checking_enabled() {
+            return;
+        }
+        let mut data = vec![0u32; 2 * 4];
+        let scope = scope_for(2 * 4, 4);
+        let us = UnsafeSlice::new(&mut data, &scope);
+        us.claim_columns(5, 0, 4);
+        us.claim_columns(5, 0, 4); // idempotent
+        unsafe {
+            us.set(3, 1);
+            us.set(3, 2); // double-write by the same owner is legal
+            assert_eq!(us.get(3), 2);
+        }
+    }
+
+    #[test]
+    fn foreign_column_access_aborts() {
+        if !checking_enabled() {
+            return;
+        }
+        let mut data = vec![0u32; 4 * 6];
+        let scope = scope_for(4 * 6, 6);
+        let us = UnsafeSlice::new(&mut data, &scope);
+        us.claim_columns(0, 0, 2);
+        // Simulate another owner claiming the rest, then this thread
+        // (identity: group 1) reaching back into group 0's columns — the
+        // exact shape of an Eq. 24 scatter-index bug.
+        us.claim_columns(1, 2, 4);
+        let err = catch_unwind(AssertUnwindSafe(|| unsafe { us.set(0, 9) })).unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("unclaimed write"), "{msg}");
+        let err = catch_unwind(AssertUnwindSafe(|| unsafe { us.get(6) })).unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("unclaimed read"), "{msg}");
+    }
+
+    #[test]
+    fn access_without_any_claim_aborts() {
+        if !checking_enabled() {
+            return;
+        }
+        let mut data = vec![0u32; 8];
+        let scope = scope_for(8, 8);
+        let us = UnsafeSlice::new(&mut data, &scope);
+        // Fresh scope id never claimed on this thread.
+        let err = catch_unwind(AssertUnwindSafe(|| unsafe { us.get(0) })).unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("ipt disjointness violation"), "{msg}");
+    }
+
+    #[test]
+    fn leases_recycle_without_false_positives() {
+        if !checking_enabled() {
+            return;
+        }
+        // Repeated scopes over the same size reuse shadow cells via epoch
+        // bumps; stale claims from scope k must not leak into scope k+1.
+        for round in 0..20 {
+            let mut data = vec![0u32; 16];
+            let scope = scope_for(16, 4);
+            let us = UnsafeSlice::new(&mut data, &scope);
+            us.claim_columns(round % 3, 0, 4);
+            unsafe { us.set(5, round as u32) };
+        }
     }
 }

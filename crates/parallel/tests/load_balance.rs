@@ -18,7 +18,7 @@ fn shuffled_delta(m: usize, n: usize) -> stats::PoolStats {
     fill_pattern(&mut a);
     let mut reference = a.clone();
     let before = stats::snapshot();
-    rows::row_shuffle_parallel(&mut a, &p);
+    rows::row_shuffle_parallel(&mut a, &p).unwrap();
     let d = stats::snapshot().delta_since(&before);
     let mut tmp = vec![0u64; n];
     permute::row_shuffle_gather(&mut reference, &p, &mut tmp);

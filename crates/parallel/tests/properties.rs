@@ -46,7 +46,7 @@ fn c2r_parallel_equals_core() {
         let mut a = vec![0u64; m * n];
         fill_pattern(&mut a);
         let mut b = a.clone();
-        c2r_parallel(&mut a, m, n, &opts(w, h, ca));
+        c2r_parallel(&mut a, m, n, &opts(w, h, ca)).unwrap();
         ipt_core::c2r(&mut b, m, n, &mut Scratch::new());
         assert_eq!(a, b, "case {case}: {m}x{n} w={w} h={h} ca={ca}");
     }
@@ -63,7 +63,7 @@ fn r2c_parallel_equals_core() {
         let mut a = vec![0u32; m * n];
         fill_pattern(&mut a);
         let mut b = a.clone();
-        r2c_parallel(&mut a, m, n, &opts(w, h, ca));
+        r2c_parallel(&mut a, m, n, &opts(w, h, ca)).unwrap();
         ipt_core::r2c(&mut b, m, n, &mut Scratch::new());
         assert_eq!(a, b, "case {case}: {m}x{n} w={w} h={h} ca={ca}");
     }
@@ -83,7 +83,7 @@ fn cache_aware_rotation_equals_elementwise() {
         let mut a = vec![0u64; m * n];
         fill_pattern(&mut a);
         let orig = a.clone();
-        cache_aware::rotate_columns_cache_aware(&mut a, m, n, w, h, amount);
+        cache_aware::rotate_columns_cache_aware(&mut a, m, n, w, h, amount).unwrap();
         for j in 0..n {
             let k = amount(j) % m;
             for i in 0..m {
@@ -108,7 +108,7 @@ fn fused_col_shuffle_equals_sequential_decomposition() {
         let mut fused = vec![0u32; m * n];
         fill_pattern(&mut fused);
         let mut seq = fused.clone();
-        cache_aware::col_shuffle_fused(&mut fused, &p, w, h);
+        cache_aware::col_shuffle_fused(&mut fused, &p, w, h).unwrap();
         let mut tmp = vec![0u32; m.max(n)];
         ipt_core::permute::col_shuffle_gather(&mut seq, &p, &mut tmp);
         assert_eq!(fused, seq, "case {case}: {m}x{n} w={w} h={h}");
@@ -126,8 +126,8 @@ fn fused_inverse_round_trips() {
         let mut a = vec![0u64; m * n];
         fill_pattern(&mut a);
         let orig = a.clone();
-        cache_aware::col_shuffle_fused(&mut a, &p, w, h);
-        cache_aware::col_shuffle_fused_inverse(&mut a, &p, w, h);
+        cache_aware::col_shuffle_fused(&mut a, &p, w, h).unwrap();
+        cache_aware::col_shuffle_fused_inverse(&mut a, &p, w, h).unwrap();
         assert_eq!(a, orig, "case {case}: {m}x{n} w={w} h={h}");
     }
 }
@@ -146,7 +146,7 @@ fn batched_equals_loop() {
         for mat in want.chunks_exact_mut(m * n) {
             ipt_core::c2r(mat, m, n, &mut s);
         }
-        batched::c2r_batched(&mut a, batch, m, n);
+        batched::c2r_batched(&mut a, batch, m, n).unwrap();
         assert_eq!(a, want, "case {case}: batch={batch} {m}x{n}");
     }
 }
@@ -161,8 +161,8 @@ fn incremental_row_shuffle_is_involutive_with_forward() {
         let mut a = vec![0u32; m * n];
         fill_pattern(&mut a);
         let orig = a.clone();
-        ipt_parallel::rows::row_shuffle_incremental(&mut a, &p, true);
-        ipt_parallel::rows::row_shuffle_incremental(&mut a, &p, false);
+        ipt_parallel::rows::row_shuffle_incremental(&mut a, &p, true).unwrap();
+        ipt_parallel::rows::row_shuffle_incremental(&mut a, &p, false).unwrap();
         assert_eq!(a, orig, "case {case}: {m}x{n}");
     }
 }
@@ -175,7 +175,7 @@ fn parallel_results_are_deterministic() {
     let run = || {
         let mut a = vec![0u64; m * n];
         fill_pattern(&mut a);
-        c2r_parallel(&mut a, m, n, &ParOptions::default());
+        c2r_parallel(&mut a, m, n, &ParOptions::default()).unwrap();
         a
     };
     let first = run();

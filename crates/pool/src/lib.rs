@@ -29,23 +29,32 @@
 //! default — [`set_num_threads`] if called, else the `IPT_THREADS`
 //! environment variable, else [`std::thread::available_parallelism`].
 //!
-//! Panics in any worker propagate to the caller when the scope joins, so a
-//! failed parallel loop is never silently dropped.
+//! **Panic safety:** a panic inside a worker closure is caught at the
+//! chunk boundary (per block for [`par_chunks_exact_mut`], per worker
+//! subrange for the range primitives — the sequential fallback included)
+//! and surfaced as a structured [`PoolError`] from the primitive's
+//! `Result`, with [`stats`]' contained-panic counter bumped. Sibling
+//! workers are not cancelled — the scope still joins every part — so the
+//! data may hold a partial result, but the caller always learns about it
+//! instead of unwinding through a scoped join. When several workers
+//! panic, the error from the lowest worker id is returned.
 //!
 //! Every primitive feeds the always-on [`stats`] counters (tasks
-//! dispatched, work items processed, scratch allocations vs. reuses, and
-//! named per-phase wall time) — see [`stats::snapshot`] and
-//! [`stats::phase`] for the observability surface the benchmark harness
-//! builds on.
+//! dispatched, work items processed, scratch allocations vs. reuses,
+//! contained panics, and named per-phase wall time) — see
+//! [`stats::snapshot`] and [`stats::phase`] for the observability surface
+//! the benchmark harness builds on.
 //!
 //! ```
 //! use ipt_pool::Pool;
 //!
 //! let mut squares = vec![0usize; 1000];
 //! // Safe disjoint mutation: split the slice, not the indices.
-//! Pool::new(4).par_chunks_exact_mut(&mut squares, 1, 64, || (), |_, i, cell| {
-//!     cell[0] = i * i;
-//! });
+//! Pool::new(4)
+//!     .par_chunks_exact_mut(&mut squares, 1, 64, || (), |_, i, cell| {
+//!         cell[0] = i * i;
+//!     })
+//!     .unwrap();
 //! assert_eq!(squares[31], 961);
 //! ```
 
@@ -57,9 +66,11 @@ pub mod stats;
 
 pub use scratch::Scratch;
 
+use std::cell::Cell;
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 
 /// Process-wide thread-count override set by [`set_num_threads`]
 /// (0 = unset).
@@ -123,6 +134,179 @@ pub fn set_num_threads(threads: usize) {
     GLOBAL_THREADS.store(threads, Ordering::Relaxed);
 }
 
+/// A worker panic contained by the executor (see the module docs'
+/// panic-safety contract).
+///
+/// Carries enough structure for a caller to attribute the failure: which
+/// worker part panicked, which work item it was processing, and the panic
+/// payload rendered to a string. `ipt-parallel` wraps this into its
+/// `TransposeAborted` error so a torn matrix is reported, never silently
+/// returned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolError {
+    /// Id of the worker part whose closure panicked. Part 0 runs on the
+    /// calling thread; ids match [`stats::WorkerStats::worker`].
+    pub worker: usize,
+    /// The work item being processed when the panic fired: the block
+    /// index for [`par_chunks_exact_mut`], the start of the worker's
+    /// subrange for [`par_chunks`] / [`par_chunks_init`].
+    pub chunk: usize,
+    /// The panic payload: `&str` / `String` payloads verbatim, anything
+    /// else as a placeholder.
+    pub payload: String,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "worker {} panicked at chunk {}: {}",
+            self.worker, self.chunk, self.payload
+        )
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Render a caught panic payload as a message.
+fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+thread_local! {
+    /// The worker id of the pool part currently running on this thread.
+    static CURRENT_WORKER: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The worker id of the pool dispatch part running on the current thread,
+/// or `None` outside any pool primitive.
+///
+/// Part 0 always runs on the calling thread; ids are the same ones
+/// [`stats`] tallies per worker and [`PoolError::worker`] reports. Nested
+/// dispatches restore the outer id when the inner one finishes.
+pub fn current_worker() -> Option<usize> {
+    CURRENT_WORKER.get()
+}
+
+/// RAII guard that tags the current thread with a worker id for the
+/// duration of one dispatch part, restoring the previous id on drop (so
+/// nested dispatches unwind correctly).
+struct WorkerGuard {
+    prev: Option<usize>,
+}
+
+impl WorkerGuard {
+    fn enter(worker: usize) -> WorkerGuard {
+        WorkerGuard {
+            prev: CURRENT_WORKER.replace(Some(worker)),
+        }
+    }
+}
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        CURRENT_WORKER.set(self.prev);
+    }
+}
+
+/// Run one range part (`par_chunks` / `par_chunks_init`) with its panic
+/// boundary: the worker's whole contiguous subrange is its chunk.
+fn run_range_part<S, I, F>(
+    worker: usize,
+    sub: Range<usize>,
+    init: &I,
+    body: &F,
+) -> Result<(), PoolError>
+where
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, Range<usize>) + Sync,
+{
+    let chunk = sub.start;
+    let _guard = WorkerGuard::enter(worker);
+    // AssertUnwindSafe: the per-worker state is created inside the
+    // closure and discarded on panic; everything else reachable is `Sync`
+    // shared state whose callers receive the Err and therefore know the
+    // results are partial.
+    match catch_unwind(AssertUnwindSafe(|| body(&mut init(), sub))) {
+        Ok(()) => Ok(()),
+        Err(payload) => {
+            stats::record_contained_panic();
+            Err(PoolError {
+                worker,
+                chunk,
+                payload: payload_message(payload),
+            })
+        }
+    }
+}
+
+/// Run one block part (`par_chunks_exact_mut`) with a panic boundary per
+/// block, so [`PoolError::chunk`] names the exact block that failed. A
+/// failing block ends that worker's part (its remaining blocks are
+/// skipped); sibling workers run to completion regardless.
+fn run_block_part<T, S, I, F>(
+    worker: usize,
+    start_block: usize,
+    chunk_len: usize,
+    head: &mut [T],
+    init: &I,
+    body: &F,
+) -> Result<(), PoolError>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &mut [T]) + Sync,
+{
+    let _guard = WorkerGuard::enter(worker);
+    let mut state = match catch_unwind(AssertUnwindSafe(init)) {
+        Ok(state) => state,
+        Err(payload) => {
+            stats::record_contained_panic();
+            return Err(PoolError {
+                worker,
+                chunk: start_block,
+                payload: payload_message(payload),
+            });
+        }
+    };
+    for (b, chunk) in head.chunks_exact_mut(chunk_len).enumerate() {
+        let idx = start_block + b;
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| body(&mut state, idx, chunk))) {
+            stats::record_contained_panic();
+            return Err(PoolError {
+                worker,
+                chunk: idx,
+                payload: payload_message(payload),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Collect one part's failure; the caller returns the lowest worker id's
+/// error after the scope joins.
+fn push_failure(failures: &Mutex<Vec<PoolError>>, result: Result<(), PoolError>) {
+    if let Err(e) = result {
+        failures.lock().unwrap().push(e);
+    }
+}
+
+/// The first failure in worker order, if any part failed.
+fn first_failure(failures: Mutex<Vec<PoolError>>) -> Result<(), PoolError> {
+    let mut failures = failures.into_inner().unwrap();
+    failures.sort_by_key(|e| e.worker);
+    match failures.into_iter().next() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
 /// A parallel executor handle: a thread count plus the chunking policy.
 ///
 /// `Pool` is `Copy` and stateless — threads are scoped per call (no
@@ -177,21 +361,31 @@ impl Pool {
     /// groups or batch indices — a static split suffices because the
     /// decomposition gives every index identical cost.
     ///
+    /// A worker panic is contained and returned as [`PoolError`] (see the
+    /// module docs); `Ok(())` means every subrange completed.
+    ///
     /// ```
     /// use std::sync::atomic::{AtomicUsize, Ordering};
     /// use ipt_pool::Pool;
     ///
     /// let sum = AtomicUsize::new(0);
-    /// Pool::new(4).par_chunks(0..100, 8, |sub| {
-    ///     sum.fetch_add(sub.sum::<usize>(), Ordering::Relaxed);
-    /// });
+    /// Pool::new(4)
+    ///     .par_chunks(0..100, 8, |sub| {
+    ///         sum.fetch_add(sub.sum::<usize>(), Ordering::Relaxed);
+    ///     })
+    ///     .unwrap();
     /// assert_eq!(sum.into_inner(), 4950);
     /// ```
-    pub fn par_chunks<F>(&self, range: Range<usize>, min_grain: usize, body: F)
+    pub fn par_chunks<F>(
+        &self,
+        range: Range<usize>,
+        min_grain: usize,
+        body: F,
+    ) -> Result<(), PoolError>
     where
         F: Fn(Range<usize>) + Sync,
     {
-        self.par_chunks_init(range, min_grain, || (), |(), sub| body(sub));
+        self.par_chunks_init(range, min_grain, || (), |(), sub| body(sub))
     }
 
     /// [`Pool::par_chunks`] with per-worker state: each worker calls
@@ -208,39 +402,49 @@ impl Pool {
     /// use ipt_pool::{Pool, Scratch};
     ///
     /// let inits = Mutex::new(0usize);
-    /// Pool::new(2).par_chunks_init(
-    ///     0..64,
-    ///     1,
-    ///     || {
-    ///         *inits.lock().unwrap() += 1;
-    ///         Scratch::<u64>::new()
-    ///     },
-    ///     |scratch, sub| {
-    ///         let buf = scratch.filled_buf(16, 0); // reused across `sub`
-    ///         assert_eq!(buf.len(), 16);
-    ///         assert!(!sub.is_empty());
-    ///     },
-    /// );
+    /// Pool::new(2)
+    ///     .par_chunks_init(
+    ///         0..64,
+    ///         1,
+    ///         || {
+    ///             *inits.lock().unwrap() += 1;
+    ///             Scratch::<u64>::new()
+    ///         },
+    ///         |scratch, sub| {
+    ///             let buf = scratch.filled_buf(16, 0); // reused across `sub`
+    ///             assert_eq!(buf.len(), 16);
+    ///             assert!(!sub.is_empty());
+    ///         },
+    ///     )
+    ///     .unwrap();
     /// // One state per worker part, not one per index.
     /// assert!(*inits.lock().unwrap() <= 2);
     /// ```
-    pub fn par_chunks_init<S, I, F>(&self, range: Range<usize>, min_grain: usize, init: I, body: F)
+    pub fn par_chunks_init<S, I, F>(
+        &self,
+        range: Range<usize>,
+        min_grain: usize,
+        init: I,
+        body: F,
+    ) -> Result<(), PoolError>
     where
         I: Fn() -> S + Sync,
         F: Fn(&mut S, Range<usize>) + Sync,
     {
         if range.is_empty() {
-            return;
+            return Ok(());
         }
         let parts = self.partition(&range, min_grain);
         stats::record_dispatch(parts as u64, (range.end - range.start) as u64);
         if parts == 1 {
-            body(&mut init(), range);
-            return;
+            // The panic boundary applies to the inline fallback too, so a
+            // 1-thread run reports the same structured error as a wide one.
+            return run_range_part(0, range, &init, &body);
         }
         let len = range.end - range.start;
         let base = len / parts;
         let rem = len % parts;
+        let failures: Mutex<Vec<PoolError>> = Mutex::new(Vec::new());
         std::thread::scope(|scope| {
             let mut lo = range.start;
             let mut main_part = None;
@@ -252,17 +456,18 @@ impl Pool {
                     main_part = Some(lo..hi);
                 } else {
                     let sub = lo..hi;
-                    let (init, body) = (&init, &body);
-                    scope.spawn(move || body(&mut init(), sub));
+                    let (init, body, failures) = (&init, &body, &failures);
+                    scope.spawn(move || push_failure(failures, run_range_part(k, sub, init, body)));
                 }
                 lo = hi;
             }
             debug_assert_eq!(lo, range.end);
             if let Some(sub) = main_part {
-                body(&mut init(), sub);
+                push_failure(&failures, run_range_part(0, sub, &init, &body));
             }
-            // Scope exit joins all workers and propagates any panic.
+            // Scope exit joins all workers; panics were contained above.
         });
+        first_failure(failures)
     }
 
     /// Parallel for-each over the leading `len / chunk_len` contiguous
@@ -281,14 +486,20 @@ impl Pool {
     /// of the buffer, each permuted independently (Eq. 24/31), so
     /// splitting the slice expresses the parallelism with no aliasing.
     ///
+    /// A panic is caught at the **block** boundary: [`PoolError::chunk`]
+    /// is the exact block index that failed (the failing worker skips its
+    /// remaining blocks; siblings complete).
+    ///
     /// ```
     /// use ipt_pool::Pool;
     ///
     /// // "Transpose-like" per-row work: reverse each 4-element row.
     /// let mut data: Vec<usize> = (0..16).collect();
-    /// Pool::new(2).par_chunks_exact_mut(&mut data, 4, 1, || (), |(), _i, row| {
-    ///     row.reverse();
-    /// });
+    /// Pool::new(2)
+    ///     .par_chunks_exact_mut(&mut data, 4, 1, || (), |(), _i, row| {
+    ///         row.reverse();
+    ///     })
+    ///     .unwrap();
     /// assert_eq!(&data[..4], &[3, 2, 1, 0]);
     /// assert_eq!(&data[12..], &[15, 14, 13, 12]);
     /// ```
@@ -299,7 +510,8 @@ impl Pool {
         min_grain: usize,
         init: I,
         body: F,
-    ) where
+    ) -> Result<(), PoolError>
+    where
         T: Send,
         I: Fn() -> S + Sync,
         F: Fn(&mut S, usize, &mut [T]) + Sync,
@@ -307,19 +519,17 @@ impl Pool {
         assert!(chunk_len > 0, "chunk_len must be positive");
         let blocks = data.len() / chunk_len;
         if blocks == 0 {
-            return;
+            return Ok(());
         }
         let parts = self.partition(&(0..blocks), min_grain);
         stats::record_dispatch(parts as u64, blocks as u64);
         if parts == 1 {
-            let mut state = init();
-            for (b, chunk) in data.chunks_exact_mut(chunk_len).enumerate() {
-                body(&mut state, b, chunk);
-            }
-            return;
+            let head = &mut data[..blocks * chunk_len];
+            return run_block_part(0, 0, chunk_len, head, &init, &body);
         }
         let base = blocks / parts;
         let rem = blocks % parts;
+        let failures: Mutex<Vec<PoolError>> = Mutex::new(Vec::new());
         std::thread::scope(|scope| {
             let mut tail = data;
             let mut b0 = 0usize;
@@ -331,42 +541,48 @@ impl Pool {
                 if k == 0 {
                     main_part = Some((b0, head));
                 } else {
-                    let (init, body) = (&init, &body);
+                    let (init, body, failures) = (&init, &body, &failures);
                     let start = b0;
                     scope.spawn(move || {
-                        let mut state = init();
-                        for (b, chunk) in head.chunks_exact_mut(chunk_len).enumerate() {
-                            body(&mut state, start + b, chunk);
-                        }
+                        push_failure(
+                            failures,
+                            run_block_part(k, start, chunk_len, head, init, body),
+                        );
                     });
                 }
                 b0 += nblocks;
             }
             if let Some((start, head)) = main_part {
-                let mut state = init();
-                for (b, chunk) in head.chunks_exact_mut(chunk_len).enumerate() {
-                    body(&mut state, start + b, chunk);
-                }
+                push_failure(
+                    &failures,
+                    run_block_part(0, start, chunk_len, head, &init, &body),
+                );
             }
         });
+        first_failure(failures)
     }
 }
 
 /// [`Pool::par_chunks`] on the global pool.
-pub fn par_chunks<F>(range: Range<usize>, min_grain: usize, body: F)
+pub fn par_chunks<F>(range: Range<usize>, min_grain: usize, body: F) -> Result<(), PoolError>
 where
     F: Fn(Range<usize>) + Sync,
 {
-    Pool::global().par_chunks(range, min_grain, body);
+    Pool::global().par_chunks(range, min_grain, body)
 }
 
 /// [`Pool::par_chunks_init`] on the global pool.
-pub fn par_chunks_init<S, I, F>(range: Range<usize>, min_grain: usize, init: I, body: F)
+pub fn par_chunks_init<S, I, F>(
+    range: Range<usize>,
+    min_grain: usize,
+    init: I,
+    body: F,
+) -> Result<(), PoolError>
 where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, Range<usize>) + Sync,
 {
-    Pool::global().par_chunks_init(range, min_grain, init, body);
+    Pool::global().par_chunks_init(range, min_grain, init, body)
 }
 
 /// [`Pool::par_chunks_exact_mut`] on the global pool.
@@ -376,12 +592,13 @@ pub fn par_chunks_exact_mut<T, S, I, F>(
     min_grain: usize,
     init: I,
     body: F,
-) where
+) -> Result<(), PoolError>
+where
     T: Send,
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize, &mut [T]) + Sync,
 {
-    Pool::global().par_chunks_exact_mut(data, chunk_len, min_grain, init, body);
+    Pool::global().par_chunks_exact_mut(data, chunk_len, min_grain, init, body)
 }
 
 #[cfg(test)]
@@ -411,18 +628,22 @@ mod tests {
     #[test]
     fn empty_range_is_a_noop() {
         let hits = AtomicUsize::new(0);
-        Pool::new(4).par_chunks(5..5, 1, |_| {
-            hits.fetch_add(1, Ordering::Relaxed);
-        });
+        Pool::new(4)
+            .par_chunks(5..5, 1, |_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
         assert_eq!(hits.load(Ordering::Relaxed), 0);
     }
 
     #[test]
     fn small_range_runs_inline_as_one_chunk() {
         let subs = Mutex::new(Vec::new());
-        Pool::new(8).par_chunks(10..14, 100, |sub| {
-            subs.lock().unwrap().push(sub);
-        });
+        Pool::new(8)
+            .par_chunks(10..14, 100, |sub| {
+                subs.lock().unwrap().push(sub);
+            })
+            .unwrap();
         assert_eq!(*subs.lock().unwrap(), vec![10..14]);
     }
 
@@ -430,9 +651,11 @@ mod tests {
     fn grain_bounds_worker_count() {
         // 100 indices, grain 30 -> at most 3 parts even on a wide pool.
         let subs = Mutex::new(Vec::new());
-        Pool::new(16).par_chunks(0..100, 30, |sub| {
-            subs.lock().unwrap().push(sub);
-        });
+        Pool::new(16)
+            .par_chunks(0..100, 30, |sub| {
+                subs.lock().unwrap().push(sub);
+            })
+            .unwrap();
         let mut subs = subs.lock().unwrap().clone();
         subs.sort_by_key(|r| r.start);
         assert_eq!(subs.len(), 3);
@@ -442,7 +665,115 @@ mod tests {
     #[test]
     fn remainder_blocks_left_untouched() {
         let mut data = vec![0u8; 10];
-        Pool::new(2).par_chunks_exact_mut(&mut data, 3, 1, || (), |_, _, c| c.fill(1));
+        Pool::new(2)
+            .par_chunks_exact_mut(&mut data, 3, 1, || (), |_, _, c| c.fill(1))
+            .unwrap();
         assert_eq!(data, [1, 1, 1, 1, 1, 1, 1, 1, 1, 0]);
+    }
+
+    #[test]
+    fn range_panic_is_contained_with_worker_and_chunk() {
+        let before = stats::snapshot();
+        let err = Pool::new(4)
+            .par_chunks(0..16, 1, |sub| {
+                if sub.contains(&9) {
+                    panic!("boom at nine");
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err.payload, "boom at nine");
+        assert!(err.worker < 4, "{err:?}");
+        assert!(err.chunk <= 9, "chunk is the subrange start: {err:?}");
+        let d = stats::snapshot().delta_since(&before);
+        // >= 1: other tests in this binary may contain panics concurrently.
+        assert!(d.panics_contained >= 1, "{d:?}");
+        // Display carries the whole story for logs.
+        let msg = err.to_string();
+        assert!(
+            msg.contains("panicked") && msg.contains("boom at nine"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn inline_fallback_panic_is_contained_too() {
+        // One thread -> the sequential path must still report structure.
+        let err = Pool::new(1)
+            .par_chunks_exact_mut(
+                &mut [0u8; 8],
+                2,
+                1,
+                || (),
+                |_, b, _| {
+                    if b == 2 {
+                        panic!("block two failed");
+                    }
+                },
+            )
+            .unwrap_err();
+        assert_eq!((err.worker, err.chunk), (0, 2));
+        assert_eq!(err.payload, "block two failed");
+    }
+
+    #[test]
+    fn block_panic_reports_exact_block_and_spares_siblings() {
+        let mut data = vec![0u32; 64];
+        let err = Pool::new(2)
+            .par_chunks_exact_mut(
+                &mut data,
+                4,
+                1,
+                || (),
+                |_, b, chunk| {
+                    if b == 11 {
+                        panic!("bad block");
+                    }
+                    chunk.fill(b as u32 + 1);
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err.chunk, 11);
+        // Blocks before the failing one on its worker, and every block of
+        // the other worker, still completed.
+        let done = data.chunks(4).filter(|c| c[0] != 0).count();
+        assert!(done >= 8, "siblings must not be cancelled: {done}");
+    }
+
+    #[test]
+    fn lowest_worker_error_wins_when_several_panic() {
+        let err = Pool::new(4)
+            .par_chunks(0..8, 1, |_| panic!("all fail"))
+            .unwrap_err();
+        assert_eq!(err.worker, 0, "{err:?}");
+    }
+
+    #[test]
+    fn string_and_weird_payloads_render() {
+        let err = Pool::new(1)
+            .par_chunks(0..1, 1, |_| panic!("formatted {}", 42))
+            .unwrap_err();
+        assert_eq!(err.payload, "formatted 42");
+        let err = Pool::new(1)
+            .par_chunks(0..1, 1, |_| std::panic::panic_any(7u32))
+            .unwrap_err();
+        assert_eq!(err.payload, "<non-string panic payload>");
+    }
+
+    #[test]
+    fn current_worker_is_set_per_part_and_restored() {
+        assert_eq!(current_worker(), None);
+        let seen = Mutex::new(Vec::new());
+        Pool::new(4)
+            .par_chunks(0..4, 1, |_| {
+                seen.lock().unwrap().push(current_worker());
+                // Nested dispatch: inner part ids must not leak outward.
+                Pool::new(1).par_chunks(0..1, 1, |_| {}).unwrap();
+                assert!(current_worker().is_some());
+            })
+            .unwrap();
+        assert_eq!(current_worker(), None);
+        let mut ids: Vec<_> = seen.into_inner().unwrap();
+        ids.sort();
+        assert_eq!(ids, vec![Some(0), Some(1), Some(2), Some(3)]);
     }
 }

@@ -9,7 +9,8 @@
 //!   primitives (one `fetch_add` per parallel loop, not per element) and
 //!   by [`Scratch`](crate::Scratch) (buffered per worker, flushed on
 //!   drop): parallel tasks dispatched, work items processed, scratch
-//!   buffer allocations vs. reuses.
+//!   buffer allocations vs. reuses, and worker panics contained at a
+//!   chunk boundary (see [`crate::PoolError`]).
 //! * **Per-worker tallies** — the same dispatch counters split by worker
 //!   id, so load imbalance is visible (the decomposition's static split
 //!   should show near-identical per-worker chunk counts — the paper's
@@ -37,7 +38,8 @@
 //! let mut v = vec![0u64; 4096];
 //! ipt_pool::par_chunks_exact_mut(&mut v, 64, 1, || (), |_, b, chunk| {
 //!     chunk.fill(b as u64);
-//! });
+//! })
+//! .unwrap();
 //! let delta = stats::snapshot().delta_since(&before);
 //! assert!(delta.tasks >= 1);       // at least one worker part ran
 //! assert_eq!(delta.chunks, 64);    // 4096 / 64 blocks processed
@@ -60,6 +62,8 @@ static CHUNKS: AtomicU64 = AtomicU64::new(0);
 static SCRATCH_ALLOCS: AtomicU64 = AtomicU64::new(0);
 /// Scratch requests served entirely from existing capacity.
 static SCRATCH_REUSES: AtomicU64 = AtomicU64::new(0);
+/// Worker panics caught at a chunk boundary and surfaced as `PoolError`.
+static PANICS_CONTAINED: AtomicU64 = AtomicU64::new(0);
 
 /// One named wall-time accumulator. Registration is append-only; slots
 /// are identified by their `&'static str` name.
@@ -165,6 +169,13 @@ pub(crate) fn record_scratch(allocs: u64, reuses: u64) {
     if reuses > 0 {
         SCRATCH_REUSES.fetch_add(reuses, Ordering::Relaxed);
     }
+}
+
+/// Count one worker panic contained by a pool primitive's chunk-boundary
+/// `catch_unwind` (see [`crate::PoolError`]).
+#[inline]
+pub(crate) fn record_contained_panic() {
+    PANICS_CONTAINED.fetch_add(1, Ordering::Relaxed);
 }
 
 /// Run `f`, attributing its wall time to the named phase.
@@ -314,6 +325,12 @@ pub struct PoolStats {
     pub scratch_allocs: u64,
     /// [`Scratch`](crate::Scratch) requests served from capacity.
     pub scratch_reuses: u64,
+    /// Worker panics caught at a chunk boundary and surfaced as
+    /// [`PoolError`](crate::PoolError) instead of unwinding through the
+    /// scoped join. Nonzero means some parallel loop returned `Err` — a
+    /// fault-injection run, or a real bug the containment turned from UB
+    /// into a reported abort.
+    pub panics_contained: u64,
     /// Per-phase wall-time totals, in first-recorded order.
     pub phases: Vec<PhaseStats>,
     /// Per-worker dispatch tallies, indexed by worker id. The
@@ -416,6 +433,9 @@ impl PoolStats {
             chunks: self.chunks.saturating_sub(earlier.chunks),
             scratch_allocs: self.scratch_allocs.saturating_sub(earlier.scratch_allocs),
             scratch_reuses: self.scratch_reuses.saturating_sub(earlier.scratch_reuses),
+            panics_contained: self
+                .panics_contained
+                .saturating_sub(earlier.panics_contained),
             phases,
             workers,
             kernels,
@@ -476,6 +496,7 @@ pub fn snapshot() -> PoolStats {
         chunks: CHUNKS.load(Ordering::Relaxed),
         scratch_allocs: SCRATCH_ALLOCS.load(Ordering::Relaxed),
         scratch_reuses: SCRATCH_REUSES.load(Ordering::Relaxed),
+        panics_contained: PANICS_CONTAINED.load(Ordering::Relaxed),
         phases,
         workers,
         kernels,
@@ -493,6 +514,7 @@ pub fn reset() {
     CHUNKS.store(0, Ordering::Relaxed);
     SCRATCH_ALLOCS.store(0, Ordering::Relaxed);
     SCRATCH_REUSES.store(0, Ordering::Relaxed);
+    PANICS_CONTAINED.store(0, Ordering::Relaxed);
     PHASES.lock().unwrap().clear();
     WORKERS.lock().unwrap().clear();
     KERNELS.lock().unwrap().clear();
@@ -566,6 +588,15 @@ mod tests {
         assert_eq!(d.decision("stats_test_tier").unwrap().hits, 2);
         assert_eq!(d.decision("stats_other_tier").unwrap().hits, 1);
         assert!(d.decision("stats_never_recorded").is_none());
+    }
+
+    #[test]
+    fn contained_panics_accumulate() {
+        let before = snapshot();
+        record_contained_panic();
+        record_contained_panic();
+        let d = snapshot().delta_since(&before);
+        assert!(d.panics_contained >= 2, "{d:?}");
     }
 
     #[test]

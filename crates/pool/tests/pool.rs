@@ -1,8 +1,7 @@
 //! Behavioral contract of the executor: sequential equivalence, exact
-//! range coverage, worker-private state, panic propagation.
+//! range coverage, worker-private state, panic containment.
 
 use ipt_pool::{Pool, Scratch};
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -17,15 +16,17 @@ fn one_thread_equals_sequential() {
     }
     for threads in [1usize, 2, 3, 8] {
         let mut got = vec![0u64; n];
-        Pool::new(threads).par_chunks_exact_mut(
-            &mut got,
-            1,
-            1,
-            || (),
-            |_, i, cell| {
-                cell[0] = (i as u64).wrapping_mul(0x9e3779b97f4a7c15);
-            },
-        );
+        Pool::new(threads)
+            .par_chunks_exact_mut(
+                &mut got,
+                1,
+                1,
+                || (),
+                |_, i, cell| {
+                    cell[0] = (i as u64).wrapping_mul(0x9e3779b97f4a7c15);
+                },
+            )
+            .unwrap();
         assert_eq!(got, want, "threads={threads}");
     }
 }
@@ -39,11 +40,13 @@ fn chunks_cover_range_exactly_once() {
             for grain in [1usize, 3, 50, 1000] {
                 let len = end - start;
                 let visits: Vec<AtomicUsize> = (0..len).map(|_| AtomicUsize::new(0)).collect();
-                Pool::new(threads).par_chunks(start..end, grain, |sub| {
-                    for i in sub {
-                        visits[i - start].fetch_add(1, Ordering::Relaxed);
-                    }
-                });
+                Pool::new(threads)
+                    .par_chunks(start..end, grain, |sub| {
+                        for i in sub {
+                            visits[i - start].fetch_add(1, Ordering::Relaxed);
+                        }
+                    })
+                    .unwrap();
                 for (off, v) in visits.iter().enumerate() {
                     assert_eq!(
                         v.load(Ordering::Relaxed),
@@ -63,9 +66,11 @@ fn chunks_cover_range_exactly_once() {
 #[test]
 fn chunk_boundaries_tile_the_range() {
     let subs = Mutex::new(Vec::new());
-    Pool::new(5).par_chunks(100..1100, 1, |sub| {
-        subs.lock().unwrap().push(sub);
-    });
+    Pool::new(5)
+        .par_chunks(100..1100, 1, |sub| {
+            subs.lock().unwrap().push(sub);
+        })
+        .unwrap();
     let mut subs = subs.lock().unwrap().clone();
     subs.sort_by_key(|r| r.start);
     assert_eq!(subs.len(), 5);
@@ -84,16 +89,18 @@ fn per_worker_state_is_not_shared() {
     let blocks = 64usize;
     let inits = AtomicUsize::new(0);
     let mut data = vec![(0usize, 0usize); blocks]; // (worker id, per-worker seq)
-    Pool::new(threads).par_chunks_exact_mut(
-        &mut data,
-        1,
-        1,
-        || (inits.fetch_add(1, Ordering::Relaxed), 0usize),
-        |(id, seq), _, block| {
-            *seq += 1;
-            block[0] = (*id, *seq);
-        },
-    );
+    Pool::new(threads)
+        .par_chunks_exact_mut(
+            &mut data,
+            1,
+            1,
+            || (inits.fetch_add(1, Ordering::Relaxed), 0usize),
+            |(id, seq), _, block| {
+                *seq += 1;
+                block[0] = (*id, *seq);
+            },
+        )
+        .unwrap();
     assert_eq!(
         inits.load(Ordering::Relaxed),
         threads,
@@ -118,37 +125,41 @@ fn per_worker_state_is_not_shared() {
 fn per_worker_scratch_buffers_are_private() {
     let n = 256usize;
     let mut out = vec![0u64; n];
-    Pool::new(4).par_chunks_exact_mut(&mut out, 1, 1, Scratch::<u64>::new, |scratch, i, cell| {
-        let tag = i as u64 + 1;
-        let buf = scratch.filled_buf(32, tag);
-        // If another worker shared this scratch, some slot would hold
-        // a foreign tag.
-        assert!(buf.iter().all(|&v| v == tag));
-        cell[0] = buf.iter().sum::<u64>();
-    });
+    Pool::new(4)
+        .par_chunks_exact_mut(&mut out, 1, 1, Scratch::<u64>::new, |scratch, i, cell| {
+            let tag = i as u64 + 1;
+            let buf = scratch.filled_buf(32, tag);
+            // If another worker shared this scratch, some slot would hold
+            // a foreign tag.
+            assert!(buf.iter().all(|&v| v == tag));
+            cell[0] = buf.iter().sum::<u64>();
+        })
+        .unwrap();
     for (i, &v) in out.iter().enumerate() {
         assert_eq!(v, 32 * (i as u64 + 1));
     }
 }
 
-/// A panic in any worker must reach the caller, not disappear into a
-/// detached thread.
+/// A panic in any worker must reach the caller — contained as a
+/// structured `PoolError`, never swallowed by a detached thread and never
+/// unwinding through the scoped join.
 #[test]
-fn worker_panics_propagate() {
-    let result = catch_unwind(AssertUnwindSafe(|| {
-        Pool::new(4).par_chunks(0..1000, 1, |sub| {
+fn worker_panics_surface_as_pool_error() {
+    let err = Pool::new(4)
+        .par_chunks(0..1000, 1, |sub| {
             if sub.contains(&777) {
                 panic!("boom in worker");
             }
-        });
-    }));
-    assert!(result.is_err(), "worker panic was swallowed");
+        })
+        .unwrap_err();
+    assert_eq!(err.payload, "boom in worker");
 
-    // Inline (single-chunk) path propagates too.
-    let result = catch_unwind(AssertUnwindSafe(|| {
-        Pool::new(1).par_chunks(0..10, 1, |_| panic!("boom inline"));
-    }));
-    assert!(result.is_err());
+    // Inline (single-chunk) path reports the same structure.
+    let err = Pool::new(1)
+        .par_chunks(0..10, 1, |_| panic!("boom inline"))
+        .unwrap_err();
+    assert_eq!((err.worker, err.chunk), (0, 0));
+    assert_eq!(err.payload, "boom inline");
 }
 
 /// The global free functions honor `set_num_threads`.
@@ -161,7 +172,8 @@ fn global_pool_width_is_configurable() {
     let workers = Mutex::new(Vec::new());
     ipt_pool::par_chunks(0..1000, 1, |sub| {
         workers.lock().unwrap().push(sub);
-    });
+    })
+    .unwrap();
     let count = workers.lock().unwrap().len();
     ipt_pool::set_num_threads(0);
     assert_eq!(count, 2);

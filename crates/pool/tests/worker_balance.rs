@@ -21,13 +21,15 @@ fn static_split_balances_skewed_shapes_perfectly() {
     ] {
         let before = stats::snapshot();
         let mut data = vec![0u32; blocks * block_len];
-        Pool::new(threads).par_chunks_exact_mut(
-            &mut data,
-            block_len,
-            1,
-            || (),
-            |(), b, chunk| chunk.fill(b as u32),
-        );
+        Pool::new(threads)
+            .par_chunks_exact_mut(
+                &mut data,
+                block_len,
+                1,
+                || (),
+                |(), b, chunk| chunk.fill(b as u32),
+            )
+            .unwrap();
         let d = stats::snapshot().delta_since(&before);
 
         let parts = blocks.min(threads);

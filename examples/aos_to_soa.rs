@@ -40,7 +40,7 @@ fn main() {
 
     // --- convert in place, kernel on SoA (contiguous fields) --------------
     let t0 = Instant::now();
-    aos_to_soa(&mut buf, n, FIELDS);
+    aos_to_soa(&mut buf, n, FIELDS).unwrap();
     let conv = t0.elapsed();
     let gbps = (2 * buf.len() * 4) as f64 / 1e9 / conv.as_secs_f64();
     println!("in-place AoS -> SoA:           {conv:.2?} ({gbps:.2} GB/s)");
@@ -66,7 +66,7 @@ fn main() {
 
     // --- convert back: the interface still wants AoS -----------------------
     let t0 = Instant::now();
-    soa_to_aos(&mut buf, n, FIELDS);
+    soa_to_aos(&mut buf, n, FIELDS).unwrap();
     println!("in-place SoA -> AoS:           {:.2?}", t0.elapsed());
 
     // Sanity: both updates moved x by vx * dt twice; verify via checksum
@@ -80,8 +80,8 @@ fn main() {
     // Prove the layout round trip is bit-exact on a fresh buffer.
     let orig: Vec<f32> = (0..64 * FIELDS).map(|i| i as f32).collect();
     let mut probe = orig.clone();
-    aos_to_soa(&mut probe, 64, FIELDS);
-    soa_to_aos(&mut probe, 64, FIELDS);
+    aos_to_soa(&mut probe, 64, FIELDS).unwrap();
+    soa_to_aos(&mut probe, 64, FIELDS).unwrap();
     assert_eq!(probe, orig);
     println!("round-trip bit-exactness:      OK");
 }

@@ -25,7 +25,7 @@ fn main() {
 
     // [heads, seq, dim] -> [heads, dim, seq] in place.
     let t0 = Instant::now();
-    transpose_batched(&mut k, heads, seq, dim, ipt_core::Layout::RowMajor);
+    transpose_batched(&mut k, heads, seq, dim, ipt_core::Layout::RowMajor).unwrap();
     let fwd = t0.elapsed();
     println!(
         "K^T for all heads: {fwd:.2?} ({:.2} GB/s), scratch per worker: {} KB",
@@ -47,7 +47,7 @@ fn main() {
     // And back: [heads, dim, seq] -> [heads, seq, dim]. The batched R2C
     // with the same (seq, dim) parameters is the exact inverse.
     let t0 = Instant::now();
-    r2c_batched(&mut k, heads, seq, dim);
+    r2c_batched(&mut k, heads, seq, dim).unwrap();
     println!("undo (batched R2C):  {:.2?}", t0.elapsed());
     assert_eq!(k, orig, "round trip must be exact");
     println!("round trip exact across all {heads} heads: OK");

@@ -65,7 +65,8 @@ fn main() {
         cols,
         Layout::RowMajor,
         &ParOptions::default(),
-    );
+    )
+    .unwrap();
     let dt = t0.elapsed();
     let gb = (2 * rows * cols * std::mem::size_of::<f64>()) as f64 / 1e9;
     println!(
@@ -82,7 +83,8 @@ fn main() {
         rows,
         Layout::RowMajor,
         &ParOptions::default(),
-    );
+    )
+    .unwrap();
     assert!(big.iter().enumerate().all(|(i, &v)| v == i as f64));
     println!("double transpose is the identity: OK");
 }

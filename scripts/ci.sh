@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Tiered CI pipeline: cheap universal gates first, the full hermetic
-# verification in the middle, perf smoke last. Designed so a clean
+# verification in the middle, perf smoke last, fault containment at the
+# very end (it deliberately aborts transposes). Designed so a clean
 # checkout with only the pinned toolchain (rustc + cargo + rustfmt +
 # clippy) passes end-to-end:
 #
@@ -18,8 +19,19 @@
 #                        dir
 #   tier 2  bench trend  a second kernels run gated against that history
 #                        (trailing-median + drift gate, --history)
+#   tier 3  sanitize     release test run of the concurrency layer with
+#                        the disjointness checker live (IPT_CHECK=1) plus
+#                        the fault-injection suite
+#   tier 3  miri         cargo +nightly miri over ipt-core + ipt-pool;
+#                        skips gracefully when no nightly+miri toolchain
+#                        is installed (CI runs it as a soft-fail job)
+#   tier 3  fault smoke  an IPT_FAULT=panic:0.05 bench run must exit
+#                        with a structured TransposeAborted (code 4) —
+#                        never a SIGSEGV/abort — proving panic
+#                        containment end to end through the CLI
 #
-# Usage: scripts/ci.sh  (from anywhere; cd's to the repo root)
+# Usage: scripts/ci.sh [all|sanitize|fault|miri]
+#   (default `all`; from anywhere — cd's to the repo root)
 #
 # Knobs:
 #   IPT_BENCH_THRESHOLD    regression gate percent for the bench smoke
@@ -29,6 +41,8 @@
 #                          (default: a temp dir, removed on exit; set it
 #                          to keep the archive, e.g. for a CI artifact
 #                          upload).
+#   IPT_THREADS            pool size for the sanitize/fault stages (the
+#                          CI sanitize job sweeps 1, 2 and 4).
 
 set -euo pipefail
 
@@ -36,107 +50,191 @@ cd "$(dirname "$0")/.." || exit 1
 
 stage() { echo; echo "== ci: $1 =="; }
 
-stage "fmt (tier 0)"
-cargo fmt --all -- --check
-
-stage "clippy (tier 0)"
-cargo clippy --workspace --all-targets -- -D warnings
-
-stage "shellcheck (tier 0)"
-if command -v shellcheck > /dev/null 2>&1; then
-    shellcheck scripts/*.sh
-else
-    echo "shellcheck not installed; skipping (install it to lint scripts/*.sh)"
-fi
-
-stage "hermetic verify (tier 1)"
-scripts/verify.sh
-
-stage "rustdoc -D warnings (tier 2)"
-RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
-
-stage "bench smoke: fixed suites vs committed baselines (tier 2)"
-# A --quick run keeps the full (algorithm, shape) entry set of each
-# committed BENCH_*.json (compare keys must match) and only cuts
-# samples, so every suite finishes in seconds. The kernels gate defends
-# the kernel family's headline property — the run-blocked kernels'
-# multiple-x win over scalar on large-gcd shapes; the aos/batched gates
-# defend the §6.1 skinny specialization and the shared-params batched
-# path. Losing any of those shows up as a 50%+ median drop; machine
-# noise on a busy single-core box measures up to ~30% run-to-run. Hence
-# a generous threshold plus one retry: noise must strike the same way
-# twice in a row to false-fail, while a real regression fails both runs.
-# Every smoke run is also archived into the history dir for the trend
-# stage below (and for CI artifact upload).
-THRESHOLD="${IPT_BENCH_THRESHOLD:-40}"
-CLI=target/release/ipt-cli
-SMOKE="$(mktemp)"
-CLEAN_HISTORY=0
-if [ -z "${IPT_BENCH_HISTORY_DIR:-}" ]; then
-    IPT_BENCH_HISTORY_DIR="$(mktemp -d)"
-    CLEAN_HISTORY=1
-fi
-cleanup() {
-    rm -f "$SMOKE"
-    if [ "$CLEAN_HISTORY" = 1 ]; then
-        rm -rf "$IPT_BENCH_HISTORY_DIR"
-    fi
+sanitize_stage() {
+    stage "sanitize: checked-mode tests, IPT_THREADS=${IPT_THREADS:-auto} (tier 3)"
+    # Release tests with the disjointness checker forced on: debug test
+    # builds dogfood it via cfg(debug_assertions), this stage proves the
+    # release codepath + IPT_CHECK=1 combination (the one ops would flip
+    # on a misbehaving host) is equally clean, at the CI matrix's thread
+    # counts.
+    IPT_CHECK=1 cargo test --release -p ipt-parallel -p ipt-pool
+    IPT_CHECK=1 cargo test --release -p ipt --features fault-inject \
+        --test fault_injection
 }
-trap cleanup EXIT
 
-stage "calibrate: per-host kernel crossovers (tier 2)"
-# Measure this box's scalar/block4/block8 crossovers and persist the
-# profile next to the bench archive (so a CI artifact upload of the
-# history dir carries it too). Exporting IPT_CALIBRATION makes every
-# bench run below resolve dispatch through the measured profile — the
-# smoke gates then double as an assertion that calibrated dispatch
-# keeps the committed baselines' headline wins.
-export IPT_CALIBRATION="$IPT_BENCH_HISTORY_DIR/ipt-calibration.json"
-"$CLI" calibrate --force
-
-run_smoke() {
-    local suite="$1"
-    "$CLI" bench --suite "$suite" --quick --samples 3 --out "$SMOKE" \
-        --history "$IPT_BENCH_HISTORY_DIR" > /dev/null
-    grep -q '"schema": "ipt-bench-report-v1"' "$SMOKE"
-    # The calibrate stage exported IPT_CALIBRATION: every smoke report
-    # must record that the profile (not the static fallback) decided.
-    grep -q '"dispatch_tier": "calibrated"' "$SMOKE"
-    "$CLI" bench --compare "$SMOKE" "$SMOKE" > /dev/null  # parse round-trip
-    "$CLI" bench --compare "BENCH_${suite}.json" "$SMOKE" --threshold "$THRESHOLD"
-}
-for suite in kernels aos batched; do
-    if ! run_smoke "$suite"; then
-        echo "-- $suite smoke regressed once; retrying to rule out machine noise --"
-        run_smoke "$suite"
+miri_stage() {
+    stage "miri: ipt-core + ipt-pool under the interpreter (tier 3, soft)"
+    # Miri interprets the unsafe core (raw-pointer kernels, the scoped
+    # executor) and catches UB tests can't. It needs a nightly toolchain
+    # with the miri component — not part of the pinned CI toolchain — so
+    # skip cleanly when absent instead of failing a stable-only box.
+    if ! rustup run nightly cargo miri --version > /dev/null 2>&1; then
+        echo "nightly+miri not installed; skipping" \
+             "(rustup toolchain install nightly --component miri)"
+        return 0
     fi
-done
+    # Quadratic interpreter slowdown: keep it to the two leaf crates and
+    # skip the soak-sized tests via the harness's own #[ignore] tags.
+    MIRIFLAGS="-Zmiri-disable-isolation" \
+        rustup run nightly cargo miri test -p ipt-core -p ipt-pool
+}
 
-stage "model smoke: phase attribution vs measured timers (tier 2)"
-# The analytical phase model (MODEL.md) against this box's measured
-# phase timers on the first committed bench shape. The gate is a loose
-# sanity bound, far above the ~0.1-0.19 divergence a healthy build
-# measures (see EXPERIMENTS.md): it catches the model and the engine
-# drifting apart structurally (wrong phase set, wrong ranking, a
-# broken bytes accounting), not machine noise. Same retry rationale as
-# the bench smoke above.
-MODEL_GATE=0.45
-if ! "$CLI" model --rows 192 --cols 256 --elem 8 --samples 48 \
-    --max-divergence "$MODEL_GATE"; then
-    echo "-- model smoke breached once; retrying to rule out machine noise --"
-    "$CLI" model --rows 192 --cols 256 --elem 8 --samples 48 \
-        --max-divergence "$MODEL_GATE"
-fi
+fault_stage() {
+    stage "fault smoke: injected panics must abort, not crash (tier 3)"
+    # Build the CLI with the injection sites compiled in and run a bench
+    # suite under a 5% per-item panic rate. The only acceptable outcomes
+    # are a structured abort (exit 4, "transpose aborted in phase ...")
+    # or — should the deterministic decisions miss every site — a clean
+    # pass. A segfault (139), a raw panic exit (101) or any other code
+    # means containment broke.
+    cargo build --release -p ipt-cli --features fault-inject --quiet
+    local out rc=0
+    out="$(IPT_FAULT=panic:0.05 IPT_CHECK=1 \
+        target/release/ipt-cli bench --suite parallel --quick --samples 2 \
+        2>&1)" || rc=$?
+    case "$rc" in
+        4)
+            if ! grep -q "transpose aborted in phase" <<< "$out"; then
+                echo "$out"
+                echo "fault smoke: exit 4 without a TransposeAborted report"
+                return 1
+            fi
+            echo "fault smoke: contained abort, as expected:"
+            grep "transpose aborted" <<< "$out" | head -1
+            ;;
+        0)
+            echo "fault smoke: WARNING: no injection fired on this" \
+                 "shape set (deterministic decisions all missed)"
+            ;;
+        *)
+            echo "$out"
+            echo "fault smoke: unexpected exit code $rc (139 = SIGSEGV," \
+                 "101 = uncontained panic)"
+            return 1
+            ;;
+    esac
+}
 
-stage "bench trend: history gate (tier 2)"
-# A second kernels run, gated against the archive the smoke stage just
-# wrote with the trailing-median + monotone-drift gate — this exercises
-# the whole append -> load -> trend pipeline on files the pipeline
-# itself produced, and exits 3 if the box slowed down between the two
-# runs by more than the (generous) threshold.
-"$CLI" bench --suite kernels --quick --samples 3 --out "$SMOKE" > /dev/null
-"$CLI" bench --compare "$SMOKE" --history "$IPT_BENCH_HISTORY_DIR" \
-    --threshold "$THRESHOLD"
+main_pipeline() {
+    stage "fmt (tier 0)"
+    cargo fmt --all -- --check
+
+    stage "clippy (tier 0)"
+    cargo clippy --workspace --all-targets -- -D warnings
+
+    stage "shellcheck (tier 0)"
+    if command -v shellcheck > /dev/null 2>&1; then
+        shellcheck scripts/*.sh
+    else
+        echo "shellcheck not installed; skipping (install it to lint scripts/*.sh)"
+    fi
+
+    stage "hermetic verify (tier 1)"
+    scripts/verify.sh
+
+    stage "rustdoc -D warnings (tier 2)"
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+
+    stage "bench smoke: fixed suites vs committed baselines (tier 2)"
+    # A --quick run keeps the full (algorithm, shape) entry set of each
+    # committed BENCH_*.json (compare keys must match) and only cuts
+    # samples, so every suite finishes in seconds. The kernels gate defends
+    # the kernel family's headline property — the run-blocked kernels'
+    # multiple-x win over scalar on large-gcd shapes; the aos/batched gates
+    # defend the §6.1 skinny specialization and the shared-params batched
+    # path. Losing any of those shows up as a 50%+ median drop; machine
+    # noise on a busy single-core box measures up to ~30% run-to-run. Hence
+    # a generous threshold plus one retry: noise must strike the same way
+    # twice in a row to false-fail, while a real regression fails both runs.
+    # Every smoke run is also archived into the history dir for the trend
+    # stage below (and for CI artifact upload).
+    THRESHOLD="${IPT_BENCH_THRESHOLD:-40}"
+    CLI=target/release/ipt-cli
+    SMOKE="$(mktemp)"
+    CLEAN_HISTORY=0
+    if [ -z "${IPT_BENCH_HISTORY_DIR:-}" ]; then
+        IPT_BENCH_HISTORY_DIR="$(mktemp -d)"
+        CLEAN_HISTORY=1
+    fi
+    cleanup() {
+        rm -f "$SMOKE"
+        if [ "$CLEAN_HISTORY" = 1 ]; then
+            rm -rf "$IPT_BENCH_HISTORY_DIR"
+        fi
+    }
+    trap cleanup EXIT
+
+    stage "calibrate: per-host kernel crossovers (tier 2)"
+    # Measure this box's scalar/block4/block8 crossovers and persist the
+    # profile next to the bench archive (so a CI artifact upload of the
+    # history dir carries it too). Exporting IPT_CALIBRATION makes every
+    # bench run below resolve dispatch through the measured profile — the
+    # smoke gates then double as an assertion that calibrated dispatch
+    # keeps the committed baselines' headline wins.
+    export IPT_CALIBRATION="$IPT_BENCH_HISTORY_DIR/ipt-calibration.json"
+    "$CLI" calibrate --force
+
+    run_smoke() {
+        local suite="$1"
+        "$CLI" bench --suite "$suite" --quick --samples 3 --out "$SMOKE" \
+            --history "$IPT_BENCH_HISTORY_DIR" > /dev/null
+        grep -q '"schema": "ipt-bench-report-v1"' "$SMOKE"
+        # The calibrate stage exported IPT_CALIBRATION: every smoke report
+        # must record that the profile (not the static fallback) decided.
+        grep -q '"dispatch_tier": "calibrated"' "$SMOKE"
+        "$CLI" bench --compare "$SMOKE" "$SMOKE" > /dev/null  # parse round-trip
+        "$CLI" bench --compare "BENCH_${suite}.json" "$SMOKE" --threshold "$THRESHOLD"
+    }
+    for suite in kernels aos batched; do
+        if ! run_smoke "$suite"; then
+            echo "-- $suite smoke regressed once; retrying to rule out machine noise --"
+            run_smoke "$suite"
+        fi
+    done
+
+    stage "model smoke: phase attribution vs measured timers (tier 2)"
+    # The analytical phase model (MODEL.md) against this box's measured
+    # phase timers on the first committed bench shape. The gate is a loose
+    # sanity bound, far above the ~0.1-0.19 divergence a healthy build
+    # measures (see EXPERIMENTS.md): it catches the model and the engine
+    # drifting apart structurally (wrong phase set, wrong ranking, a
+    # broken bytes accounting), not machine noise. Same retry rationale as
+    # the bench smoke above.
+    MODEL_GATE=0.45
+    if ! "$CLI" model --rows 192 --cols 256 --elem 8 --samples 48 \
+        --max-divergence "$MODEL_GATE"; then
+        echo "-- model smoke breached once; retrying to rule out machine noise --"
+        "$CLI" model --rows 192 --cols 256 --elem 8 --samples 48 \
+            --max-divergence "$MODEL_GATE"
+    fi
+
+    stage "bench trend: history gate (tier 2)"
+    # A second kernels run, gated against the archive the smoke stage just
+    # wrote with the trailing-median + monotone-drift gate — this exercises
+    # the whole append -> load -> trend pipeline on files the pipeline
+    # itself produced, and exits 3 if the box slowed down between the two
+    # runs by more than the (generous) threshold.
+    "$CLI" bench --suite kernels --quick --samples 3 --out "$SMOKE" > /dev/null
+    "$CLI" bench --compare "$SMOKE" --history "$IPT_BENCH_HISTORY_DIR" \
+        --threshold "$THRESHOLD"
+}
+
+case "${1:-all}" in
+    all)
+        main_pipeline
+        sanitize_stage
+        miri_stage
+        # Last on purpose: it runs a binary that aborts transposes.
+        fault_stage
+        ;;
+    sanitize) sanitize_stage ;;
+    miri) miri_stage ;;
+    fault) fault_stage ;;
+    *)
+        echo "usage: scripts/ci.sh [all|sanitize|fault|miri]" >&2
+        exit 2
+        ;;
+esac
 
 echo
 echo "== ci: OK =="

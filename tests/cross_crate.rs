@@ -64,28 +64,28 @@ fn implementations() -> Vec<(&'static str, Impl)> {
         (
             "parallel cache-aware",
             Box::new(|d: &mut Vec<u64>, m, n| {
-                ipt_parallel::c2r_parallel(d, m, n, &ParOptions::default())
+                ipt_parallel::c2r_parallel(d, m, n, &ParOptions::default()).unwrap()
             }),
         ),
         (
             "parallel plain",
             Box::new(|d: &mut Vec<u64>, m, n| {
-                ipt_parallel::c2r_parallel(d, m, n, &ParOptions::plain())
+                ipt_parallel::c2r_parallel(d, m, n, &ParOptions::plain()).unwrap()
             }),
         ),
         (
             "parallel r2c (swapped dims)",
             Box::new(|d: &mut Vec<u64>, m, n| {
-                ipt_parallel::r2c_parallel(d, n, m, &ParOptions::default())
+                ipt_parallel::r2c_parallel(d, n, m, &ParOptions::default()).unwrap()
             }),
         ),
         (
             "aos-soa skinny c2r",
-            Box::new(|d: &mut Vec<u64>, m, n| ipt_aos_soa::transpose_skinny_c2r(d, m, n)),
+            Box::new(|d: &mut Vec<u64>, m, n| ipt_aos_soa::transpose_skinny_c2r(d, m, n).unwrap()),
         ),
         (
             "aos-soa skinny r2c (swapped dims)",
-            Box::new(|d: &mut Vec<u64>, m, n| ipt_aos_soa::transpose_skinny_r2c(d, n, m)),
+            Box::new(|d: &mut Vec<u64>, m, n| ipt_aos_soa::transpose_skinny_r2c(d, n, m).unwrap()),
         ),
         (
             "baseline cycle-following",
@@ -172,12 +172,12 @@ fn aos_soa_round_trip_matches_double_transpose() {
     fill_pattern(&mut a);
     let orig = a.clone();
 
-    aos_to_soa(&mut a, n_structs, fields);
+    aos_to_soa(&mut a, n_structs, fields).unwrap();
     let mut b = orig.clone();
     ipt_core::c2r(&mut b, n_structs, fields, &mut Scratch::new());
     assert_eq!(a, b, "AoS->SoA is the N x s transpose");
 
-    soa_to_aos(&mut a, n_structs, fields);
+    soa_to_aos(&mut a, n_structs, fields).unwrap();
     assert_eq!(a, orig, "round trip");
 }
 
@@ -190,15 +190,15 @@ fn mixed_sequence_of_implementations_composes() {
     fill_pattern(&mut data);
     let orig = data.clone();
 
-    ipt_parallel::c2r_parallel(&mut data, m, n, &ParOptions::default());
+    ipt_parallel::c2r_parallel(&mut data, m, n, &ParOptions::default()).unwrap();
     ipt_core::r2c(&mut data, m, n, &mut Scratch::new());
     assert_eq!(data, orig, "parallel c2r then core r2c");
 
     transpose_gustavson(&mut data, m, n);
-    ipt_parallel::r2c_parallel(&mut data, m, n, &ParOptions::plain());
+    ipt_parallel::r2c_parallel(&mut data, m, n, &ParOptions::plain()).unwrap();
     assert_eq!(data, orig, "gustavson then parallel r2c");
 
     transpose_cycle_following(&mut data, m, n);
-    ipt_aos_soa::transpose_skinny_r2c(&mut data, m, n);
+    ipt_aos_soa::transpose_skinny_r2c(&mut data, m, n).unwrap();
     assert_eq!(data, orig, "cycle-following then skinny r2c");
 }

@@ -1,0 +1,199 @@
+//! Fault-injection suite: every injected worker panic must be contained
+//! as a structured [`TransposeAborted`] (never a process abort), and
+//! every injected index skew must be caught by the disjointness checker
+//! — across thread counts 1, 2 and 4.
+//!
+//! Requires the `fault-inject` feature (this target carries
+//! `required-features` in `crates/ipt/Cargo.toml`):
+//!
+//! ```text
+//! cargo test -p ipt --features fault-inject --test fault_injection
+//! ```
+//!
+//! Faults are forced through [`faulty::force`] rather than `IPT_FAULT` so
+//! each test picks its own mode; the env knob takes the same code path
+//! (`faulty::parse_fault` has its own unit tests). The forced decisions
+//! are deterministic per (site, item), so a given shape either injects or
+//! doesn't — the tests assert the biconditional: injection happened if
+//! and only if the call reported an abort.
+
+use ipt::core::check::reference_transpose;
+use ipt::core::kernels::faulty::{self, FaultMode};
+use ipt::core::Layout;
+use ipt::parallel::batched::transpose_batched;
+use ipt::parallel::{c2r_parallel, ParOptions, TransposeAborted};
+use ipt::pool::{set_num_threads, stats};
+use std::sync::{Mutex, MutexGuard};
+
+/// Serializes tests: forced fault mode, `IPT_CHECK`, the thread count and
+/// the stats counters are all process-global.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+/// Take the lock and make sure the disjointness checker is live before
+/// the first parallel call initializes its `OnceLock` — skew injection
+/// without the checker would be a genuine data race, not a test.
+fn setup() -> MutexGuard<'static, ()> {
+    let guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    std::env::set_var("IPT_CHECK", "1");
+    guard
+}
+
+/// RAII reset so a failing assertion can't leak a forced mode into the
+/// next test.
+struct Forced;
+
+impl Forced {
+    fn new(mode: FaultMode) -> Forced {
+        faulty::force(Some(mode));
+        Forced
+    }
+}
+
+impl Drop for Forced {
+    fn drop(&mut self) {
+        faulty::unforce();
+    }
+}
+
+/// Run one forced-fault C2R and return `(result, panics, skews)` deltas.
+fn run_c2r(m: usize, n: usize, opts: &ParOptions) -> (Result<(), TransposeAborted>, u64, u64) {
+    let mut a: Vec<u64> = (0..(m * n) as u64).collect();
+    let want = reference_transpose(&a, m, n, Layout::RowMajor);
+    let (p0, s0) = faulty::injection_counts();
+    let result = c2r_parallel(&mut a, m, n, opts);
+    let (p1, s1) = faulty::injection_counts();
+    if result.is_ok() {
+        assert_eq!(a, want, "Ok result must mean a correct {m}x{n} transpose");
+    }
+    (result, p1 - p0, s1 - s0)
+}
+
+#[test]
+fn injected_panics_are_contained_across_thread_counts() {
+    let _guard = setup();
+    let _forced = Forced::new(FaultMode::Panic(0.05));
+    let mut aborted = 0u64;
+    for threads in [1usize, 2, 4] {
+        set_num_threads(threads);
+        let mut aborted_here = 0u64;
+        let before = stats::snapshot();
+        // Sweep shapes on both the cache-aware and plain paths; 5% per
+        // (site, item) over hundreds of rows/groups injects many times.
+        for (m, n) in [(64usize, 96usize), (97, 64), (200, 300), (33, 1024)] {
+            for opts in [ParOptions::default(), ParOptions::plain()] {
+                let (result, panics, _) = run_c2r(m, n, &opts);
+                match result {
+                    Err(e) => {
+                        assert!(panics > 0, "abort without injection: {e} ({m}x{n})");
+                        assert!(
+                            e.source.payload.contains("ipt fault injection"),
+                            "unexpected payload: {e}"
+                        );
+                        aborted_here += 1;
+                    }
+                    Ok(()) => assert_eq!(panics, 0, "{m}x{n} swallowed an injected panic"),
+                }
+            }
+        }
+        let d = stats::snapshot().delta_since(&before);
+        assert!(
+            d.panics_contained >= aborted_here,
+            "stats must count contained panics: {d:?}"
+        );
+        aborted += aborted_here;
+    }
+    assert!(
+        aborted > 0,
+        "the sweep never injected a panic — dead harness?"
+    );
+}
+
+#[test]
+fn injected_panics_in_batched_transposes_are_contained() {
+    let _guard = setup();
+    let _forced = Forced::new(FaultMode::Panic(0.5));
+    set_num_threads(4);
+    let (b, m, n) = (16usize, 24, 36);
+    let mut data: Vec<u64> = (0..(b * m * n) as u64).collect();
+    let (p0, _) = faulty::injection_counts();
+    let result = transpose_batched(&mut data, b, m, n, Layout::RowMajor);
+    let (p1, _) = faulty::injection_counts();
+    match result {
+        Err(e) => {
+            assert!(p1 > p0, "abort without injection: {e}");
+            assert_eq!(e.phase, "batched", "{e}");
+        }
+        Ok(()) => assert_eq!(p1, p0),
+    }
+}
+
+#[test]
+fn every_injected_skew_is_caught_by_the_checker() {
+    let _guard = setup();
+    let _forced = Forced::new(FaultMode::Skew(1.0));
+    // Skew sites live on the plain column path; rate 1.0 skews the first
+    // processed column of every group, which must land in a foreign
+    // group and trip the shadow map before any data is torn silently.
+    let opts = ParOptions::plain();
+    let mut caught = 0u64;
+    for threads in [1usize, 2, 4] {
+        set_num_threads(threads);
+        // gcd(m, n) > 1 so the pre-rotation (a skew site) actually runs,
+        // and n spans several column groups of the default width.
+        for (m, n) in [(64usize, 96usize), (96, 192), (48, 300)] {
+            let (result, _, skews) = run_c2r(m, n, &opts);
+            match result {
+                Err(e) => {
+                    assert!(skews > 0, "abort without a skew: {e} ({m}x{n})");
+                    assert!(
+                        e.source.payload.contains("disjointness"),
+                        "skew must abort via the checker, got: {e}"
+                    );
+                    caught += 1;
+                }
+                Ok(()) => assert_eq!(
+                    skews, 0,
+                    "threads={threads} {m}x{n}: {skews} skews went undetected"
+                ),
+            }
+        }
+    }
+    assert!(
+        caught > 0,
+        "the sweep never injected a skew — dead harness?"
+    );
+}
+
+#[test]
+fn low_rate_skews_are_still_all_detected() {
+    let _guard = setup();
+    let _forced = Forced::new(FaultMode::Skew(0.08));
+    let opts = ParOptions::plain();
+    for threads in [1usize, 2, 4] {
+        set_num_threads(threads);
+        for (m, n) in [(64usize, 96usize), (72, 160), (96, 224), (120, 288)] {
+            let (result, _, skews) = run_c2r(m, n, &opts);
+            match result {
+                Err(e) => assert!(
+                    skews > 0 && e.source.payload.contains("disjointness"),
+                    "{m}x{n}: {e}"
+                ),
+                Ok(()) => assert_eq!(skews, 0, "threads={threads} {m}x{n} missed a skew"),
+            }
+        }
+    }
+}
+
+#[test]
+fn zero_rate_injects_nothing_and_transposes_correctly() {
+    let _guard = setup();
+    let _forced = Forced::new(FaultMode::Panic(0.0));
+    for threads in [1usize, 2, 4] {
+        set_num_threads(threads);
+        for opts in [ParOptions::default(), ParOptions::plain()] {
+            let (result, panics, skews) = run_c2r(60, 48, &opts);
+            assert!(result.is_ok(), "rate 0.0 must never abort");
+            assert_eq!((panics, skews), (0, 0));
+        }
+    }
+}

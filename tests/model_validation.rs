@@ -34,10 +34,10 @@ fn measure_c2r(m: usize, n: usize, samples: usize) -> Vec<(&'static str, u64)> {
     ipt::pool::set_num_threads(1);
     let opts = ParOptions::default();
     let mut a: Vec<u64> = (0..(m * n) as u64).collect();
-    c2r_parallel(&mut a, m, n, &opts); // warm-up
+    c2r_parallel(&mut a, m, n, &opts).unwrap(); // warm-up
     let before = stats::snapshot();
     for _ in 0..samples {
-        c2r_parallel(&mut a, m, n, &opts);
+        c2r_parallel(&mut a, m, n, &opts).unwrap();
     }
     let d = stats::snapshot().delta_since(&before);
     ipt::parallel::phases::ALL

@@ -21,7 +21,7 @@ fn parallel_transpose_attributes_all_three_phases() {
     let (m, n) = (60usize, 48usize);
     let mut a: Vec<u64> = (0..(m * n) as u64).collect();
     let before = stats::snapshot();
-    c2r_parallel(&mut a, m, n, &ParOptions::default());
+    c2r_parallel(&mut a, m, n, &ParOptions::default()).unwrap();
     let d = stats::snapshot().delta_since(&before);
 
     for phase in ["pre_rotate", "row_shuffle", "col_shuffle"] {
@@ -43,7 +43,7 @@ fn coprime_shapes_skip_the_rotation_phase() {
     let (m, n) = (25usize, 12usize);
     let mut a: Vec<u64> = (0..(m * n) as u64).collect();
     let before = stats::snapshot();
-    c2r_parallel(&mut a, m, n, &ParOptions::default());
+    c2r_parallel(&mut a, m, n, &ParOptions::default()).unwrap();
     let d = stats::snapshot().delta_since(&before);
 
     assert!(d.phase("row_shuffle").is_some(), "{d:?}");
@@ -58,10 +58,10 @@ fn r2c_reports_its_inverse_phases_and_roundtrips() {
     let (m, n) = (48usize, 36usize); // gcd = 12: post-rotation runs
     let orig: Vec<u64> = (0..(m * n) as u64).collect();
     let mut a = orig.clone();
-    c2r_parallel(&mut a, m, n, &ParOptions::default());
+    c2r_parallel(&mut a, m, n, &ParOptions::default()).unwrap();
 
     let before = stats::snapshot();
-    r2c_parallel(&mut a, m, n, &ParOptions::default());
+    r2c_parallel(&mut a, m, n, &ParOptions::default()).unwrap();
     let d = stats::snapshot().delta_since(&before);
 
     assert_eq!(a, orig, "r2c must invert c2r");
@@ -79,11 +79,11 @@ fn scratch_reaches_steady_state_reuse() {
     let (m, n) = (96usize, 64usize);
     let mut a: Vec<u64> = (0..(m * n) as u64).collect();
     let opts = ParOptions::plain();
-    c2r_parallel(&mut a, m, n, &opts); // warm-up
+    c2r_parallel(&mut a, m, n, &opts).unwrap(); // warm-up
 
     let before = stats::snapshot();
     for _ in 0..4 {
-        c2r_parallel(&mut a, m, n, &opts);
+        c2r_parallel(&mut a, m, n, &opts).unwrap();
     }
     let d = stats::snapshot().delta_since(&before);
     assert!(

@@ -23,7 +23,7 @@ fn random_shapes_random_data_all_engines() {
         assert_eq!(a, want, "core {m}x{n} round {round}");
 
         let mut b = input.clone();
-        ipt_parallel::c2r_parallel(&mut b, m, n, &ParOptions::default());
+        ipt_parallel::c2r_parallel(&mut b, m, n, &ParOptions::default()).unwrap();
         assert_eq!(b, want, "parallel {m}x{n} round {round}");
 
         let mut c = input.clone();
@@ -31,7 +31,7 @@ fn random_shapes_random_data_all_engines() {
         assert_eq!(c, want, "sung {m}x{n} round {round}");
 
         let mut d = input.clone();
-        ipt_aos_soa::transpose_skinny_c2r(&mut d, m, n);
+        ipt_aos_soa::transpose_skinny_c2r(&mut d, m, n).unwrap();
         assert_eq!(d, want, "skinny {m}x{n} round {round}");
     }
 }
@@ -71,7 +71,7 @@ fn repeated_transposes_walk_back_to_identity() {
         // forward with a random engine...
         match round % 3 {
             0 => ipt_core::c2r(&mut data, m, n, &mut Scratch::new()),
-            1 => ipt_parallel::c2r_parallel(&mut data, m, n, &ParOptions::default()),
+            1 => ipt_parallel::c2r_parallel(&mut data, m, n, &ParOptions::default()).unwrap(),
             _ => {
                 ipt_baselines::transpose_gustavson(&mut data, m, n);
             }
@@ -79,7 +79,7 @@ fn repeated_transposes_walk_back_to_identity() {
         // ...and back with another.
         match round % 2 {
             0 => ipt_core::r2c(&mut data, m, n, &mut Scratch::new()),
-            _ => ipt_parallel::r2c_parallel(&mut data, m, n, &ParOptions::plain()),
+            _ => ipt_parallel::r2c_parallel(&mut data, m, n, &ParOptions::plain()).unwrap(),
         }
         assert_eq!(data, orig, "round {round}");
     }
@@ -95,7 +95,7 @@ fn prop_parallel_equals_sequential() {
         let mut seq = input.clone();
         let mut par = input;
         ipt_core::c2r(&mut seq, m, n, &mut Scratch::new());
-        ipt_parallel::c2r_parallel(&mut par, m, n, &ParOptions::default());
+        ipt_parallel::c2r_parallel(&mut par, m, n, &ParOptions::default()).unwrap();
         assert_eq!(seq, par, "case {case}: {m}x{n}");
     }
 }
@@ -110,7 +110,7 @@ fn prop_aos_soa_round_trip() {
             .map(|_| rng.next_u64() as u32 as f32)
             .collect();
         let mut data = orig.clone();
-        aos_to_soa(&mut data, n_structs, fields);
+        aos_to_soa(&mut data, n_structs, fields).unwrap();
         // Field k of struct i must land at k * n_structs + i.
         let probe_i = n_structs / 2;
         let probe_k = fields / 2;
@@ -119,7 +119,7 @@ fn prop_aos_soa_round_trip() {
             orig[probe_i * fields + probe_k],
             "case {case}: n={n_structs} s={fields}"
         );
-        soa_to_aos(&mut data, n_structs, fields);
+        soa_to_aos(&mut data, n_structs, fields).unwrap();
         assert_eq!(data, orig, "case {case}: n={n_structs} s={fields}");
     }
 }
@@ -133,7 +133,7 @@ fn aos_soa_two_structs_four_fields() {
     let (n_structs, fields) = (2usize, 4usize);
     let orig: Vec<f32> = (0..(n_structs * fields) as u32).map(|x| x as f32).collect();
     let mut data = orig.clone();
-    aos_to_soa(&mut data, n_structs, fields);
+    aos_to_soa(&mut data, n_structs, fields).unwrap();
     for i in 0..n_structs {
         for k in 0..fields {
             assert_eq!(
@@ -143,7 +143,7 @@ fn aos_soa_two_structs_four_fields() {
             );
         }
     }
-    soa_to_aos(&mut data, n_structs, fields);
+    soa_to_aos(&mut data, n_structs, fields).unwrap();
     assert_eq!(data, orig);
 }
 

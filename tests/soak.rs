@@ -26,7 +26,7 @@ fn soak_every_engine_thousands_of_shapes() {
         assert_eq!(a, want, "core {m}x{n} round {round}");
 
         let mut a = input.clone();
-        ipt_parallel::c2r_parallel(&mut a, m, n, &ParOptions::default());
+        ipt_parallel::c2r_parallel(&mut a, m, n, &ParOptions::default()).unwrap();
         assert_eq!(a, want, "parallel {m}x{n} round {round}");
 
         let mut a = input.clone();
@@ -34,7 +34,7 @@ fn soak_every_engine_thousands_of_shapes() {
         assert_eq!(a, want, "noncopy {m}x{n} round {round}");
 
         let mut a = input.clone();
-        ipt_aos_soa::transpose_skinny_c2r(&mut a, m, n);
+        ipt_aos_soa::transpose_skinny_c2r(&mut a, m, n).unwrap();
         assert_eq!(a, want, "skinny {m}x{n} round {round}");
 
         if round % 4 == 0 {
@@ -59,7 +59,7 @@ fn soak_large_matrices() {
         let n = rng.range(1000..4000);
         let mut a: Vec<u64> = (0..m * n).map(|i| i as u64).collect();
         let orig = a.clone();
-        ipt_parallel::c2r_parallel(&mut a, m, n, &ParOptions::default());
+        ipt_parallel::c2r_parallel(&mut a, m, n, &ParOptions::default()).unwrap();
         // Spot-check the permutation without a full reference buffer.
         for _ in 0..1000 {
             let i = rng.range(0..m);
@@ -110,4 +110,65 @@ fn soak_warp_all_geometries() {
             assert_eq!(warp.as_matrix(), &data[..], "{m}x{lanes} inverse");
         }
     }
+}
+
+/// Fault soak: thousands of randomized shapes under forced panic and
+/// skew injection — every injected panic must surface as a structured
+/// abort (never a crash or silent tear), and every injected skew must be
+/// caught by the disjointness checker, across 1/2/4-thread pools.
+/// Compiled only with the `fault-inject` feature; run with
+/// `cargo test --features fault-inject --test soak -- --ignored`.
+#[cfg(feature = "fault-inject")]
+#[test]
+#[ignore = "soak: minutes of fault-injected sweeps; run with -- --ignored"]
+fn soak_faults_always_contained_and_detected() {
+    use ipt::core::kernels::faulty::{self, FaultMode};
+
+    std::env::set_var("IPT_CHECK", "1"); // before the checker's first read
+    let mut rng = Rng::new(0xfa_17_50_a1);
+    let mut contained = 0u64;
+    let mut detected = 0u64;
+    for round in 0..1500 {
+        let m = rng.range(2..256);
+        let n = rng.range(2..256);
+        let threads = [1, 2, 4][rng.range(0..3)];
+        ipt::pool::set_num_threads(threads);
+
+        // Alternate panic and skew rounds; skews need the plain column
+        // path (the only one with skew sites) and the checker live.
+        let (mode, opts) = if round % 2 == 0 {
+            (FaultMode::Panic(0.02), ParOptions::default())
+        } else {
+            (FaultMode::Skew(0.1), ParOptions::plain())
+        };
+        faulty::force(Some(mode));
+        let mut a: Vec<u64> = (0..(m * n) as u64).collect();
+        let want = reference_transpose(&a, m, n, ipt_core::Layout::RowMajor);
+        let (p0, s0) = faulty::injection_counts();
+        let result = ipt_parallel::c2r_parallel(&mut a, m, n, &opts);
+        let (p1, s1) = faulty::injection_counts();
+        faulty::unforce();
+
+        let injected = (p1 - p0) + (s1 - s0);
+        match result {
+            Err(e) => {
+                assert!(injected > 0, "round {round}: abort without injection: {e}");
+                if s1 > s0 {
+                    assert!(
+                        e.source.payload.contains("disjointness")
+                            || e.source.payload.contains("fault injection"),
+                        "round {round}: {e}"
+                    );
+                    detected += 1;
+                } else {
+                    contained += 1;
+                }
+            }
+            Ok(()) => {
+                assert_eq!(injected, 0, "round {round} {m}x{n}: fault went unnoticed");
+                assert_eq!(a, want, "round {round} {m}x{n}: wrong clean transpose");
+            }
+        }
+    }
+    assert!(contained > 0 && detected > 0, "{contained} / {detected}");
 }
