@@ -304,6 +304,11 @@ pub struct TrendReport {
     pub reports_used: usize,
     /// Archived reports skipped for a thread-count mismatch.
     pub skipped_threads: usize,
+    /// Archived reports skipped because exactly one side of the pair ran
+    /// under an `IPT_KERNEL` override (`dispatch_tier == "override"`) —
+    /// forced-kernel numbers are not comparable to dispatcher-chosen
+    /// ones. Calibrated-vs-static pairs still participate.
+    pub skipped_stamps: usize,
     /// New-report entries with no archived sample (first appearance).
     pub new_only: usize,
     /// Entries of the latest participating archive absent from the new
@@ -331,12 +336,22 @@ pub fn trend(
     window: usize,
 ) -> TrendReport {
     let window = window.max(1);
-    let usable: Vec<&BenchReport> = history
+    let same_threads: Vec<&BenchReport> = history
         .iter()
         .map(|h| &h.report)
         .filter(|r| r.threads == new.threads)
         .collect();
-    let skipped_threads = history.len() - usable.len();
+    let skipped_threads = history.len() - same_threads.len();
+    // An archive recorded under a forced-kernel override only compares
+    // against another override run (and vice versa); mixed pairs would
+    // gate dispatcher-chosen numbers against forced ones.
+    let overridden = |r: &BenchReport| r.dispatch_tier == "override";
+    let usable: Vec<&BenchReport> = same_threads
+        .iter()
+        .copied()
+        .filter(|r| overridden(r) == overridden(new))
+        .collect();
+    let skipped_stamps = same_threads.len() - usable.len();
     let mut rows = Vec::new();
     let mut new_only = 0;
     for e in &new.entries {
@@ -388,6 +403,7 @@ pub fn trend(
         rows,
         reports_used: usable.len(),
         skipped_threads,
+        skipped_stamps,
         new_only,
         history_only,
     }
@@ -460,6 +476,7 @@ mod tests {
             p10_gbps: median,
             p90_gbps: median,
             phases: Vec::new(),
+            sched: None,
             model: None,
         }
     }
@@ -660,9 +677,33 @@ mod tests {
         let t = trend(&history, &new, 10.0, DEFAULT_WINDOW);
         assert_eq!(t.reports_used, 1);
         assert_eq!(t.skipped_threads, 1);
+        assert_eq!(t.skipped_stamps, 0);
         assert_eq!(t.new_only, 1);
         assert_eq!(t.history_only, 1);
         assert_eq!(t.flagged(), 0);
+    }
+
+    #[test]
+    fn override_runs_only_compare_against_override_runs() {
+        // A fast forced-kernel archive must not gate a dispatcher-chosen
+        // run (and the skip is surfaced, not hidden); calibrated archives
+        // still participate against a static run.
+        let mut forced = report("t", 1, &[("c2r", 100.0)]);
+        forced.dispatch_tier = "override".to_string();
+        let mut calibrated = report("t", 1, &[("c2r", 10.0)]);
+        calibrated.dispatch_tier = "calibrated".to_string();
+        let history = hist(vec![forced.clone(), calibrated]);
+        let new = report("t", 1, &[("c2r", 10.0)]);
+        let t = trend(&history, &new, 10.0, DEFAULT_WINDOW);
+        assert_eq!(t.reports_used, 1);
+        assert_eq!(t.skipped_stamps, 1);
+        assert_eq!(t.flagged(), 0, "forced 100.0 must not set the baseline");
+        // Symmetrically, an override new run only sees override archives.
+        let mut new_forced = report("t", 1, &[("c2r", 100.0)]);
+        new_forced.dispatch_tier = "override".to_string();
+        let t = trend(&history, &new_forced, 10.0, DEFAULT_WINDOW);
+        assert_eq!(t.reports_used, 1);
+        assert_eq!(t.skipped_stamps, 1);
     }
 
     #[test]

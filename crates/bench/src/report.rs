@@ -126,6 +126,62 @@ impl ModelBreak {
     }
 }
 
+/// The row-permute cycle-bundle scheduler's shape while an entry was
+/// measured (deltas of `ipt_pool::stats` scheduler counters): how many
+/// bundle schedules ran and how balanced the LPT partition came out.
+/// `None` for entries that never scheduled cycle bundles, and for
+/// reports written before the scheduler existed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedBreak {
+    /// Bundle schedules (one per row-permute pass) during measurement.
+    pub schedules: u64,
+    /// Total cycle bundles across those schedules.
+    pub bundles: u64,
+    /// Sum of per-schedule maximum bundle weights (rows moved).
+    pub max_weight: u64,
+    /// Sum of per-schedule minimum bundle weights.
+    pub min_weight: u64,
+}
+
+impl SchedBreak {
+    /// Steal-free imbalance ratio `max_weight / min_weight` (1.0 =
+    /// perfectly balanced); `None` when no weighted bundle was recorded.
+    pub fn imbalance(&self) -> Option<f64> {
+        if self.min_weight == 0 {
+            None
+        } else {
+            Some(self.max_weight as f64 / self.min_weight as f64)
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("schedules", Json::Num(self.schedules as f64)),
+            ("bundles", Json::Num(self.bundles as f64)),
+            ("max_weight", Json::Num(self.max_weight as f64)),
+            ("min_weight", Json::Num(self.min_weight as f64)),
+        ];
+        if let Some(r) = self.imbalance() {
+            fields.push(("imbalance", Json::Num(r)));
+        }
+        Json::obj(fields)
+    }
+
+    fn from_json(v: &Json) -> Result<SchedBreak, String> {
+        let int = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("sched missing {k:?}"))
+        };
+        Ok(SchedBreak {
+            schedules: int("schedules")?,
+            bundles: int("bundles")?,
+            max_weight: int("max_weight")?,
+            min_weight: int("min_weight")?,
+        })
+    }
+}
+
 /// One measured configuration: an algorithm on a fixed shape.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchEntry {
@@ -148,6 +204,9 @@ pub struct BenchEntry {
     /// Per-phase wall-time breakdown (empty when the algorithm doesn't
     /// report phases, e.g. single-threaded cycle-following).
     pub phases: Vec<PhaseBreak>,
+    /// Cycle-bundle scheduler counters for the measurement (`None` when
+    /// no row-permute pass scheduled bundles, and in older reports).
+    pub sched: Option<SchedBreak>,
     /// Predicted-vs-measured phase-share stamp (`bench --model`); `None`
     /// for plain runs and reports written before the model existed.
     pub model: Option<ModelBreak>,
@@ -192,6 +251,9 @@ impl BenchEntry {
             ("p90_gbps", Json::Num(self.p90_gbps)),
             ("phases", Json::Arr(phases)),
         ];
+        if let Some(sched) = &self.sched {
+            fields.push(("sched", sched.to_json()));
+        }
         if let Some(model) = &self.model {
             fields.push(("model", model.to_json()));
         }
@@ -230,6 +292,10 @@ impl BenchEntry {
                 })
                 .collect::<Result<Vec<_>, String>>()?,
         };
+        let sched = match v.get("sched") {
+            None => None,
+            Some(s) => Some(SchedBreak::from_json(s)?),
+        };
         let model = match v.get("model") {
             None => None,
             Some(m) => Some(ModelBreak::from_json(m)?),
@@ -247,6 +313,7 @@ impl BenchEntry {
             p10_gbps: num("p10_gbps")?,
             p90_gbps: num("p90_gbps")?,
             phases,
+            sched,
             model,
         })
     }
@@ -343,6 +410,34 @@ impl BenchReport {
         std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))
     }
 
+    /// Why a throughput comparison of `new` against this baseline would
+    /// be meaningless: the runs measured different machine
+    /// configurations. `Some(reason)` when the worker-thread counts
+    /// differ (a 4-thread run gated against a 1-core baseline reports
+    /// bogus regressions/improvements), or when exactly one of the two
+    /// ran under a forced `IPT_KERNEL` override (`dispatch_tier ==
+    /// "override"`). A `"calibrated"` vs `"static"` difference is *not* a
+    /// mismatch — both mean the dispatcher chose, and CI deliberately
+    /// gates calibrated runs against static baselines.
+    pub fn stamp_mismatch(&self, new: &BenchReport) -> Option<String> {
+        if self.threads != new.threads {
+            return Some(format!(
+                "environment stamps disagree: baseline ran with {} thread(s), \
+                 candidate with {} — regenerate the baseline on this configuration",
+                self.threads, new.threads
+            ));
+        }
+        let forced = |r: &BenchReport| r.dispatch_tier == "override";
+        if forced(self) != forced(new) {
+            return Some(format!(
+                "environment stamps disagree: baseline dispatch tier {:?}, \
+                 candidate {:?} (an IPT_KERNEL override on one side skews every entry)",
+                self.dispatch_tier, new.dispatch_tier
+            ));
+        }
+        None
+    }
+
     /// Read and parse `path`.
     pub fn load(path: &str) -> Result<BenchReport, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
@@ -388,6 +483,11 @@ pub struct Comparison {
     pub old_only: usize,
     /// Entries present only in the new report (added configurations).
     pub new_only: usize,
+    /// When `Some`, the whole comparison was skipped (no rows, nothing
+    /// gated) because the two reports' environment stamps disagree — see
+    /// [`BenchReport::stamp_mismatch`]. The caller must surface the
+    /// reason; a skipped gate is not a passed gate.
+    pub skipped: Option<String>,
 }
 
 impl Comparison {
@@ -438,8 +538,19 @@ pub fn classify_change(
 /// and flag any whose median throughput dropped by more than
 /// `threshold_pct` percent (or whose medians are unusable, see
 /// [`classify_change`]). Entries present in only one report produce no
-/// row but are counted in the returned [`Comparison`].
+/// row but are counted in the returned [`Comparison`]. When the two
+/// reports' environment stamps disagree ([`BenchReport::stamp_mismatch`])
+/// nothing is gated: the result carries the skip reason instead of rows
+/// full of bogus cross-configuration diffs.
 pub fn compare(old: &BenchReport, new: &BenchReport, threshold_pct: f64) -> Comparison {
+    if let Some(reason) = old.stamp_mismatch(new) {
+        return Comparison {
+            rows: Vec::new(),
+            old_only: 0,
+            new_only: 0,
+            skipped: Some(reason),
+        };
+    }
     let mut rows = Vec::new();
     let mut new_only = 0;
     for e_new in &new.entries {
@@ -469,6 +580,7 @@ pub fn compare(old: &BenchReport, new: &BenchReport, threshold_pct: f64) -> Comp
         rows,
         old_only,
         new_only,
+        skipped: None,
     }
 }
 
@@ -500,6 +612,7 @@ mod tests {
                     bytes: 2_048,
                 },
             ],
+            sched: None,
             model: None,
         }
     }
@@ -543,6 +656,15 @@ mod tests {
         }
     }
 
+    fn sched_break() -> SchedBreak {
+        SchedBreak {
+            schedules: 5,
+            bundles: 20,
+            max_weight: 1_024,
+            min_weight: 896,
+        }
+    }
+
     fn report(entries: Vec<BenchEntry>) -> BenchReport {
         BenchReport {
             name: "test".to_string(),
@@ -569,6 +691,7 @@ mod tests {
     #[test]
     fn json_keys_appear_in_schema_order() {
         let mut e = entry("c2r", 8, 4, 1.0);
+        e.sched = Some(sched_break());
         e.model = Some(model_break());
         let text = report(vec![e]).to_json().render();
         let order = [
@@ -589,6 +712,12 @@ mod tests {
             "\"phases\"",
             "\"bytes\"",
             "\"fraction\"",
+            "\"sched\"",
+            "\"schedules\"",
+            "\"bundles\"",
+            "\"max_weight\"",
+            "\"min_weight\"",
+            "\"imbalance\"",
             "\"model\"",
             "\"device\"",
             "\"divergence\"",
@@ -627,6 +756,79 @@ mod tests {
         let back = BenchReport::from_json(&doc).unwrap();
         assert_eq!(back, stripped);
         assert!(back.entries[0].model.is_none());
+    }
+
+    #[test]
+    fn sched_stamp_round_trips_and_stays_optional() {
+        let mut e = entry("r2c_parallel_plain", 65536, 8, 4.0);
+        e.sched = Some(sched_break());
+        let r = report(vec![e]);
+        let text = r.to_json().render();
+        let back = BenchReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, r);
+        // Baselines written before the scheduler stamp existed still load.
+        let mut doc = Json::parse(&text).unwrap();
+        drop_keys(&mut doc, "sched");
+        let back = BenchReport::from_json(&doc).unwrap();
+        assert!(back.entries[0].sched.is_none());
+    }
+
+    #[test]
+    fn sched_imbalance_guards_division_by_zero() {
+        assert_eq!(sched_break().imbalance(), Some(1_024.0 / 896.0));
+        let starved = SchedBreak {
+            schedules: 1,
+            bundles: 2,
+            max_weight: 10,
+            min_weight: 0,
+        };
+        assert_eq!(starved.imbalance(), None);
+        // The JSON stamp omits the key rather than emitting NaN/inf.
+        assert!(starved.to_json().get("imbalance").is_none());
+    }
+
+    #[test]
+    fn compare_skips_on_thread_stamp_mismatch() {
+        let old = report(vec![entry("c2r", 8, 8, 10.0)]);
+        let mut new = report(vec![entry("c2r", 8, 8, 0.1)]);
+        new.threads = 8;
+        let cmp = compare(&old, &new, 10.0);
+        let reason = cmp.skipped.as_deref().expect("mismatch must skip");
+        assert!(reason.contains("thread"), "{reason}");
+        assert!(cmp.rows.is_empty());
+        assert_eq!(cmp.regressions(), 0);
+    }
+
+    #[test]
+    fn compare_skips_on_override_tier_asymmetry() {
+        let old = report(vec![entry("c2r", 8, 8, 10.0)]);
+        let mut new = report(vec![entry("c2r", 8, 8, 0.1)]);
+        new.dispatch_tier = "override".to_string();
+        let cmp = compare(&old, &new, 10.0);
+        let reason = cmp
+            .skipped
+            .as_deref()
+            .expect("override asymmetry must skip");
+        assert!(reason.contains("override"), "{reason}");
+        // Override on BOTH sides is comparable (same forced kernel).
+        let mut old2 = report(vec![entry("c2r", 8, 8, 10.0)]);
+        old2.dispatch_tier = "override".to_string();
+        let cmp = compare(&old2, &new, 10.0);
+        assert!(cmp.skipped.is_none());
+        assert_eq!(cmp.regressions(), 1);
+    }
+
+    #[test]
+    fn calibrated_vs_static_is_still_comparable() {
+        // CI deliberately gates calibrated smoke runs against static
+        // committed baselines — that pairing must never skip.
+        let old = report(vec![entry("c2r", 8, 8, 10.0)]);
+        let mut new = report(vec![entry("c2r", 8, 8, 0.1)]);
+        new.dispatch_tier = "calibrated".to_string();
+        new.calibration = "00d1f2e3a4b5c697".to_string();
+        let cmp = compare(&old, &new, 10.0);
+        assert!(cmp.skipped.is_none());
+        assert_eq!(cmp.regressions(), 1);
     }
 
     #[test]

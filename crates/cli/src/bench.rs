@@ -24,10 +24,11 @@
 //!   threshold — the creeping-regression case a pairwise gate misses.
 
 use std::process::ExitCode;
+use std::sync::OnceLock;
 
 use ipt_bench::harness;
 use ipt_bench::history;
-use ipt_bench::report::{compare, BenchEntry, BenchReport, PhaseBreak};
+use ipt_bench::report::{compare, BenchEntry, BenchReport, PhaseBreak, SchedBreak};
 use ipt_core::index::C2rParams;
 use ipt_core::kernels::{self, RowShuffleKernel, ShuffleDirection};
 use ipt_core::{transpose_with, Algorithm, Layout, Scratch};
@@ -40,7 +41,7 @@ ipt bench — run the fixed benchmark suite / compare reports
 USAGE:
   ipt bench --suite transpose|parallel|kernels|aos|batched
             [--out PATH] [--samples N] [--threads N] [--quick] [--model]
-            [--history DIR] [--keep N]
+            [--scaling] [--history DIR] [--keep N]
   ipt bench --compare OLD.json NEW.json [--threshold PCT]
   ipt bench --compare NEW.json --history DIR [--threshold PCT] [--window K]
 
@@ -53,7 +54,15 @@ for smoke tests; for `kernels`, `aos` and `batched` it keeps the full
 shape set (so entries stay comparable against the committed baseline)
 and only cuts samples. --history DIR also archives the run into DIR as
 a dated file (SOURCE_DATE_EPOCH makes the stamp deterministic); --keep N
-then prunes the suite's archive to the N newest files, oldest first.
+then prunes the suite's archive to the N newest files, oldest first
+(default from IPT_BENCH_HISTORY_KEEP when set). --scaling (parallel and
+aos suites only) appends a tall-skinny 65536x8 shape — the regime where
+the cycle-bundle row-permute scheduler carries all the parallelism — and,
+for the parallel suite on a multi-thread pool, additionally measures a
+1-thread r2c_parallel_plain_1t twin so one report carries both ends of
+the scaling-efficiency ratio. Parallel entries also stamp the
+cycle-bundle scheduler's tallies (schedules, bundles, weight imbalance)
+under \"sched\".
 Every report stamps the kernel-dispatch decision tier (override when
 IPT_KERNEL forces a kernel, calibrated when an IPT_CALIBRATION profile
 loaded, static otherwise) and the loaded profile's content hash.
@@ -72,13 +81,19 @@ The `aos` suite measures the skinny-matrix AoS<->SoA specialization
 Pairwise compare exits 0 when every entry of NEW is within PCT percent
 (default 10) of its OLD median throughput, and 3 when any entry
 regressed or either median is unusable (zero/NaN). Entries present in
-only one file are counted and reported, never silently dropped.
+only one file are counted and reported, never silently dropped. When the
+two reports' environment stamps disagree (different thread counts, or an
+IPT_KERNEL override on exactly one side) the comparison is skipped with
+a loud reason and exit 0 — apples-to-oranges numbers must not gate.
+Calibrated-vs-static pairs still compare (CI gates calibrated smoke runs
+against static committed baselines by design).
 
 With --history instead of an OLD file, NEW is gated against the
 trailing median of the last K archived runs (default window 8) with the
-same thread count, and additionally against monotone drift: >= 3
-consecutive declining runs whose cumulative drop exceeds PCT flag even
-when each step stayed under the single-run gate. Exit 3 on either.";
+same thread count and override-kernel stamp, and additionally against
+monotone drift: >= 3 consecutive declining runs whose cumulative drop
+exceeds PCT flag even when each step stayed under the single-run gate.
+Exit 3 on either.";
 
 /// The fixed shapes (rows x cols, u64 elements). Deliberately a mix: two
 /// coprime-free shapes exercising the pre-rotation (gcd > 1), one
@@ -111,6 +126,11 @@ const BATCHED_SHAPES: [(usize, usize); 3] = [(192, 256), (320, 96), (257, 131)];
 /// matrices, small enough that a `--quick` debug run stays fast.
 const BATCH: usize = 16;
 
+/// The `--scaling` shape: tall-skinny enough (one column group of the
+/// default u64 width) that the cycle-bundle row-permute scheduler is the
+/// *only* source of parallelism — the regime the scaling twin measures.
+const TALL_SKINNY: (usize, usize) = (65536, 8);
+
 struct BenchOpts {
     suite: Option<String>,
     out: Option<String>,
@@ -120,6 +140,10 @@ struct BenchOpts {
     /// Stamp each transpose entry with the predicted-vs-measured phase
     /// share breakdown (`crate::model::model_stamp`).
     model: bool,
+    /// Append the [`TALL_SKINNY`] shape (and, for the parallel suite on
+    /// a multi-thread pool, a 1-thread plain-R2C twin entry) so one
+    /// report carries the cycle-bundle scaling-efficiency ratio.
+    scaling: bool,
     /// `--compare` paths: `(OLD, Some(NEW))` pairwise, `(NEW, None)`
     /// with `--history`.
     compare: Option<(String, Option<String>)>,
@@ -149,6 +173,7 @@ fn parse(args: &[String]) -> Result<BenchOpts, String> {
         threads: None,
         quick: false,
         model: false,
+        scaling: false,
         compare: None,
         threshold: 10.0,
         history: None,
@@ -169,6 +194,7 @@ fn parse(args: &[String]) -> Result<BenchOpts, String> {
             "--threads" => o.threads = Some(parse_count("--threads", &grab("--threads")?)?),
             "--quick" => o.quick = true,
             "--model" => o.model = true,
+            "--scaling" => o.scaling = true,
             "--compare" => {
                 let first = grab("--compare")?;
                 // The second path is optional (trend mode supplies the
@@ -223,6 +249,9 @@ fn parse(args: &[String]) -> Result<BenchOpts, String> {
     }
     if o.model && o.suite.is_none() {
         return Err("--model only applies to a --suite run".to_string());
+    }
+    if o.scaling && !matches!(o.suite.as_deref(), Some("parallel") | Some("aos")) {
+        return Err("--scaling only applies to the parallel or aos suites".to_string());
     }
     Ok(o)
 }
@@ -280,7 +309,15 @@ pub fn main(args: &[String]) -> ExitCode {
                 return ExitCode::from(2);
             }
         }
-        if let Some(keep) = opts.keep {
+        // Explicit --keep wins; otherwise IPT_BENCH_HISTORY_KEEP supplies
+        // the retention default (warn-once on garbage, like every knob).
+        static KEEP_ENV: OnceLock<Option<usize>> = OnceLock::new();
+        let keep = opts.keep.or_else(|| {
+            ipt_core::env::parse_once(&KEEP_ENV, "IPT_BENCH_HISTORY_KEEP", |raw| {
+                ipt_core::env::parse_positive("IPT_BENCH_HISTORY_KEEP", raw)
+            })
+        });
+        if let Some(keep) = keep {
             match history::prune(dir, &report.name, keep) {
                 Ok(removed) if removed.is_empty() => {}
                 Ok(removed) => println!(
@@ -306,6 +343,10 @@ fn run_compare(old_path: &str, new_path: &str, threshold: f64) -> ExitCode {
         }
     };
     let cmp = compare(&old, &new, threshold);
+    if let Some(reason) = &cmp.skipped {
+        println!("comparison skipped (not gated): {reason}");
+        return ExitCode::SUCCESS;
+    }
     if cmp.old_only > 0 || cmp.new_only > 0 {
         println!(
             "note: {} entr{} only in {old_path}, {} only in {new_path} (not gated)",
@@ -374,9 +415,9 @@ fn run_trend_compare(new_path: &str, dir: &str, threshold: f64, window: usize) -
     }
     let t = history::trend(&hist, &new, threshold, window);
     println!(
-        "trend gate: suite {:?}, {} archived run(s) ({} skipped: thread-count mismatch), \
-         window {window}, threshold {threshold}%",
-        new.name, t.reports_used, t.skipped_threads
+        "trend gate: suite {:?}, {} archived run(s) ({} skipped: thread-count mismatch, \
+         {} skipped: override-kernel stamp), window {window}, threshold {threshold}%",
+        new.name, t.reports_used, t.skipped_threads, t.skipped_stamps
     );
     if t.new_only > 0 || t.history_only > 0 {
         println!(
@@ -464,13 +505,16 @@ fn run_suite(suite: &str, opts: &BenchOpts) -> Result<BenchReport, String> {
     // Fixed-shape suites keep their full shape set under --quick (the
     // compare key is (algorithm, m, n), so CI smoke runs must produce
     // the same entries as the committed baseline) and only cut samples.
-    let shapes: &[(usize, usize)] = match suite {
-        "kernels" => &KERNEL_SHAPES,
-        "aos" => &AOS_SHAPES,
-        "batched" => &BATCHED_SHAPES,
-        _ if opts.quick => &QUICK_SHAPES,
-        _ => &SHAPES,
+    let mut shapes: Vec<(usize, usize)> = match suite {
+        "kernels" => KERNEL_SHAPES.to_vec(),
+        "aos" => AOS_SHAPES.to_vec(),
+        "batched" => BATCHED_SHAPES.to_vec(),
+        _ if opts.quick => QUICK_SHAPES.to_vec(),
+        _ => SHAPES.to_vec(),
     };
+    if opts.scaling {
+        shapes.push(TALL_SKINNY);
+    }
     let samples = if opts.quick {
         opts.samples.min(3)
     } else {
@@ -629,7 +673,7 @@ fn run_suite(suite: &str, opts: &BenchOpts) -> Result<BenchReport, String> {
         algorithms.len()
     );
     for (alg, mut run) in algorithms {
-        for &(m, n) in shapes {
+        for &(m, n) in &shapes {
             let e = measure(
                 alg,
                 m,
@@ -642,6 +686,43 @@ fn run_suite(suite: &str, opts: &BenchOpts) -> Result<BenchReport, String> {
             print_entry(&e);
             entries.push(e);
         }
+    }
+    if suite == "parallel" && opts.scaling && threads > 1 {
+        // The 1-thread twin of the plain R2C path: the denominator of the
+        // cycle-bundle scaling-efficiency ratio, in the same report so
+        // one file answers "what did N threads buy on this host".
+        ipt_pool::set_num_threads(1);
+        let mut run = |buf: &mut [u64], m: usize, n: usize| {
+            r2c_parallel(buf, m, n, &ParOptions::plain()).unwrap_or_else(|e| abort_exit(e))
+        };
+        for &(m, n) in &shapes {
+            let e = measure(
+                "r2c_parallel_plain_1t",
+                m,
+                n,
+                elems_per_call(m, n),
+                samples,
+                opts.model,
+                &mut run,
+            );
+            print_entry(&e);
+            let nt = entries
+                .iter()
+                .find(|x| x.algorithm == "r2c_parallel_plain" && x.m == m && x.n == n);
+            if let Some(nt) = nt {
+                if e.median_gbps > 0.0 && nt.median_gbps.is_finite() {
+                    let speedup = nt.median_gbps / e.median_gbps;
+                    println!(
+                        "  {:<20} scaling: {threads} threads at {speedup:.2}x over 1 \
+                         ({:.0}% efficiency)",
+                        "",
+                        speedup / threads as f64 * 100.0
+                    );
+                }
+            }
+            entries.push(e);
+        }
+        ipt_pool::set_num_threads(threads);
     }
     Ok(BenchReport {
         name: suite.to_string(),
@@ -712,6 +793,14 @@ fn measure(
     } else {
         None
     };
+    // Cycle-bundle scheduler tallies, stamped only when the timed region
+    // actually dispatched a bundle schedule (serial paths stay unstamped).
+    let sched = (delta.sched.schedules > 0).then_some(SchedBreak {
+        schedules: delta.sched.schedules,
+        bundles: delta.sched.bundles,
+        max_weight: delta.sched.max_weight,
+        min_weight: delta.sched.min_weight,
+    });
     BenchEntry {
         algorithm: alg.to_string(),
         m,
@@ -722,6 +811,7 @@ fn measure(
         p10_gbps: harness::percentile(&tputs, 10.0),
         p90_gbps: harness::percentile(&tputs, 90.0),
         phases,
+        sched,
         model,
     }
 }
@@ -742,6 +832,15 @@ fn print_entry(e: &BenchEntry) {
         "  {:<20} {:>5}x{:<5} median {:8.3} GB/s  (p10 {:.3}, p90 {:.3}){split}",
         e.algorithm, e.m, e.n, e.median_gbps, e.p10_gbps, e.p90_gbps
     );
+    if let Some(s) = &e.sched {
+        let imbalance = s
+            .imbalance()
+            .map_or_else(|| "n/a".to_string(), |x| format!("{x:.2}"));
+        println!(
+            "  {:<20} sched: {} schedule(s), {} bundle(s), weight imbalance {imbalance}",
+            "", s.schedules, s.bundles
+        );
+    }
     if let Some(model) = &e.model {
         println!(
             "  {:<20} model({}): divergence {:.3}, rank {}",

@@ -452,6 +452,7 @@ fn bench_compare_flags_injected_regression() {
         p10_gbps: median,
         p90_gbps: median,
         phases: Vec::new(),
+        sched: None,
         model: None,
     };
     let report = |median: f64| BenchReport {
@@ -480,6 +481,48 @@ fn bench_compare_flags_injected_regression() {
 }
 
 #[test]
+fn bench_compare_skips_on_mismatched_environment_stamps() {
+    use ipt_bench::report::{BenchEntry, BenchReport};
+    let entry = |median: f64| BenchEntry {
+        algorithm: "c2r".to_string(),
+        m: 64,
+        n: 32,
+        elem_bytes: 8,
+        samples: 5,
+        median_gbps: median,
+        p10_gbps: median,
+        p90_gbps: median,
+        phases: Vec::new(),
+        sched: None,
+        model: None,
+    };
+    let report = |median: f64, threads: usize| BenchReport {
+        name: "stamped".to_string(),
+        threads,
+        dispatch_tier: "static".to_string(),
+        calibration: "none".to_string(),
+        entries: vec![entry(median)],
+    };
+    let old = tmpfile("BENCH_stamp_old.json");
+    let new = tmpfile("BENCH_stamp_new.json");
+    report(10.0, 1).save(&old).unwrap();
+    // A collapse measured on a different thread count must not gate —
+    // the numbers are apples to oranges — but the skip must be loud.
+    report(0.1, 4).save(&new).unwrap();
+    let out = ipt(&["bench", "--compare", &old, &new]);
+    assert_ok(&out);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("skipped") && stdout.contains("thread"),
+        "mismatch must be explained: {stdout}"
+    );
+    // Same stamps: the identical collapse gates as usual.
+    report(0.1, 1).save(&new).unwrap();
+    let out = ipt(&["bench", "--compare", &old, &new]);
+    assert_eq!(out.status.code(), Some(3));
+}
+
+#[test]
 fn bench_rejects_bad_flags() {
     for args in [
         &["bench"][..],
@@ -498,6 +541,9 @@ fn bench_rejects_bad_flags() {
         &["bench", "--compare", "a.json", "b.json", "--history", "d"][..],
         // --window is a trend-gate knob only.
         &["bench", "--compare", "a.json", "b.json", "--window", "4"][..],
+        // --scaling only makes sense where the pool parallelism matters.
+        &["bench", "--suite", "transpose", "--scaling"][..],
+        &["bench", "--compare", "a.json", "b.json", "--scaling"][..],
     ] {
         let out = ipt(args);
         assert_eq!(out.status.code(), Some(2), "{args:?} should exit 2");
@@ -583,6 +629,7 @@ fn bench_compare_zero_baseline_cannot_mask_regression() {
         p10_gbps: median,
         p90_gbps: median,
         phases: Vec::new(),
+        sched: None,
         model: None,
     };
     let old = tmpfile("BENCH_zero_old.json");
@@ -625,6 +672,7 @@ fn bench_compare_surfaces_one_sided_entries() {
         p10_gbps: 1.0,
         p90_gbps: 1.0,
         phases: Vec::new(),
+        sched: None,
         model: None,
     };
     let report = |algs: &[&str]| BenchReport {
@@ -717,6 +765,7 @@ fn bench_trend_gate_flags_creeping_regression() {
         p10_gbps: median,
         p90_gbps: median,
         phases: Vec::new(),
+        sched: None,
         model: None,
     };
     let report = |median: f64| BenchReport {

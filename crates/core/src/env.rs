@@ -1,0 +1,126 @@
+//! Shared warn-once environment-knob parsing.
+//!
+//! Every `IPT_*` knob follows the same contract: an unset variable means
+//! "use the default", a parseable value is honored, and garbage is
+//! *reported* on stderr exactly once and then ignored — never silently
+//! swallowed (a knob the user set deserves a diagnostic) and never fatal
+//! (an env typo must not abort a long batch job). [`parse_once`]
+//! centralizes that contract so `IPT_THREADS`, `IPT_KERNEL`, `IPT_FAULT`,
+//! `IPT_CYCLE_GRAIN`, and `IPT_BENCH_HISTORY_KEEP` cannot drift apart
+//! again (`IPT_FAULT` had already drifted: it rejected the case/whitespace
+//! variants the other knobs accept).
+//!
+//! Parsers receive the raw value and are expected to `trim()` (and
+//! case-fold where the domain is symbolic) so shell-quoted exports like
+//! `" Block8 "` behave identically to `block8`. Error strings should name
+//! the variable and quote the raw value — they surface verbatim as
+//! `ipt: ignoring {err}`.
+
+use std::sync::OnceLock;
+
+/// Read and parse the environment variable `var` exactly once, caching
+/// the outcome in `cache`.
+///
+/// * unset variable → `None`, silently;
+/// * `parse(raw)` succeeds → `Some(value)`;
+/// * `parse(raw)` fails → `None`, with `ipt: ignoring {err}` printed to
+///   stderr exactly once per process (the `OnceLock` guarantees it).
+///
+/// ```
+/// use std::sync::OnceLock;
+/// use ipt_core::env::{parse_once, parse_positive};
+///
+/// static GRAIN: OnceLock<Option<usize>> = OnceLock::new();
+/// let grain = parse_once(&GRAIN, "IPT_DOCTEST_UNSET", |raw| {
+///     parse_positive("IPT_DOCTEST_UNSET", raw)
+/// });
+/// assert_eq!(grain, None);
+/// ```
+pub fn parse_once<T: Clone>(
+    cache: &OnceLock<Option<T>>,
+    var: &str,
+    parse: impl FnOnce(&str) -> Result<T, String>,
+) -> Option<T> {
+    cache
+        .get_or_init(|| match std::env::var(var) {
+            Ok(raw) => match parse(&raw) {
+                Ok(v) => Some(v),
+                Err(e) => {
+                    eprintln!("ipt: ignoring {e}");
+                    None
+                }
+            },
+            Err(_) => None,
+        })
+        .clone()
+}
+
+/// Parse a positive-integer knob value (`IPT_THREADS`, `IPT_CYCLE_GRAIN`,
+/// `IPT_BENCH_HISTORY_KEEP`): whitespace-trimmed; zero and garbage are
+/// explicit errors naming `var` and quoting the offending value.
+pub fn parse_positive(var: &str, raw: &str) -> Result<usize, String> {
+    match raw.trim().parse::<usize>() {
+        Ok(0) => Err(format!(
+            "{var} {raw:?} is zero (expected a positive integer)"
+        )),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("{var} {raw:?} is not a positive integer")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positive_parser_trims_and_rejects_zero_and_garbage() {
+        assert_eq!(parse_positive("IPT_X", "4"), Ok(4));
+        assert_eq!(parse_positive("IPT_X", " 8 "), Ok(8));
+        assert_eq!(parse_positive("IPT_X", "\t2\n"), Ok(2));
+        for bad in ["0", " 0 ", "", "many", "-1", "1.5", "4x"] {
+            let err = parse_positive("IPT_X", bad).unwrap_err();
+            assert!(err.contains("IPT_X"), "{bad:?}: {err}");
+            assert!(err.contains(&format!("{bad:?}")), "{bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn unset_variable_is_silently_none() {
+        static CACHE: OnceLock<Option<usize>> = OnceLock::new();
+        let got = parse_once(&CACHE, "IPT_ENV_TEST_NEVER_SET", |raw| {
+            parse_positive("IPT_ENV_TEST_NEVER_SET", raw)
+        });
+        assert_eq!(got, None);
+    }
+
+    #[test]
+    fn parse_runs_once_and_result_is_cached() {
+        // The parser must not run again once the cache is populated, even
+        // if a later call would parse differently.
+        static CACHE: OnceLock<Option<usize>> = OnceLock::new();
+        let mut calls = 0;
+        std::env::set_var("IPT_ENV_TEST_CACHED", "7");
+        let first = parse_once(&CACHE, "IPT_ENV_TEST_CACHED", |raw| {
+            calls += 1;
+            parse_positive("IPT_ENV_TEST_CACHED", raw)
+        });
+        let second = parse_once(&CACHE, "IPT_ENV_TEST_CACHED", |raw| {
+            calls += 1;
+            parse_positive("IPT_ENV_TEST_CACHED", raw)
+        });
+        std::env::remove_var("IPT_ENV_TEST_CACHED");
+        assert_eq!((first, second), (Some(7), Some(7)));
+        assert_eq!(calls, 1, "parser runs exactly once");
+    }
+
+    #[test]
+    fn bad_value_falls_back_to_none() {
+        static CACHE: OnceLock<Option<usize>> = OnceLock::new();
+        std::env::set_var("IPT_ENV_TEST_BAD", "nope");
+        let got = parse_once(&CACHE, "IPT_ENV_TEST_BAD", |raw| {
+            parse_positive("IPT_ENV_TEST_BAD", raw)
+        });
+        std::env::remove_var("IPT_ENV_TEST_BAD");
+        assert_eq!(got, None);
+    }
+}

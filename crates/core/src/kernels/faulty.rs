@@ -66,7 +66,9 @@ mod active {
     static INJECTED_SKEWS: AtomicU64 = AtomicU64::new(0);
 
     /// Parse an `IPT_FAULT` value: `panic:<rate>` or `skew:<rate>` with
-    /// the rate a finite number in `[0, 1]`.
+    /// the rate a finite number in `[0, 1]`. The kind is trimmed and
+    /// case-folded like `IPT_KERNEL` values, so `" Panic : 0.05 "` works
+    /// the same from any shell quoting style.
     pub fn parse_fault(raw: &str) -> Result<FaultMode, String> {
         let t = raw.trim();
         let (kind, rate) = t.split_once(':').ok_or_else(|| {
@@ -79,7 +81,7 @@ mod active {
         if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
             return Err(format!("IPT_FAULT {raw:?} rate must be in [0, 1]"));
         }
-        match kind.trim() {
+        match kind.trim().to_ascii_lowercase().as_str() {
             "panic" => Ok(FaultMode::Panic(rate)),
             "skew" => Ok(FaultMode::Skew(rate)),
             _ => Err(format!(
@@ -89,17 +91,8 @@ mod active {
     }
 
     fn env_mode() -> Option<FaultMode> {
-        *ENV_MODE.get_or_init(|| match std::env::var("IPT_FAULT") {
-            Ok(raw) => match parse_fault(&raw) {
-                Ok(mode) => Some(mode),
-                Err(e) => {
-                    // Warn exactly once, like IPT_THREADS / IPT_KERNEL.
-                    eprintln!("ipt: ignoring {e}");
-                    None
-                }
-            },
-            Err(_) => None,
-        })
+        // Shared warn-once contract with IPT_THREADS / IPT_KERNEL.
+        crate::env::parse_once(&ENV_MODE, "IPT_FAULT", parse_fault)
     }
 
     fn encode(mode: Option<FaultMode>) -> u64 {
@@ -223,6 +216,9 @@ mod tests {
         assert_eq!(parse_fault("panic:0.05"), Ok(FaultMode::Panic(0.05)));
         assert_eq!(parse_fault(" skew : 1 "), Ok(FaultMode::Skew(1.0)));
         assert_eq!(parse_fault("panic:0"), Ok(FaultMode::Panic(0.0)));
+        // Case-folds like IPT_KERNEL: shell exports often capitalize.
+        assert_eq!(parse_fault("PANIC:0.5"), Ok(FaultMode::Panic(0.5)));
+        assert_eq!(parse_fault(" Skew :0.25"), Ok(FaultMode::Skew(0.25)));
         for bad in [
             "panic",
             "panic:",

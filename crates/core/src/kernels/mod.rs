@@ -149,16 +149,13 @@ impl RowShuffleKernel {
     }
 }
 
-/// The `IPT_KERNEL` override, parsed once per process.
+/// The `IPT_KERNEL` override, parsed once per process through the shared
+/// warn-once knob contract ([`crate::env::parse_once`]). The inner
+/// `Option` is the parse result (`auto` defers), the outer one is the
+/// unset/garbage fallback — both resolve to "no override".
 fn env_override() -> Option<RowShuffleKernel> {
-    static OVERRIDE: OnceLock<Option<RowShuffleKernel>> = OnceLock::new();
-    *OVERRIDE.get_or_init(|| match std::env::var("IPT_KERNEL") {
-        Ok(v) => RowShuffleKernel::parse(&v).unwrap_or_else(|e| {
-            eprintln!("ipt: ignoring {e}");
-            None
-        }),
-        Err(_) => None,
-    })
+    static OVERRIDE: OnceLock<Option<Option<RowShuffleKernel>>> = OnceLock::new();
+    crate::env::parse_once(&OVERRIDE, "IPT_KERNEL", RowShuffleKernel::parse).flatten()
 }
 
 /// Pick the fastest kernel for this shape (the heuristic alone, ignoring

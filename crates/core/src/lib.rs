@@ -51,6 +51,7 @@
 //! | [`matrix`] | — | matrix views over `&mut [T]` |
 //! | [`noncopy`] | — | swap-only transposes for non-`Copy` element types |
 //! | [`erased`] | — | type-erased transposes over raw byte buffers |
+//! | [`mod@env`] | — | shared warn-once `IPT_*` environment-knob parsing |
 //! | [`error`] | — | fallible (`Result`) entry points for untrusted shapes |
 //! | [`scratch`] | Thm. 6 | the `O(max(m, n))` auxiliary buffer |
 //! | [`permute`] | Alg. 1 | out-of-place row/column permutation steps |
@@ -67,6 +68,7 @@
 pub mod c2r;
 pub mod check;
 pub mod cycles;
+pub mod env;
 pub mod erased;
 pub mod error;
 pub mod fastdiv;

@@ -82,31 +82,14 @@ static ENV_THREADS: OnceLock<Option<usize>> = OnceLock::new();
 /// Parse an `IPT_THREADS` value: a positive thread count after trimming
 /// whitespace. Zero and garbage are explicit errors, not silent fallbacks.
 fn parse_env_threads(raw: &str) -> Result<usize, String> {
-    match raw.trim().parse::<usize>() {
-        Ok(0) => Err(format!(
-            "IPT_THREADS {raw:?} is zero (expected a positive thread count)"
-        )),
-        Ok(n) => Ok(n),
-        Err(_) => Err(format!(
-            "IPT_THREADS {raw:?} is not a thread count (expected a positive integer)"
-        )),
-    }
+    ipt_core::env::parse_positive("IPT_THREADS", raw)
 }
 
 fn env_threads() -> Option<usize> {
-    *ENV_THREADS.get_or_init(|| match std::env::var("IPT_THREADS") {
-        Ok(raw) => match parse_env_threads(&raw) {
-            Ok(n) => Some(n),
-            Err(e) => {
-                // Warn exactly once (the OnceLock guarantees it), like the
-                // dispatcher's IPT_KERNEL handling, instead of silently
-                // ignoring a knob the user set.
-                eprintln!("ipt: ignoring {e}");
-                None
-            }
-        },
-        Err(_) => None,
-    })
+    // Shared warn-once knob contract (ipt_core::env): garbage warns
+    // exactly once on stderr, like IPT_KERNEL and IPT_FAULT, instead of
+    // silently ignoring a knob the user set.
+    ipt_core::env::parse_once(&ENV_THREADS, "IPT_THREADS", parse_env_threads)
 }
 
 /// The number of worker threads the global (default) pool uses.

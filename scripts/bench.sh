@@ -14,9 +14,17 @@
 #                          later run with
 #                          `ipt-cli bench --compare NEW --history DIR`).
 #   IPT_BENCH_HISTORY_KEEP per-suite retention for that archive (default
-#                          24): after each run the suite's archive is
-#                          pruned to the newest N files, oldest first,
-#                          so a long-lived history dir stays bounded.
+#                          24 here): after each run the suite's archive
+#                          is pruned to the newest N files, oldest first,
+#                          so a long-lived history dir stays bounded. The
+#                          CLI reads the same variable itself when --keep
+#                          is omitted; this script just supplies a default.
+#
+# On a multi-core host (nproc > 1) the parallel and aos suites run with
+# --scaling: the report gains the tall-skinny cycle-bundle shape and (for
+# parallel) a 1-thread r2c_parallel_plain_1t twin, so each archive entry
+# carries the host's scaling-efficiency ratio. Single-core hosts skip it
+# — a 1-vs-1 "scaling" entry would be noise.
 #
 # Numbers are machine-dependent: regenerate on the machine you compare
 # on, and gate changes with
@@ -40,14 +48,24 @@ CLI=target/release/ipt-cli
 
 HISTORY_FLAGS=()
 if [ -n "${IPT_BENCH_HISTORY_DIR:-}" ]; then
-    HISTORY_FLAGS=(--history "$IPT_BENCH_HISTORY_DIR"
-        --keep "${IPT_BENCH_HISTORY_KEEP:-24}")
+    HISTORY_FLAGS=(--history "$IPT_BENCH_HISTORY_DIR")
+    # Retention rides the CLI's own IPT_BENCH_HISTORY_KEEP routing (one
+    # parser, one warn-once diagnostic); the script only sets the default.
+    export IPT_BENCH_HISTORY_KEEP="${IPT_BENCH_HISTORY_KEEP:-24}"
 fi
+
+CORES=$(nproc 2> /dev/null || echo 1)
 
 for suite in "${SUITES[@]}"; do
     echo "== suite: $suite =="
+    SCALING_FLAGS=()
+    if [ "$CORES" -gt 1 ]; then
+        case "$suite" in
+            parallel | aos) SCALING_FLAGS=(--scaling) ;;
+        esac
+    fi
     "$CLI" bench --suite "$suite" --out "BENCH_${suite}.json" \
-        "${HISTORY_FLAGS[@]}" "$@"
+        "${HISTORY_FLAGS[@]}" "${SCALING_FLAGS[@]}" "$@"
 done
 
 echo "== sanity: self-compare round-trip =="

@@ -21,7 +21,10 @@
 #                        (trailing-median + drift gate, --history)
 #   tier 3  sanitize     release test run of the concurrency layer with
 #                        the disjointness checker live (IPT_CHECK=1) plus
-#                        the fault-injection suite
+#                        the fault-injection suite, then a cycle-scheduler
+#                        smoke: a tall-skinny --scaling bench under
+#                        IPT_FAULT + IPT_CHECK=1 must exit 4 (structured
+#                        abort) or 0 — never SIGSEGV
 #   tier 3  miri         cargo +nightly miri over ipt-core + ipt-pool;
 #                        skips gracefully when no nightly+miri toolchain
 #                        is installed (CI runs it as a soft-fail job)
@@ -60,6 +63,51 @@ sanitize_stage() {
     IPT_CHECK=1 cargo test --release -p ipt-parallel -p ipt-pool
     IPT_CHECK=1 cargo test --release -p ipt --features fault-inject \
         --test fault_injection
+
+    stage "cycle-scheduler smoke: tall-skinny bundles under faults (tier 3)"
+    # --scaling appends the 65536x8 shape — one column group of the
+    # default u64 width, so every row-permute task comes from the
+    # cycle-bundle scheduler — and measures the 1-thread plain-R2C twin.
+    # Under a 5% panic rate with the checker live, the containment
+    # contract is the same as the fault stage's: structured abort or
+    # clean pass, never a crash.
+    cargo build --release -p ipt-cli --features fault-inject --quiet
+    contained_bench --scaling
+}
+
+# Run one fault-injected parallel bench (extra `ipt-cli bench` flags pass
+# through) and enforce the containment contract: the only acceptable
+# outcomes are a structured abort (exit 4, "transpose aborted in phase
+# ...") or — should the deterministic decisions miss every site — a clean
+# pass. A segfault (139), a raw panic exit (101) or any other code means
+# containment broke. Writes the report to a temp file so a clean run
+# cannot clobber the committed BENCH_parallel.json baseline.
+contained_bench() {
+    local out rc=0
+    out="$(IPT_FAULT=panic:0.05 IPT_CHECK=1 \
+        target/release/ipt-cli bench --suite parallel --quick --samples 2 \
+        --out "$(mktemp)" "$@" 2>&1)" || rc=$?
+    case "$rc" in
+        4)
+            if ! grep -q "transpose aborted in phase" <<< "$out"; then
+                echo "$out"
+                echo "fault smoke: exit 4 without a TransposeAborted report"
+                return 1
+            fi
+            echo "fault smoke: contained abort, as expected:"
+            grep "transpose aborted" <<< "$out" | head -1
+            ;;
+        0)
+            echo "fault smoke: WARNING: no injection fired on this" \
+                 "shape set (deterministic decisions all missed)"
+            ;;
+        *)
+            echo "$out"
+            echo "fault smoke: unexpected exit code $rc (139 = SIGSEGV," \
+                 "101 = uncontained panic)"
+            return 1
+            ;;
+    esac
 }
 
 miri_stage() {
@@ -82,37 +130,9 @@ miri_stage() {
 fault_stage() {
     stage "fault smoke: injected panics must abort, not crash (tier 3)"
     # Build the CLI with the injection sites compiled in and run a bench
-    # suite under a 5% per-item panic rate. The only acceptable outcomes
-    # are a structured abort (exit 4, "transpose aborted in phase ...")
-    # or — should the deterministic decisions miss every site — a clean
-    # pass. A segfault (139), a raw panic exit (101) or any other code
-    # means containment broke.
+    # suite under a 5% per-item panic rate (contract in contained_bench).
     cargo build --release -p ipt-cli --features fault-inject --quiet
-    local out rc=0
-    out="$(IPT_FAULT=panic:0.05 IPT_CHECK=1 \
-        target/release/ipt-cli bench --suite parallel --quick --samples 2 \
-        2>&1)" || rc=$?
-    case "$rc" in
-        4)
-            if ! grep -q "transpose aborted in phase" <<< "$out"; then
-                echo "$out"
-                echo "fault smoke: exit 4 without a TransposeAborted report"
-                return 1
-            fi
-            echo "fault smoke: contained abort, as expected:"
-            grep "transpose aborted" <<< "$out" | head -1
-            ;;
-        0)
-            echo "fault smoke: WARNING: no injection fired on this" \
-                 "shape set (deterministic decisions all missed)"
-            ;;
-        *)
-            echo "$out"
-            echo "fault smoke: unexpected exit code $rc (139 = SIGSEGV," \
-                 "101 = uncontained panic)"
-            return 1
-            ;;
-    esac
+    contained_bench
 }
 
 main_pipeline() {

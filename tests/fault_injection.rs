@@ -19,9 +19,9 @@
 
 use ipt::core::check::reference_transpose;
 use ipt::core::kernels::faulty::{self, FaultMode};
-use ipt::core::Layout;
+use ipt::core::{Layout, Scratch};
 use ipt::parallel::batched::transpose_batched;
-use ipt::parallel::{c2r_parallel, ParOptions, TransposeAborted};
+use ipt::parallel::{c2r_parallel, r2c_parallel, ParOptions, TransposeAborted};
 use ipt::pool::{set_num_threads, stats};
 use std::sync::{Mutex, MutexGuard};
 
@@ -66,6 +66,94 @@ fn run_c2r(m: usize, n: usize, opts: &ParOptions) -> (Result<(), TransposeAborte
         assert_eq!(a, want, "Ok result must mean a correct {m}x{n} transpose");
     }
     (result, p1 - p0, s1 - s0)
+}
+
+/// Run one forced-fault plain R2C — the path whose first pass is the
+/// cycle-bundle row permute — and return `(result, panics, skews)` deltas.
+fn run_r2c_plain(m: usize, n: usize) -> (Result<(), TransposeAborted>, u64, u64) {
+    let mut a: Vec<u64> = (0..(m * n) as u64).collect();
+    let mut want = a.clone();
+    ipt::core::r2c(&mut want, m, n, &mut Scratch::new());
+    let (p0, s0) = faulty::injection_counts();
+    let result = r2c_parallel(&mut a, m, n, &ParOptions::plain());
+    let (p1, s1) = faulty::injection_counts();
+    if result.is_ok() {
+        assert_eq!(a, want, "Ok result must mean a correct {m}x{n} R2C");
+    }
+    (result, p1 - p0, s1 - s0)
+}
+
+#[test]
+fn row_cycle_bundle_panics_are_contained_across_thread_counts() {
+    let _guard = setup();
+    let _forced = Forced::new(FaultMode::Panic(0.1));
+    let mut aborted = 0u64;
+    for threads in [1usize, 2, 4] {
+        set_num_threads(threads);
+        // Tall-skinny shapes collapse to one column group, so these sweeps
+        // only parallelize (and only inject "row_cycle_bundle" panics)
+        // through the cycle-bundle axis.
+        for (m, n) in [(4096usize, 8usize), (2048, 48), (513, 96)] {
+            let (result, panics, _) = run_r2c_plain(m, n);
+            match result {
+                Err(e) => {
+                    assert!(panics > 0, "abort without injection: {e} ({m}x{n})");
+                    assert!(
+                        e.source.payload.contains("ipt fault injection"),
+                        "unexpected payload: {e}"
+                    );
+                    aborted += 1;
+                }
+                Ok(()) => assert_eq!(panics, 0, "{m}x{n} swallowed an injected panic"),
+            }
+        }
+    }
+    assert!(aborted > 0, "the sweep never injected a bundle panic");
+}
+
+#[test]
+fn row_cycle_bundle_skews_abort_via_the_shadow_claims() {
+    let _guard = setup();
+    let _forced = Forced::new(FaultMode::Skew(1.0));
+    // Plain R2C runs the cycle-bundle row permute first, so with rate 1.0
+    // the first skewed write lands outside the task's row-set x
+    // column-group claim and must trip the checker before any other
+    // phase's sites fire. Shapes span several column groups of the
+    // default u64 width (skews need a foreign group to land in).
+    let mut named_the_scheduler = 0u64;
+    let mut caught = 0u64;
+    for threads in [1usize, 2, 4] {
+        set_num_threads(threads);
+        for (m, n) in [(200usize, 96usize), (96, 192), (513, 64)] {
+            let (result, _, skews) = run_r2c_plain(m, n);
+            match result {
+                Err(e) => {
+                    assert!(skews > 0, "abort without a skew: {e} ({m}x{n})");
+                    assert!(
+                        e.source.payload.contains("disjointness"),
+                        "skew must abort via the checker, got: {e}"
+                    );
+                    caught += 1;
+                    // The violation label should name the bundle scheduler
+                    // and its composite-owner decode rule.
+                    if e.source.payload.contains("row_permute")
+                        && e.source.payload.contains("cycle bundle")
+                    {
+                        named_the_scheduler += 1;
+                    }
+                }
+                Ok(()) => assert_eq!(
+                    skews, 0,
+                    "threads={threads} {m}x{n}: {skews} skews went undetected"
+                ),
+            }
+        }
+    }
+    assert!(caught > 0, "the sweep never injected a bundle skew");
+    assert!(
+        named_the_scheduler > 0,
+        "no abort named the row-permute bundle scheduler"
+    );
 }
 
 #[test]
@@ -195,5 +283,11 @@ fn zero_rate_injects_nothing_and_transposes_correctly() {
             assert!(result.is_ok(), "rate 0.0 must never abort");
             assert_eq!((panics, skews), (0, 0));
         }
+        // Clean cycle-bundle runs: byte-identical to the serial reference
+        // with zero shadow-map aborts under IPT_CHECK=1 (run_r2c_plain
+        // asserts equality on Ok).
+        let (result, panics, skews) = run_r2c_plain(4096, 8);
+        assert!(result.is_ok(), "clean bundle run must never abort");
+        assert_eq!((panics, skews), (0, 0));
     }
 }

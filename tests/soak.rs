@@ -143,9 +143,22 @@ fn soak_faults_always_contained_and_detected() {
         };
         faulty::force(Some(mode));
         let mut a: Vec<u64> = (0..(m * n) as u64).collect();
-        let want = reference_transpose(&a, m, n, ipt_core::Layout::RowMajor);
+        // Half the rounds run R2C, whose plain path opens with the
+        // cycle-bundle row permute (its panic and skew sites included).
+        let r2c = round % 4 >= 2;
+        let want = if r2c {
+            let mut w = a.clone();
+            ipt_core::r2c(&mut w, m, n, &mut Scratch::new());
+            w
+        } else {
+            reference_transpose(&a, m, n, ipt_core::Layout::RowMajor)
+        };
         let (p0, s0) = faulty::injection_counts();
-        let result = ipt_parallel::c2r_parallel(&mut a, m, n, &opts);
+        let result = if r2c {
+            ipt_parallel::r2c_parallel(&mut a, m, n, &opts)
+        } else {
+            ipt_parallel::c2r_parallel(&mut a, m, n, &opts)
+        };
         let (p1, s1) = faulty::injection_counts();
         faulty::unforce();
 
