@@ -478,6 +478,7 @@ mod tests {
             phases: Vec::new(),
             sched: None,
             model: None,
+            recovery: None,
         }
     }
 

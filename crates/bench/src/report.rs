@@ -182,6 +182,47 @@ impl SchedBreak {
     }
 }
 
+/// The self-healing layer's activity while an entry was measured (deltas
+/// of `ipt_pool::stats` recovery counters): how many retry rungs ran, how
+/// many ops ultimately recovered, and how many rungs ran degraded.
+/// `None` for fault-free measurements (the overwhelmingly common case)
+/// and for reports written before the recovery layer existed — a stamped
+/// entry is a red flag that faults fired *during* the measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryBreak {
+    /// Retry rungs climbed during measurement (parallel re-runs plus
+    /// sequential-redo rungs).
+    pub retries: u64,
+    /// Ops that failed at least once and still completed.
+    pub recovered: u64,
+    /// Rungs that ran with a degraded configuration (scalar-pinned
+    /// kernels, or the final sequential redo).
+    pub degraded: u64,
+}
+
+impl RecoveryBreak {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("retries", Json::Num(self.retries as f64)),
+            ("recovered", Json::Num(self.recovered as f64)),
+            ("degraded", Json::Num(self.degraded as f64)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<RecoveryBreak, String> {
+        let int = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("recovery missing {k:?}"))
+        };
+        Ok(RecoveryBreak {
+            retries: int("retries")?,
+            recovered: int("recovered")?,
+            degraded: int("degraded")?,
+        })
+    }
+}
+
 /// One measured configuration: an algorithm on a fixed shape.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchEntry {
@@ -210,6 +251,9 @@ pub struct BenchEntry {
     /// Predicted-vs-measured phase-share stamp (`bench --model`); `None`
     /// for plain runs and reports written before the model existed.
     pub model: Option<ModelBreak>,
+    /// Recovery-ladder counters for the measurement (`None` for
+    /// fault-free runs — any stamp means faults fired mid-measurement).
+    pub recovery: Option<RecoveryBreak>,
 }
 
 impl BenchEntry {
@@ -257,6 +301,9 @@ impl BenchEntry {
         if let Some(model) = &self.model {
             fields.push(("model", model.to_json()));
         }
+        if let Some(recovery) = &self.recovery {
+            fields.push(("recovery", recovery.to_json()));
+        }
         Json::obj(fields)
     }
 
@@ -300,6 +347,10 @@ impl BenchEntry {
             None => None,
             Some(m) => Some(ModelBreak::from_json(m)?),
         };
+        let recovery = match v.get("recovery") {
+            None => None,
+            Some(r) => Some(RecoveryBreak::from_json(r)?),
+        };
         Ok(BenchEntry {
             algorithm: field("algorithm")?
                 .as_str()
@@ -315,6 +366,7 @@ impl BenchEntry {
             phases,
             sched,
             model,
+            recovery,
         })
     }
 }
@@ -614,6 +666,7 @@ mod tests {
             ],
             sched: None,
             model: None,
+            recovery: None,
         }
     }
 
@@ -665,6 +718,14 @@ mod tests {
         }
     }
 
+    fn recovery_break() -> RecoveryBreak {
+        RecoveryBreak {
+            retries: 3,
+            recovered: 2,
+            degraded: 1,
+        }
+    }
+
     fn report(entries: Vec<BenchEntry>) -> BenchReport {
         BenchReport {
             name: "test".to_string(),
@@ -693,6 +754,7 @@ mod tests {
         let mut e = entry("c2r", 8, 4, 1.0);
         e.sched = Some(sched_break());
         e.model = Some(model_break());
+        e.recovery = Some(recovery_break());
         let text = report(vec![e]).to_json().render();
         let order = [
             "\"schema\"",
@@ -725,6 +787,10 @@ mod tests {
             "\"model_phases\"",
             "\"predicted\"",
             "\"measured\"",
+            "\"recovery\"",
+            "\"retries\"",
+            "\"recovered\"",
+            "\"degraded\"",
         ];
         let mut last = 0;
         for key in order {
@@ -771,6 +837,21 @@ mod tests {
         drop_keys(&mut doc, "sched");
         let back = BenchReport::from_json(&doc).unwrap();
         assert!(back.entries[0].sched.is_none());
+    }
+
+    #[test]
+    fn recovery_stamp_round_trips_and_stays_optional() {
+        let mut e = entry("c2r_parallel", 192, 256, 2.0);
+        e.recovery = Some(recovery_break());
+        let r = report(vec![e]);
+        let text = r.to_json().render();
+        let back = BenchReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, r);
+        // Baselines written before the recovery stamp existed still load.
+        let mut doc = Json::parse(&text).unwrap();
+        drop_keys(&mut doc, "recovery");
+        let back = BenchReport::from_json(&doc).unwrap();
+        assert!(back.entries[0].recovery.is_none());
     }
 
     #[test]

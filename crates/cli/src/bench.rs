@@ -28,7 +28,7 @@ use std::sync::OnceLock;
 
 use ipt_bench::harness;
 use ipt_bench::history;
-use ipt_bench::report::{compare, BenchEntry, BenchReport, PhaseBreak, SchedBreak};
+use ipt_bench::report::{compare, BenchEntry, BenchReport, PhaseBreak, RecoveryBreak, SchedBreak};
 use ipt_core::index::C2rParams;
 use ipt_core::kernels::{self, RowShuffleKernel, ShuffleDirection};
 use ipt_core::{transpose_with, Algorithm, Layout, Scratch};
@@ -801,6 +801,14 @@ fn measure(
         max_weight: delta.sched.max_weight,
         min_weight: delta.sched.min_weight,
     });
+    // Recovery-ladder tallies, stamped only when a retry rung actually ran
+    // during the timed region — a stamped entry flags that faults fired
+    // (and were healed) mid-measurement, so its timings include recovery.
+    let recovery = (delta.retries_attempted > 0).then_some(RecoveryBreak {
+        retries: delta.retries_attempted,
+        recovered: delta.recovered,
+        degraded: delta.degraded,
+    });
     BenchEntry {
         algorithm: alg.to_string(),
         m,
@@ -813,6 +821,7 @@ fn measure(
         phases,
         sched,
         model,
+        recovery,
     }
 }
 
@@ -848,6 +857,12 @@ fn print_entry(e: &BenchEntry) {
             model.device,
             model.divergence,
             if model.rank_agrees { "agrees" } else { "flips" }
+        );
+    }
+    if let Some(r) = &e.recovery {
+        println!(
+            "  {:<20} recovery: {} retry rung(s), {} op(s) recovered, {} degraded rung(s)",
+            "", r.retries, r.recovered, r.degraded
         );
     }
 }

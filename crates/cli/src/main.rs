@@ -62,7 +62,16 @@ machine-readable BENCH_*.json baselines (see `ipt bench --help`).
 measured phase timers for one shape and gates on their divergence (see
 `ipt model --help`). `calibrate` measures this host's kernel crossovers
 and persists them so dispatch uses measured thresholds (see
-`ipt calibrate --help`).";
+`ipt calibrate --help`).
+
+EXIT CODES:
+  0  success
+  2  usage error (unknown flag, missing argument, bad file)
+  3  bench regression gate failed (--compare / --history)
+  4  parallel transpose aborted: a worker fault was contained but the
+     recovery budget (IPT_RETRY, default 0) was exhausted
+  5  hang watchdog fired: a task exceeded IPT_WATCHDOG_MS and the
+     process exited rather than wedge";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

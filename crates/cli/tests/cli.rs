@@ -454,6 +454,7 @@ fn bench_compare_flags_injected_regression() {
         phases: Vec::new(),
         sched: None,
         model: None,
+        recovery: None,
     };
     let report = |median: f64| BenchReport {
         name: "injected".to_string(),
@@ -495,6 +496,7 @@ fn bench_compare_skips_on_mismatched_environment_stamps() {
         phases: Vec::new(),
         sched: None,
         model: None,
+        recovery: None,
     };
     let report = |median: f64, threads: usize| BenchReport {
         name: "stamped".to_string(),
@@ -631,6 +633,7 @@ fn bench_compare_zero_baseline_cannot_mask_regression() {
         phases: Vec::new(),
         sched: None,
         model: None,
+        recovery: None,
     };
     let old = tmpfile("BENCH_zero_old.json");
     let new = tmpfile("BENCH_zero_new.json");
@@ -674,6 +677,7 @@ fn bench_compare_surfaces_one_sided_entries() {
         phases: Vec::new(),
         sched: None,
         model: None,
+        recovery: None,
     };
     let report = |algs: &[&str]| BenchReport {
         name: "sided".to_string(),
@@ -767,6 +771,7 @@ fn bench_trend_gate_flags_creeping_regression() {
         phases: Vec::new(),
         sched: None,
         model: None,
+        recovery: None,
     };
     let report = |median: f64| BenchReport {
         name: "synthetic".to_string(),

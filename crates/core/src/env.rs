@@ -68,6 +68,15 @@ pub fn parse_positive(var: &str, raw: &str) -> Result<usize, String> {
     }
 }
 
+/// Parse a non-negative-integer knob value (`IPT_RETRY`): like
+/// [`parse_positive`] but zero is a legal, meaningful setting — it is how
+/// a user explicitly switches the feature off.
+pub fn parse_non_negative(var: &str, raw: &str) -> Result<usize, String> {
+    raw.trim()
+        .parse::<usize>()
+        .map_err(|_| format!("{var} {raw:?} is not a non-negative integer"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,6 +88,17 @@ mod tests {
         assert_eq!(parse_positive("IPT_X", "\t2\n"), Ok(2));
         for bad in ["0", " 0 ", "", "many", "-1", "1.5", "4x"] {
             let err = parse_positive("IPT_X", bad).unwrap_err();
+            assert!(err.contains("IPT_X"), "{bad:?}: {err}");
+            assert!(err.contains(&format!("{bad:?}")), "{bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn non_negative_parser_accepts_zero_and_rejects_garbage() {
+        assert_eq!(parse_non_negative("IPT_X", "0"), Ok(0));
+        assert_eq!(parse_non_negative("IPT_X", " 3 "), Ok(3));
+        for bad in ["", "many", "-1", "1.5", "4x"] {
+            let err = parse_non_negative("IPT_X", bad).unwrap_err();
             assert!(err.contains("IPT_X"), "{bad:?}: {err}");
             assert!(err.contains(&format!("{bad:?}")), "{bad:?}: {err}");
         }

@@ -20,13 +20,20 @@
 //! thread count, scheduling, or how many other sites fired. Runs are
 //! reproducible across `IPT_THREADS` values by construction.
 //!
+//! A third fault kind exists for the pool's hang watchdog: **hangs**
+//! ([`maybe_panic`] under `hang:<rate>` sleeps forever instead of
+//! panicking), which no unwinding net can catch — only the deadline-based
+//! `IPT_WATCHDOG_MS` monitor in `ipt_pool::watchdog`. Never inject hangs
+//! in an in-process test: the stuck worker thread cannot be reclaimed.
+//! Hang coverage lives in out-of-process CLI smokes wrapped in `timeout`.
+//!
 //! Everything here is gated behind the default-off `fault-inject`
 //! feature: without it the two entry points compile to `#[inline(always)]`
 //! no-ops (zero cost in production builds), and the `IPT_FAULT` knob is
 //! ignored. With the feature, the mode comes from `IPT_FAULT`
-//! (`panic:<rate>` or `skew:<rate>`, rate in `[0, 1]`) or from a
-//! programmatic `force` override (for in-process tests that need both
-//! modes in one binary).
+//! (`panic:<rate>`, `skew:<rate>`, or `hang:<rate>`, rate in `[0, 1]`) or
+//! from a programmatic `force` override (for in-process tests that need
+//! several modes in one binary).
 
 /// A fault-injection directive: what to inject and at which per-item rate.
 #[cfg(feature = "fault-inject")]
@@ -36,6 +43,9 @@ pub enum FaultMode {
     Panic(f64),
     /// Skew column indices outside the owning group at the given rate.
     Skew(f64),
+    /// Sleep forever inside worker closures at the given rate (watchdog
+    /// prey — see the module docs for why this is CLI-smoke-only).
+    Hang(f64),
 }
 
 #[cfg(feature = "fault-inject")]
@@ -59,20 +69,25 @@ mod active {
     const FORCED_OFF: u64 = 1;
     const KIND_PANIC: u64 = 2;
     const KIND_SKEW: u64 = 3;
+    const KIND_HANG: u64 = 4;
 
     /// Panics actually injected (not merely eligible) since process start.
     static INJECTED_PANICS: AtomicU64 = AtomicU64::new(0);
     /// Skews actually injected since process start.
     static INJECTED_SKEWS: AtomicU64 = AtomicU64::new(0);
+    /// Hangs actually injected since process start (counted just before
+    /// the worker stops making progress, so a watchdog report can be
+    /// correlated with the injection tally by an outside observer).
+    static INJECTED_HANGS: AtomicU64 = AtomicU64::new(0);
 
-    /// Parse an `IPT_FAULT` value: `panic:<rate>` or `skew:<rate>` with
-    /// the rate a finite number in `[0, 1]`. The kind is trimmed and
-    /// case-folded like `IPT_KERNEL` values, so `" Panic : 0.05 "` works
-    /// the same from any shell quoting style.
+    /// Parse an `IPT_FAULT` value: `panic:<rate>`, `skew:<rate>`, or
+    /// `hang:<rate>` with the rate a finite number in `[0, 1]`. The kind
+    /// is trimmed and case-folded like `IPT_KERNEL` values, so
+    /// `" Panic : 0.05 "` works the same from any shell quoting style.
     pub fn parse_fault(raw: &str) -> Result<FaultMode, String> {
         let t = raw.trim();
         let (kind, rate) = t.split_once(':').ok_or_else(|| {
-            format!("IPT_FAULT {raw:?} is not of the form panic:<rate>|skew:<rate>")
+            format!("IPT_FAULT {raw:?} is not of the form panic:<rate>|skew:<rate>|hang:<rate>")
         })?;
         let rate: f64 = rate
             .trim()
@@ -84,8 +99,9 @@ mod active {
         match kind.trim().to_ascii_lowercase().as_str() {
             "panic" => Ok(FaultMode::Panic(rate)),
             "skew" => Ok(FaultMode::Skew(rate)),
+            "hang" => Ok(FaultMode::Hang(rate)),
             _ => Err(format!(
-                "IPT_FAULT {raw:?} names an unknown fault kind (expected panic or skew)"
+                "IPT_FAULT {raw:?} names an unknown fault kind (expected panic, skew or hang)"
             )),
         }
     }
@@ -100,6 +116,7 @@ mod active {
             None => FORCED_OFF,
             Some(FaultMode::Panic(r)) => (KIND_PANIC << 32) | u64::from((r as f32).to_bits()),
             Some(FaultMode::Skew(r)) => (KIND_SKEW << 32) | u64::from((r as f32).to_bits()),
+            Some(FaultMode::Hang(r)) => (KIND_HANG << 32) | u64::from((r as f32).to_bits()),
         }
     }
 
@@ -108,6 +125,7 @@ mod active {
         match word >> 32 {
             KIND_PANIC => Some(FaultMode::Panic(rate)),
             KIND_SKEW => Some(FaultMode::Skew(rate)),
+            KIND_HANG => Some(FaultMode::Hang(rate)),
             _ => None,
         }
     }
@@ -132,12 +150,13 @@ mod active {
         }
     }
 
-    /// Faults injected so far: `(panics, skews)`. Tests bracket a region
-    /// with two reads to prove "every injected fault was caught".
-    pub fn injection_counts() -> (u64, u64) {
+    /// Faults injected so far: `(panics, skews, hangs)`. Tests bracket a
+    /// region with two reads to prove "every injected fault was caught".
+    pub fn injection_counts() -> (u64, u64, u64) {
         (
             INJECTED_PANICS.load(Ordering::Relaxed),
             INJECTED_SKEWS.load(Ordering::Relaxed),
+            INJECTED_HANGS.load(Ordering::Relaxed),
         )
     }
 
@@ -155,16 +174,26 @@ mod active {
         ((x >> 11) as f64 / (1u64 << 53) as f64) < rate
     }
 
-    /// Panic at the deterministic rate: the fault the pool's chunk-boundary
-    /// containment must catch. `item` is the work item (row, block, batch
+    /// Panic — or, under `hang:<rate>`, sleep forever — at the
+    /// deterministic rate. Panics are the fault the pool's chunk-boundary
+    /// containment must catch; hangs are the fault only the
+    /// `IPT_WATCHDOG_MS` monitor can report (the loop below never
+    /// returns, deliberately). `item` is the work item (row, block, batch
     /// index) so the decision is independent of thread interleaving.
     #[inline]
     pub fn maybe_panic(site: &'static str, item: usize) {
-        if let Some(FaultMode::Panic(rate)) = mode() {
-            if decide(site, item, rate) {
+        match mode() {
+            Some(FaultMode::Panic(rate)) if decide(site, item, rate) => {
                 INJECTED_PANICS.fetch_add(1, Ordering::Relaxed);
                 panic!("ipt fault injection: injected panic at {site}, item {item}");
             }
+            Some(FaultMode::Hang(rate)) if decide(site, item, rate) => {
+                INJECTED_HANGS.fetch_add(1, Ordering::Relaxed);
+                loop {
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                }
+            }
+            _ => {}
         }
     }
 
@@ -212,25 +241,39 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parse_accepts_both_kinds_and_rejects_garbage() {
+    fn parse_accepts_all_kinds_and_rejects_garbage() {
         assert_eq!(parse_fault("panic:0.05"), Ok(FaultMode::Panic(0.05)));
         assert_eq!(parse_fault(" skew : 1 "), Ok(FaultMode::Skew(1.0)));
         assert_eq!(parse_fault("panic:0"), Ok(FaultMode::Panic(0.0)));
+        assert_eq!(parse_fault("hang:0.1"), Ok(FaultMode::Hang(0.1)));
         // Case-folds like IPT_KERNEL: shell exports often capitalize.
         assert_eq!(parse_fault("PANIC:0.5"), Ok(FaultMode::Panic(0.5)));
         assert_eq!(parse_fault(" Skew :0.25"), Ok(FaultMode::Skew(0.25)));
+        assert_eq!(parse_fault(" Hang : 1 "), Ok(FaultMode::Hang(1.0)));
         for bad in [
             "panic",
             "panic:",
             "panic:2",
             "panic:-0.1",
             "panic:NaN",
+            "hang:2",
+            "hang:",
             "abort:0.5",
             "",
         ] {
             let err = parse_fault(bad).unwrap_err();
             assert!(err.contains("IPT_FAULT"), "{bad:?}: {err}");
         }
+    }
+
+    #[test]
+    fn hang_mode_round_trips_through_the_forced_encoding() {
+        // force/unforce shares one atomic word across all kinds; make
+        // sure the new kind survives encode -> decode with its rate.
+        force(Some(FaultMode::Hang(0.0)));
+        // Rate 0 never fires, so this must return immediately.
+        maybe_panic("hang_site", 3);
+        unforce();
     }
 
     #[test]
@@ -264,7 +307,7 @@ mod tests {
     #[test]
     fn decisions_are_deterministic_and_rate_sensitive() {
         force(Some(FaultMode::Skew(0.5)));
-        let (_, before) = injection_counts();
+        let (_, before, _) = injection_counts();
         let a: Vec<usize> = (0..200)
             .map(|j| skew_column("det_site", j, 0, 200, 400))
             .collect();
@@ -277,7 +320,7 @@ mod tests {
             (40..160).contains(&skewed),
             "rate 0.5 over 200 items: got {skewed}"
         );
-        let (_, after) = injection_counts();
+        let (_, after, _) = injection_counts();
         assert_eq!(after - before, 2 * skewed as u64, "every skew counted");
         unforce();
     }

@@ -9,6 +9,7 @@
 //! whole matrices with its own scratch row.
 
 use crate::group_grain;
+use crate::recover;
 use crate::TransposeAborted;
 use ipt_core::index::C2rParams;
 use ipt_core::kernels::faulty;
@@ -46,16 +47,39 @@ pub fn c2r_batched<T: Copy + Send + Sync>(
     }
     let p = C2rParams::new(m, n);
     let fill = data[0];
-    ipt_pool::par_chunks_exact_mut(
+    recover::run_op(
         data,
-        m * n,
-        group_grain(m * n),
-        || vec![fill; m.max(n)],
-        |tmp, b, mat| {
-            faulty::maybe_panic("batched", b);
+        batch,
+        |data, journal, _degraded| {
+            ipt_pool::par_chunks_exact_mut(
+                data,
+                m * n,
+                group_grain(m * n),
+                || vec![fill; m.max(n)],
+                |tmp, b, mat| {
+                    if journal.is_some_and(|j| j.is_done(b)) {
+                        return;
+                    }
+                    faulty::maybe_panic("batched", b);
+                    if let Some(j) = journal {
+                        j.begin_block(b, b * m * n, mat);
+                    }
+                    permute::prerotate_cycles(mat, &p);
+                    permute::row_shuffle_gather(mat, &p, tmp);
+                    permute::col_shuffle_decomposed(mat, &p, tmp);
+                    if let Some(j) = journal {
+                        j.commit(b);
+                    }
+                },
+            )
+        },
+        |data, b| {
+            // Redo one matrix on the sequential reference path.
+            let mat = &mut data[b * m * n..(b + 1) * m * n];
+            let mut tmp = vec![fill; m.max(n)];
             permute::prerotate_cycles(mat, &p);
-            permute::row_shuffle_gather(mat, &p, tmp);
-            permute::col_shuffle_decomposed(mat, &p, tmp);
+            permute::row_shuffle_gather(mat, &p, &mut tmp);
+            permute::col_shuffle_decomposed(mat, &p, &mut tmp);
         },
     )
     .map_err(|source| TransposeAborted {
@@ -83,16 +107,40 @@ pub fn r2c_batched<T: Copy + Send + Sync>(
     }
     let p = C2rParams::new(m, n);
     let fill = data[0];
-    ipt_pool::par_chunks_exact_mut(
+    recover::run_op(
         data,
-        m * n,
-        group_grain(m * n),
-        || vec![fill; m.max(n)],
-        |tmp, b, mat| {
-            faulty::maybe_panic("batched", b);
-            permute::row_permute_inverse(mat, &p, tmp);
+        batch,
+        |data, journal, _degraded| {
+            ipt_pool::par_chunks_exact_mut(
+                data,
+                m * n,
+                group_grain(m * n),
+                || vec![fill; m.max(n)],
+                |tmp, b, mat| {
+                    if journal.is_some_and(|j| j.is_done(b)) {
+                        return;
+                    }
+                    faulty::maybe_panic("batched", b);
+                    if let Some(j) = journal {
+                        j.begin_block(b, b * m * n, mat);
+                    }
+                    permute::row_permute_inverse(mat, &p, tmp);
+                    permute::col_rotate_inverse(mat, &p);
+                    permute::row_shuffle_gather_forward(mat, &p, tmp);
+                    permute::postrotate_inverse(mat, &p);
+                    if let Some(j) = journal {
+                        j.commit(b);
+                    }
+                },
+            )
+        },
+        |data, b| {
+            // Redo one matrix on the sequential reference path.
+            let mat = &mut data[b * m * n..(b + 1) * m * n];
+            let mut tmp = vec![fill; m.max(n)];
+            permute::row_permute_inverse(mat, &p, &mut tmp);
             permute::col_rotate_inverse(mat, &p);
-            permute::row_shuffle_gather_forward(mat, &p, tmp);
+            permute::row_shuffle_gather_forward(mat, &p, &mut tmp);
             permute::postrotate_inverse(mat, &p);
         },
     )

@@ -28,12 +28,13 @@
 
 use crate::cols::row_permute_groups;
 use crate::group_grain;
+use crate::recover;
 use crate::unsafe_slice::{CheckScope, UnsafeSlice};
 use ipt_core::cycles::CycleSet;
 use ipt_core::gcd::gcd;
 use ipt_core::index::C2rParams;
 use ipt_core::kernels::faulty;
-use ipt_pool::PoolError;
+use ipt_pool::{PoolError, Scratch};
 
 /// Rotate every column `j` left by `amount(j)` using the two-phase
 /// cache-aware scheme, column groups of width `w` in parallel.
@@ -54,21 +55,53 @@ where
         return Ok(());
     }
     let h = block_rows.max(1);
-    let scope = CheckScope::new(data.len(), n, || {
-        format!("rotate_columns_cache_aware (§4.6 two-phase): m={m}, n={n}, group width w={w}")
-    });
-    let us = UnsafeSlice::new(data, &scope);
     let groups = n.div_ceil(w);
-    ipt_pool::par_chunks(0..groups, group_grain(m * w), |sub| {
-        for g in sub {
-            faulty::maybe_panic("col_cache_aware", g);
-            let j0 = g * w;
-            let gw = w.min(n - j0);
-            us.claim_columns(g, j0, gw);
-            let amounts: Vec<usize> = (j0..j0 + gw).map(|j| amount(j) % m).collect();
-            rotate_group(us, m, n, j0, gw, &amounts, h);
-        }
-    })
+    let amount = &amount;
+    recover::run_op(
+        data,
+        groups,
+        |data, journal, _degraded| {
+            let scope = CheckScope::new(data.len(), n, || {
+                format!(
+                    "rotate_columns_cache_aware (§4.6 two-phase): m={m}, n={n}, group width w={w}"
+                )
+            });
+            let us = UnsafeSlice::new(data, &scope);
+            ipt_pool::par_chunks_init(
+                0..groups,
+                group_grain(m * w),
+                Scratch::new,
+                |scratch: &mut Scratch<T>, sub| {
+                    for g in sub {
+                        if journal.is_some_and(|j| j.is_done(g)) {
+                            continue;
+                        }
+                        faulty::maybe_panic("col_cache_aware", g);
+                        let j0 = g * w;
+                        let gw = w.min(n - j0);
+                        us.claim_columns(g, j0, gw);
+                        if let Some(j) = journal {
+                            // SAFETY: snapshot reads stay inside the
+                            // group this worker just claimed.
+                            j.begin(scratch, g, (0..m).map(|r| (r * n + j0, gw)), |idx| unsafe {
+                                us.get(idx)
+                            });
+                        }
+                        let amounts: Vec<usize> = (j0..j0 + gw).map(|j| amount(j) % m).collect();
+                        rotate_group(us, m, n, j0, gw, &amounts, h);
+                        if let Some(j) = journal {
+                            j.commit(g);
+                        }
+                    }
+                },
+            )
+        },
+        |data, g| {
+            // The two-phase scheme is an optimization of the plain
+            // per-column gather; redo with the plain form directly.
+            recover::redo_col_gather(data, m, n, w, g, |i, j| (i + amount(j)) % m)
+        },
+    )
 }
 
 /// One group's two-phase rotation. `amounts[k]` is the (already reduced)
@@ -399,26 +432,50 @@ pub fn col_shuffle_fused<T: Copy + Send + Sync>(
         return Ok(());
     }
     let fill = data[0];
-    let scope = CheckScope::new(data.len(), n, || {
-        format!("col_shuffle_fused (Eq. 26 = fine rotate + g(i)=(q(i)+j0) mod m): m={m}, n={n}, group width w={w}")
-    });
-    let us = UnsafeSlice::new(data, &scope);
     let groups = n.div_ceil(w);
-    ipt_pool::par_chunks_init(
-        0..groups,
-        group_grain(m * w),
-        || (vec![false; m], vec![fill; w]),
-        |(visited, buf), sub| {
-            for g in sub {
-                faulty::maybe_panic("col_fused", g);
-                let j0 = g * w;
-                let gw = w.min(n - j0);
-                us.claim_columns(g, j0, gw);
-                let residuals: Vec<usize> = (0..gw).map(|k| k % m).collect();
-                fine_rotate_left(us, m, n, j0, gw, &residuals, h);
-                let j0m = j0 % m;
-                permute_subrows(us, m, n, j0, gw, |i| (p.q(i) + j0m) % m, visited, buf);
-            }
+    recover::run_op(
+        data,
+        groups,
+        |data, journal, _degraded| {
+            let scope = CheckScope::new(data.len(), n, || {
+                format!("col_shuffle_fused (Eq. 26 = fine rotate + g(i)=(q(i)+j0) mod m): m={m}, n={n}, group width w={w}")
+            });
+            let us = UnsafeSlice::new(data, &scope);
+            ipt_pool::par_chunks_init(
+                0..groups,
+                group_grain(m * w),
+                || (vec![false; m], vec![fill; w], Scratch::new()),
+                |(visited, buf, scratch), sub| {
+                    for g in sub {
+                        if journal.is_some_and(|j| j.is_done(g)) {
+                            continue;
+                        }
+                        faulty::maybe_panic("col_fused", g);
+                        let j0 = g * w;
+                        let gw = w.min(n - j0);
+                        us.claim_columns(g, j0, gw);
+                        if let Some(j) = journal {
+                            // SAFETY: snapshot reads stay inside the claim.
+                            j.begin(scratch, g, (0..m).map(|r| (r * n + j0, gw)), |idx| unsafe {
+                                us.get(idx)
+                            });
+                        }
+                        let residuals: Vec<usize> = (0..gw).map(|k| k % m).collect();
+                        fine_rotate_left(us, m, n, j0, gw, &residuals, h);
+                        let j0m = j0 % m;
+                        permute_subrows(us, m, n, j0, gw, |i| (p.q(i) + j0m) % m, visited, buf);
+                        if let Some(j) = journal {
+                            j.commit(g);
+                        }
+                    }
+                },
+            )
+        },
+        |data, g| {
+            // Per group, the fused pair composes to the direct column
+            // shuffle `dst[i][j] = old[s'_j(i)][j]` (see the fn docs);
+            // redo with that plain gather.
+            recover::redo_col_gather(data, m, n, w, g, |i, j| p.s(j, i))
         },
     )
 }
@@ -438,35 +495,61 @@ pub fn col_shuffle_fused_inverse<T: Copy + Send + Sync>(
         return Ok(());
     }
     let fill = data[0];
-    let scope = CheckScope::new(data.len(), n, || {
-        format!("col_shuffle_fused_inverse (Eq. 32-36 inverse): m={m}, n={n}, group width w={w}")
-    });
-    let us = UnsafeSlice::new(data, &scope);
     let groups = n.div_ceil(w);
-    ipt_pool::par_chunks_init(
-        0..groups,
-        group_grain(m * w),
-        || (vec![false; m], vec![fill; w]),
-        |(visited, buf), sub| {
-            for g in sub {
-                faulty::maybe_panic("col_fused_inverse", g);
-                let j0 = g * w;
-                let gw = w.min(n - j0);
-                us.claim_columns(g, j0, gw);
-                let j0m = j0 % m;
-                permute_subrows(
-                    us,
-                    m,
-                    n,
-                    j0,
-                    gw,
-                    |i| p.q_inv((i + m - j0m) % m),
-                    visited,
-                    buf,
-                );
-                let residuals: Vec<usize> = (0..gw).map(|k| k % m).collect();
-                fine_rotate_right(us, m, n, j0, gw, &residuals, h);
-            }
+    recover::run_op(
+        data,
+        groups,
+        |data, journal, _degraded| {
+            let scope = CheckScope::new(data.len(), n, || {
+                format!(
+                    "col_shuffle_fused_inverse (Eq. 32-36 inverse): m={m}, n={n}, group width w={w}"
+                )
+            });
+            let us = UnsafeSlice::new(data, &scope);
+            ipt_pool::par_chunks_init(
+                0..groups,
+                group_grain(m * w),
+                || (vec![false; m], vec![fill; w], Scratch::new()),
+                |(visited, buf, scratch), sub| {
+                    for g in sub {
+                        if journal.is_some_and(|j| j.is_done(g)) {
+                            continue;
+                        }
+                        faulty::maybe_panic("col_fused_inverse", g);
+                        let j0 = g * w;
+                        let gw = w.min(n - j0);
+                        us.claim_columns(g, j0, gw);
+                        if let Some(j) = journal {
+                            // SAFETY: snapshot reads stay inside the claim.
+                            j.begin(scratch, g, (0..m).map(|r| (r * n + j0, gw)), |idx| unsafe {
+                                us.get(idx)
+                            });
+                        }
+                        let j0m = j0 % m;
+                        permute_subrows(
+                            us,
+                            m,
+                            n,
+                            j0,
+                            gw,
+                            |i| p.q_inv((i + m - j0m) % m),
+                            visited,
+                            buf,
+                        );
+                        let residuals: Vec<usize> = (0..gw).map(|k| k % m).collect();
+                        fine_rotate_right(us, m, n, j0, gw, &residuals, h);
+                        if let Some(j) = journal {
+                            j.commit(g);
+                        }
+                    }
+                },
+            )
+        },
+        |data, g| {
+            // Per column, permute-then-rotate-right composes to
+            // `dst[i][j] = old[q^-1((i + m - j mod m) mod m)][j]` — the
+            // plain row-permute-inverse + column-rotate-inverse pair.
+            recover::redo_col_gather(data, m, n, w, g, |i, j| p.q_inv((i + m - j % m) % m))
         },
     )
 }

@@ -13,10 +13,12 @@
 //! all the groups that worker owns.
 
 use crate::group_grain;
+use crate::recover;
 use crate::unsafe_slice::{CheckScope, UnsafeSlice};
 use ipt_core::cycles::{partition_bundles, CycleSet};
 use ipt_core::index::C2rParams;
 use ipt_core::kernels::faulty;
+use ipt_pool::recovery::TaskJournal;
 use ipt_pool::{PoolError, Scratch};
 use std::sync::OnceLock;
 
@@ -24,10 +26,16 @@ use std::sync::OnceLock;
 /// a per-worker scratch, the group's starting column and its width. Each
 /// group is claimed in the scope's shadow map before `f` runs, so checked
 /// mode verifies every access stays inside the group.
+///
+/// When recovery is armed, `journal` carries the op's [`TaskJournal`]:
+/// committed groups are skipped, and every group about to run snapshots
+/// its `m x gw` rectangle (claimed first, so checked mode sanctions the
+/// snapshot reads) before `f` may write, and commits afterwards.
 fn par_groups<T, F>(
     data: &mut [T],
     n: usize,
     w: usize,
+    journal: Option<&TaskJournal<T>>,
     label: impl FnOnce() -> String,
     f: F,
 ) -> Result<(), PoolError>
@@ -48,11 +56,24 @@ where
         Scratch::new,
         |scratch, sub| {
             for g in sub {
+                if journal.is_some_and(|j| j.is_done(g)) {
+                    continue;
+                }
                 faulty::maybe_panic("col_group", g);
                 let j0 = g * w;
                 let gw = w.min(n - j0);
                 us.claim_columns(g, j0, gw);
+                if let Some(j) = journal {
+                    // SAFETY: every snapshot index r*n + j0 + k (k < gw)
+                    // is inside the group just claimed by this worker.
+                    j.begin(scratch, g, (0..m).map(|r| (r * n + j0, gw)), |idx| unsafe {
+                        us.get(idx)
+                    });
+                }
                 f(scratch, us, j0, gw);
+                if let Some(j) = journal {
+                    j.commit(g);
+                }
             }
         },
     )
@@ -73,33 +94,42 @@ where
     A: Fn(usize) -> usize + Send + Sync,
 {
     assert_eq!(data.len(), m * n);
-    par_groups(
+    let amount = &amount;
+    recover::run_op(
         data,
-        n,
-        w,
-        || format!("rotate_columns (Eq. 23/35): m={m}, n={n}, group width w={w}"),
-        |scratch, us, j0, gw| {
-            // Fill value must come from this worker's own claimed group
-            // (reading column 0 here would race with group 0's writer).
-            let buf = scratch.uninit_buf(m, unsafe { us.get(j0) });
-            for j in j0..j0 + gw {
-                let k = amount(j) % m;
-                if k == 0 {
-                    continue;
-                }
-                for (i, slot) in buf.iter_mut().enumerate() {
-                    let src = i + k - if i + k >= m { m } else { 0 };
-                    // SAFETY: index src*n + j belongs to column j of this
-                    // worker's group; bounds: src < m, j < n.
-                    *slot = unsafe { us.get(src * n + j) };
-                }
-                let jw = faulty::skew_column("rotate_columns", j, j0, gw, n);
-                for (i, &v) in buf.iter().enumerate() {
-                    // SAFETY: same column-ownership argument.
-                    unsafe { us.set(i * n + jw, v) };
-                }
-            }
+        n.div_ceil(w),
+        |data, journal, _degraded| {
+            par_groups(
+                data,
+                n,
+                w,
+                journal,
+                || format!("rotate_columns (Eq. 23/35): m={m}, n={n}, group width w={w}"),
+                |scratch, us, j0, gw| {
+                    // Fill value must come from this worker's own claimed group
+                    // (reading column 0 here would race with group 0's writer).
+                    let buf = scratch.uninit_buf(m, unsafe { us.get(j0) });
+                    for j in j0..j0 + gw {
+                        let k = amount(j) % m;
+                        if k == 0 {
+                            continue;
+                        }
+                        for (i, slot) in buf.iter_mut().enumerate() {
+                            let src = i + k - if i + k >= m { m } else { 0 };
+                            // SAFETY: index src*n + j belongs to column j of this
+                            // worker's group; bounds: src < m, j < n.
+                            *slot = unsafe { us.get(src * n + j) };
+                        }
+                        let jw = faulty::skew_column("rotate_columns", j, j0, gw, n);
+                        for (i, &v) in buf.iter().enumerate() {
+                            // SAFETY: same column-ownership argument.
+                            unsafe { us.set(i * n + jw, v) };
+                        }
+                    }
+                },
+            )
         },
+        |data, g| recover::redo_col_gather(data, m, n, w, g, |i, j| (i + amount(j)) % m),
     )
 }
 
@@ -122,25 +152,33 @@ pub fn col_shuffle_parallel<T: Copy + Send + Sync>(
     w: usize,
 ) -> Result<(), PoolError> {
     let (m, n) = (p.m, p.n);
-    par_groups(
+    recover::run_op(
         data,
-        n,
-        w,
-        || format!("col_shuffle (Eq. 26): m={m}, n={n}, group width w={w}"),
-        |scratch, us, j0, gw| {
-            let buf = scratch.uninit_buf(m, unsafe { us.get(j0) });
-            for j in j0..j0 + gw {
-                for (i, slot) in buf.iter_mut().enumerate() {
-                    // SAFETY: s'_j(i) < m, so the index is in column j.
-                    *slot = unsafe { us.get(p.s(j, i) * n + j) };
-                }
-                let jw = faulty::skew_column("col_shuffle", j, j0, gw, n);
-                for (i, &v) in buf.iter().enumerate() {
-                    // SAFETY: column-ownership.
-                    unsafe { us.set(i * n + jw, v) };
-                }
-            }
+        n.div_ceil(w),
+        |data, journal, _degraded| {
+            par_groups(
+                data,
+                n,
+                w,
+                journal,
+                || format!("col_shuffle (Eq. 26): m={m}, n={n}, group width w={w}"),
+                |scratch, us, j0, gw| {
+                    let buf = scratch.uninit_buf(m, unsafe { us.get(j0) });
+                    for j in j0..j0 + gw {
+                        for (i, slot) in buf.iter_mut().enumerate() {
+                            // SAFETY: s'_j(i) < m, so the index is in column j.
+                            *slot = unsafe { us.get(p.s(j, i) * n + j) };
+                        }
+                        let jw = faulty::skew_column("col_shuffle", j, j0, gw, n);
+                        for (i, &v) in buf.iter().enumerate() {
+                            // SAFETY: column-ownership.
+                            unsafe { us.set(i * n + jw, v) };
+                        }
+                    }
+                },
+            )
         },
+        |data, g| recover::redo_col_gather(data, m, n, w, g, |i, j| p.s(j, i)),
     )
 }
 
@@ -215,106 +253,153 @@ where
     let max_weight = bundles.iter().map(|b| b.weight).max().unwrap_or(0);
     let min_weight = bundles.iter().map(|b| b.weight).min().unwrap_or(0);
     ipt_pool::stats::record_bundle_schedule(nb as u64, max_weight as u64, min_weight as u64);
-    let scope = CheckScope::new(data.len(), n, || {
-        format!(
-            "row_permute (Eq. 31/q^-1 cycles): m={m}, n={n}, group width w={w}, \
-             {nb} cycle bundle(s) x {groups} column group(s); claim shape \
-             row-set x column-group, owner = bundle * {groups} + group"
-        )
-    });
-    let us = UnsafeSlice::new(data, &scope);
     // Tasks sized so a worker's share clears the spawn threshold even
     // when bundle_count was clamped by the thread count.
     let per_task_elems = (cycles.moved() / nb).max(1) * wmax;
     let task_grain = (crate::PAR_MIN_ELEMS / per_task_elems.max(1)).max(1);
-    ipt_pool::par_chunks_init(0..nb * groups, task_grain, Scratch::new, |scratch, sub| {
-        // The scratch buffer is sized once per worker (to the full
-        // group width), asserted below via capacity stability.
-        let mut sized_cap = None;
-        for t in sub {
-            faulty::maybe_panic("row_cycle_bundle", t);
-            let (b, g) = (t / groups, t % groups);
-            let bundle = &bundles[b];
-            let j0 = g * w;
-            let gw = w.min(n - j0);
-            // Composite owner matching the scope label's decode rule
-            // (== t; spelled out so label and claim cannot drift).
-            let owner = b * groups + g;
-            us.claim_rows_in_columns(
-                owner,
-                bundle.members.iter().flat_map(|&ci| {
-                    let leader = cycles.leaders[ci];
-                    let perm = &perm;
-                    std::iter::successors(Some(leader), move |&i| {
-                        let next = perm(i);
-                        (next != leader).then_some(next)
-                    })
-                }),
-                j0,
-                gw,
-            );
-            // Fill value must come from this task's own claim
-            // (any other row could race with another bundle's writer).
-            let first_row = cycles.leaders[bundle.members[0]];
-            // SAFETY: (first_row, j0) is in this task's claim.
-            let fill = unsafe { us.get(first_row * n + j0) };
-            for &ci in &bundle.members {
-                let leader = cycles.leaders[ci];
-                if cycles.lengths[ci] == 2 {
-                    // 2-cycle: a three-assignment sub-row swap, no
-                    // buffer walk.
-                    let other = perm(leader);
-                    for k in 0..gw {
-                        let jw = faulty::skew_column("row_cycle_bundle", j0 + k, j0, gw, n);
-                        // SAFETY: (leader, j0+k) and (other, j0+k)
-                        // are both in this task's claim.
-                        unsafe {
-                            let tmp = us.get(leader * n + j0 + k);
-                            us.set(leader * n + jw, us.get(other * n + j0 + k));
-                            us.set(other * n + jw, tmp);
+    let (perm, bundles) = (&perm, &bundles);
+    recover::run_op(
+        data,
+        nb * groups,
+        |data, journal, _degraded| {
+            let scope = CheckScope::new(data.len(), n, || {
+                format!(
+                    "row_permute (Eq. 31/q^-1 cycles): m={m}, n={n}, group width w={w}, \
+                     {nb} cycle bundle(s) x {groups} column group(s); claim shape \
+                     row-set x column-group, owner = bundle * {groups} + group"
+                )
+            });
+            let us = UnsafeSlice::new(data, &scope);
+            ipt_pool::par_chunks_init(0..nb * groups, task_grain, Scratch::new, |scratch, sub| {
+                // The scratch buffer is sized once per worker (to the full
+                // group width), asserted below via capacity stability.
+                let mut sized_cap = None;
+                for t in sub {
+                    if journal.is_some_and(|j| j.is_done(t)) {
+                        continue;
+                    }
+                    faulty::maybe_panic("row_cycle_bundle", t);
+                    let (b, g) = (t / groups, t % groups);
+                    let bundle = &bundles[b];
+                    let j0 = g * w;
+                    let gw = w.min(n - j0);
+                    // Composite owner matching the scope label's decode rule
+                    // (== t; spelled out so label and claim cannot drift).
+                    let owner = b * groups + g;
+                    let bundle_rows = || {
+                        bundle.members.iter().flat_map(|&ci| {
+                            let leader = cycles.leaders[ci];
+                            let perm = &perm;
+                            std::iter::successors(Some(leader), move |&i| {
+                                let next = perm(i);
+                                (next != leader).then_some(next)
+                            })
+                        })
+                    };
+                    us.claim_rows_in_columns(owner, bundle_rows(), j0, gw);
+                    if let Some(jr) = journal {
+                        // SAFETY: every snapshot index is row r of this
+                        // bundle's cycles x the group just claimed.
+                        jr.begin(
+                            scratch,
+                            t,
+                            bundle_rows().map(|r| (r * n + j0, gw)),
+                            |idx| unsafe { us.get(idx) },
+                        );
+                    }
+                    // Fill value must come from this task's own claim
+                    // (any other row could race with another bundle's writer).
+                    let first_row = cycles.leaders[bundle.members[0]];
+                    // SAFETY: (first_row, j0) is in this task's claim.
+                    let fill = unsafe { us.get(first_row * n + j0) };
+                    for &ci in &bundle.members {
+                        let leader = cycles.leaders[ci];
+                        if cycles.lengths[ci] == 2 {
+                            // 2-cycle: a three-assignment sub-row swap, no
+                            // buffer walk.
+                            let other = perm(leader);
+                            for k in 0..gw {
+                                let jw = faulty::skew_column("row_cycle_bundle", j0 + k, j0, gw, n);
+                                // SAFETY: (leader, j0+k) and (other, j0+k)
+                                // are both in this task's claim.
+                                unsafe {
+                                    let tmp = us.get(leader * n + j0 + k);
+                                    us.set(leader * n + jw, us.get(other * n + j0 + k));
+                                    us.set(other * n + jw, tmp);
+                                }
+                            }
+                            continue;
+                        }
+                        let buf = &mut scratch.uninit_buf(wmax, fill)[..gw];
+                        for (k, slot) in buf.iter_mut().enumerate() {
+                            // SAFETY: (leader, j0+k) is in this task's claim.
+                            *slot = unsafe { us.get(leader * n + j0 + k) };
+                        }
+                        let mut i = leader;
+                        loop {
+                            let src = perm(i);
+                            if src == leader {
+                                for (k, &v) in buf.iter().enumerate() {
+                                    let jw =
+                                        faulty::skew_column("row_cycle_bundle", j0 + k, j0, gw, n);
+                                    // SAFETY: row i is on this bundle's cycle.
+                                    unsafe { us.set(i * n + jw, v) };
+                                }
+                                break;
+                            }
+                            for k in 0..gw {
+                                // SAFETY: rows i and src are on this bundle's
+                                // cycle; columns stay in [j0, j0+gw).
+                                unsafe { us.set(i * n + j0 + k, us.get(src * n + j0 + k)) };
+                            }
+                            i = src;
                         }
                     }
-                    continue;
+                    if let Some(jr) = journal {
+                        jr.commit(t);
+                    }
+                    // 2-cycle-only tasks never touch the buffer, so the
+                    // capacity may go 0 -> sized exactly once; it must never
+                    // change after that first sizing. Armed recovery captures
+                    // snapshots through owned buffers, never this storage.
+                    let cap_now = scratch.capacity();
+                    if cap_now != 0 {
+                        match sized_cap {
+                            None => sized_cap = Some(cap_now),
+                            Some(cap) => debug_assert_eq!(
+                                cap_now, cap,
+                                "worker scratch must be sized once (wmax={wmax})"
+                            ),
+                        }
+                    }
                 }
-                let buf = &mut scratch.uninit_buf(wmax, fill)[..gw];
-                for (k, slot) in buf.iter_mut().enumerate() {
-                    // SAFETY: (leader, j0+k) is in this task's claim.
-                    *slot = unsafe { us.get(leader * n + j0 + k) };
-                }
+            })
+        },
+        |data, t| {
+            // Sequential reference redo of one (bundle, group) task: the
+            // same cycle walk on plain indexing — no fault sites.
+            let (b, g) = (t / groups, t % groups);
+            let j0 = g * w;
+            let gw = w.min(n - j0);
+            let mut buf = vec![data[0]; gw];
+            for &ci in &bundles[b].members {
+                let leader = cycles.leaders[ci];
+                buf.copy_from_slice(&data[leader * n + j0..leader * n + j0 + gw]);
                 let mut i = leader;
                 loop {
                     let src = perm(i);
                     if src == leader {
-                        for (k, &v) in buf.iter().enumerate() {
-                            let jw = faulty::skew_column("row_cycle_bundle", j0 + k, j0, gw, n);
-                            // SAFETY: row i is on this bundle's cycle.
-                            unsafe { us.set(i * n + jw, v) };
-                        }
+                        data[i * n + j0..i * n + j0 + gw].copy_from_slice(&buf);
                         break;
                     }
                     for k in 0..gw {
-                        // SAFETY: rows i and src are on this bundle's
-                        // cycle; columns stay in [j0, j0+gw).
-                        unsafe { us.set(i * n + j0 + k, us.get(src * n + j0 + k)) };
+                        data[i * n + j0 + k] = data[src * n + j0 + k];
                     }
                     i = src;
                 }
             }
-            // 2-cycle-only tasks never touch the buffer, so the
-            // capacity may go 0 -> sized exactly once; it must never
-            // change after that first sizing.
-            let cap_now = scratch.capacity();
-            if cap_now != 0 {
-                match sized_cap {
-                    None => sized_cap = Some(cap_now),
-                    Some(cap) => debug_assert_eq!(
-                        cap_now, cap,
-                        "worker scratch must be sized once (wmax={wmax})"
-                    ),
-                }
-            }
-        }
-    })
+        },
+    )
 }
 
 /// Process disjoint column blocks of a row-major `m x n` matrix in

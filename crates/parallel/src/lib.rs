@@ -42,6 +42,7 @@
 pub mod batched;
 pub mod cache_aware;
 pub mod cols;
+mod recover;
 pub mod rows;
 mod unsafe_slice;
 

@@ -15,6 +15,7 @@
 //! [`ipt_pool::stats`], while [`row_shuffle_parallel_with`] pins an
 //! explicit kernel for tests, benches and ablations.
 
+use crate::recover;
 use crate::row_grain;
 use ipt_core::index::C2rParams;
 use ipt_core::kernels::faulty;
@@ -27,6 +28,12 @@ use ipt_pool::PoolError;
 /// Rows are `n`-element blocks of the row-major buffer; each worker
 /// stages its current row in a per-worker scratch `Vec` (the §4.5
 /// "on-chip" analogue) and applies the kernel's per-row permutation.
+///
+/// With recovery armed (`IPT_RETRY > 0`) each row snapshots itself into
+/// the op's journal before the kernel touches it; on the escalation
+/// ladder's degraded rungs the requested kernel is pinned back to the
+/// scalar reference kernel, and the final rung re-gathers the pending
+/// rows sequentially through `d'` / `d'^-1` directly.
 pub fn row_shuffle_parallel_with<T: Copy + Send + Sync>(
     data: &mut [T],
     p: &C2rParams,
@@ -34,16 +41,49 @@ pub fn row_shuffle_parallel_with<T: Copy + Send + Sync>(
     dir: ShuffleDirection,
 ) -> Result<(), PoolError> {
     let n = p.n;
-    ipt_pool::par_chunks_exact_mut(
+    let rows = data.len() / n.max(1);
+    recover::run_op(
         data,
-        n,
-        row_grain(n),
-        || Vec::with_capacity(n),
-        |tmp: &mut Vec<T>, i, row| {
-            faulty::maybe_panic("row_shuffle", i);
-            tmp.clear();
-            tmp.extend_from_slice(row);
-            kernel.apply_row(p, i, tmp, row, dir);
+        rows,
+        |data, journal, degraded| {
+            let kernel = if degraded {
+                RowShuffleKernel::Scalar
+            } else {
+                kernel
+            };
+            ipt_pool::par_chunks_exact_mut(
+                data,
+                n,
+                row_grain(n),
+                || Vec::with_capacity(n),
+                |tmp: &mut Vec<T>, i, row| {
+                    if journal.is_some_and(|j| j.is_done(i)) {
+                        return;
+                    }
+                    faulty::maybe_panic("row_shuffle", i);
+                    if let Some(j) = journal {
+                        j.begin_block(i, i * n, row);
+                    }
+                    tmp.clear();
+                    tmp.extend_from_slice(row);
+                    kernel.apply_row(p, i, tmp, row, dir);
+                    if let Some(j) = journal {
+                        j.commit(i);
+                    }
+                },
+            )
+        },
+        |data, i| {
+            // Sequential reference redo: the plain gather form of the
+            // shuffle, no kernel dispatch, no fault sites.
+            let row = &mut data[i * n..(i + 1) * n];
+            let gathered: Vec<T> = (0..n)
+                .map(|j| match dir {
+                    ShuffleDirection::Inverse => row[p.d_inv(i, j)],
+                    ShuffleDirection::Forward => row[p.d(i, j)],
+                })
+                .collect();
+            row.copy_from_slice(&gathered);
         },
     )
 }

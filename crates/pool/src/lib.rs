@@ -61,8 +61,10 @@
 #![deny(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod recovery;
 pub mod scratch;
 pub mod stats;
+pub mod watchdog;
 
 pub use scratch::Scratch;
 
@@ -139,6 +141,24 @@ pub struct PoolError {
     pub payload: String,
 }
 
+impl PoolError {
+    /// Build a `PoolError` from a caught panic payload, rendering it the
+    /// way the executor does (`&str` / `String` verbatim, anything else
+    /// as a stable placeholder). Used by the recovery driver in
+    /// `ipt-parallel` when its sequential redo rung itself panics.
+    pub fn from_payload(
+        worker: usize,
+        chunk: usize,
+        payload: Box<dyn std::any::Any + Send>,
+    ) -> PoolError {
+        PoolError {
+            worker,
+            chunk,
+            payload: payload_message(payload),
+        }
+    }
+}
+
 impl std::fmt::Display for PoolError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -212,6 +232,9 @@ where
 {
     let chunk = sub.start;
     let _guard = WorkerGuard::enter(worker);
+    // Armed only when IPT_WATCHDOG_MS (or a forced timeout) is set; the
+    // deadline covers this worker's whole subrange.
+    let _watch = watchdog::watch(worker, chunk);
     // AssertUnwindSafe: the per-worker state is created inside the
     // closure and discarded on panic; everything else reachable is `Sync`
     // shared state whose callers receive the Err and therefore know the
@@ -247,6 +270,9 @@ where
     F: Fn(&mut S, usize, &mut [T]) + Sync,
 {
     let _guard = WorkerGuard::enter(worker);
+    // Armed only when IPT_WATCHDOG_MS (or a forced timeout) is set; the
+    // per-block tick below keeps the deadline one block wide.
+    let watch = watchdog::watch(worker, start_block);
     let mut state = match catch_unwind(AssertUnwindSafe(init)) {
         Ok(state) => state,
         Err(payload) => {
@@ -260,6 +286,9 @@ where
     };
     for (b, chunk) in head.chunks_exact_mut(chunk_len).enumerate() {
         let idx = start_block + b;
+        if let Some(w) = &watch {
+            w.tick(idx);
+        }
         if let Err(payload) = catch_unwind(AssertUnwindSafe(|| body(&mut state, idx, chunk))) {
             stats::record_contained_panic();
             return Err(PoolError {

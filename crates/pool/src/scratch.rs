@@ -89,6 +89,23 @@ impl<T: Copy> Scratch<T> {
     pub fn capacity(&self) -> usize {
         self.storage.capacity()
     }
+
+    /// Copy the elements yielded by `src` into a fresh **owned** buffer —
+    /// the undo-snapshot staging hook used by
+    /// [`recovery::TaskJournal`](crate::recovery::TaskJournal).
+    ///
+    /// Unlike [`Scratch::filled_buf`] / [`Scratch::uninit_buf`], the
+    /// result must outlive the worker (a snapshot is consumed after the
+    /// worker's part has failed and unwound), so it cannot borrow the
+    /// reusable storage; each capture is tallied as one allocation so the
+    /// per-run cost of arming recovery stays visible in
+    /// [`crate::stats::snapshot`].
+    pub fn capture(&mut self, len_hint: usize, src: impl IntoIterator<Item = T>) -> Vec<T> {
+        self.allocs += 1;
+        let mut out = Vec::with_capacity(len_hint);
+        out.extend(src);
+        out
+    }
 }
 
 impl<T: Clone> Clone for Scratch<T> {
@@ -145,6 +162,21 @@ mod tests {
         let d = crate::stats::snapshot().delta_since(&before);
         assert!(d.scratch_allocs >= 1, "{d:?}");
         assert!(d.scratch_reuses >= 2, "{d:?}");
+    }
+
+    #[test]
+    fn capture_returns_owned_bytes_and_tallies_an_alloc() {
+        let before = crate::stats::snapshot();
+        let snap = {
+            let mut s: Scratch<u16> = Scratch::new();
+            let snap = s.capture(3, [4u16, 5, 6]);
+            // The owned snapshot is independent of the reusable storage.
+            s.filled_buf(8, 0);
+            snap
+        };
+        assert_eq!(snap, [4, 5, 6]);
+        let d = crate::stats::snapshot().delta_since(&before);
+        assert!(d.scratch_allocs >= 1, "{d:?}");
     }
 
     #[test]

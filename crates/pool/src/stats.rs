@@ -65,6 +65,24 @@ static SCRATCH_REUSES: AtomicU64 = AtomicU64::new(0);
 /// Worker panics caught at a chunk boundary and surfaced as `PoolError`.
 static PANICS_CONTAINED: AtomicU64 = AtomicU64::new(0);
 
+/// Recovery re-attempts driven by the retry ladder (`IPT_RETRY`): every
+/// re-execution of a failed parallel op after a snapshot restore,
+/// including the final sequential redo rung.
+static RETRIES_ATTEMPTED: AtomicU64 = AtomicU64::new(0);
+/// Parallel ops that completed successfully *after* at least one failure
+/// — the recovery layer's bottom line.
+static RECOVERED: AtomicU64 = AtomicU64::new(0);
+/// Retry rungs that ran with a degraded configuration (blocked kernels
+/// pinned to scalar, or the sequential reference redo).
+static DEGRADED: AtomicU64 = AtomicU64::new(0);
+/// Tasks the hang watchdog (`IPT_WATCHDOG_MS`) found past their deadline.
+static WATCHDOG_TRIPS: AtomicU64 = AtomicU64::new(0);
+
+/// The phase name most recently entered via [`phase`] anywhere in the
+/// process (best effort: concurrent phases race on this one cell). The
+/// watchdog reads it to attribute a stuck task to a decomposition pass.
+static CURRENT_PHASE: Mutex<Option<&'static str>> = Mutex::new(None);
+
 /// Cycle-bundle schedules dispatched (see [`record_bundle_schedule`]).
 static SCHED_SCHEDULES: AtomicU64 = AtomicU64::new(0);
 /// Total bundles across all schedules.
@@ -204,6 +222,63 @@ pub(crate) fn record_contained_panic() {
     PANICS_CONTAINED.fetch_add(1, Ordering::Relaxed);
 }
 
+/// Count one recovery re-attempt: a failed parallel op was rolled back
+/// from its undo snapshots and re-executed (see
+/// [`recovery`](crate::recovery)). Called by the retry driver, once per
+/// rung actually run — never on the fault-free fast path.
+#[inline]
+pub fn record_retry() {
+    RETRIES_ATTEMPTED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Count one parallel op that completed after at least one contained
+/// failure: the recovery ladder's success tally.
+#[inline]
+pub fn record_recovered() {
+    RECOVERED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Count one retry rung run with a degraded configuration (scalar-pinned
+/// kernels or the sequential reference redo).
+#[inline]
+pub fn record_degraded() {
+    DEGRADED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Count one task the hang watchdog found past its `IPT_WATCHDOG_MS`
+/// deadline (the process exits right after, so this surfaces in the
+/// pre-exit report, not in later snapshots).
+#[inline]
+pub(crate) fn record_watchdog_trip() {
+    WATCHDOG_TRIPS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The phase name most recently entered via [`phase`], or `"<no phase>"`
+/// outside any phase. Best effort under concurrency — good enough for
+/// the watchdog's diagnostic report, not for attribution math.
+pub(crate) fn current_phase_name() -> &'static str {
+    CURRENT_PHASE.lock().unwrap().unwrap_or("<no phase>")
+}
+
+/// RAII guard restoring the previous [`CURRENT_PHASE`] on drop, so the
+/// name unwinds correctly through nested and panicking phases.
+struct PhaseNameGuard {
+    prev: Option<&'static str>,
+}
+
+impl PhaseNameGuard {
+    fn enter(name: &'static str) -> PhaseNameGuard {
+        let prev = CURRENT_PHASE.lock().unwrap().replace(name);
+        PhaseNameGuard { prev }
+    }
+}
+
+impl Drop for PhaseNameGuard {
+    fn drop(&mut self) {
+        *CURRENT_PHASE.lock().unwrap() = self.prev;
+    }
+}
+
 /// Run `f`, attributing its wall time to the named phase.
 ///
 /// Timing uses monotonic [`Instant`] timestamps taken once around the
@@ -223,6 +298,7 @@ pub(crate) fn record_contained_panic() {
 /// assert_eq!(delta.phase("example_phase").unwrap().calls, 1);
 /// ```
 pub fn phase<R>(name: &'static str, f: impl FnOnce() -> R) -> R {
+    let _name_guard = PhaseNameGuard::enter(name);
     let t0 = Instant::now();
     let out = f();
     let dt = t0.elapsed().as_nanos() as u64;
@@ -386,6 +462,18 @@ pub struct PoolStats {
     /// fault-injection run, or a real bug the containment turned from UB
     /// into a reported abort.
     pub panics_contained: u64,
+    /// Recovery re-attempts driven by the `IPT_RETRY` ladder (see
+    /// [`record_retry`]). Zero on every fault-free run.
+    pub retries_attempted: u64,
+    /// Parallel ops that completed after at least one contained failure
+    /// (see [`record_recovered`]).
+    pub recovered: u64,
+    /// Retry rungs run with a degraded configuration (see
+    /// [`record_degraded`]).
+    pub degraded: u64,
+    /// Tasks the hang watchdog found past their `IPT_WATCHDOG_MS`
+    /// deadline (see [`crate::watchdog`]).
+    pub watchdog_trips: u64,
     /// Cycle-bundle scheduler tallies (see [`record_bundle_schedule`]).
     pub sched: SchedStats,
     /// Per-phase wall-time totals, in first-recorded order.
@@ -493,6 +581,12 @@ impl PoolStats {
             panics_contained: self
                 .panics_contained
                 .saturating_sub(earlier.panics_contained),
+            retries_attempted: self
+                .retries_attempted
+                .saturating_sub(earlier.retries_attempted),
+            recovered: self.recovered.saturating_sub(earlier.recovered),
+            degraded: self.degraded.saturating_sub(earlier.degraded),
+            watchdog_trips: self.watchdog_trips.saturating_sub(earlier.watchdog_trips),
             sched: SchedStats {
                 schedules: self.sched.schedules.saturating_sub(earlier.sched.schedules),
                 bundles: self.sched.bundles.saturating_sub(earlier.sched.bundles),
@@ -566,6 +660,10 @@ pub fn snapshot() -> PoolStats {
         scratch_allocs: SCRATCH_ALLOCS.load(Ordering::Relaxed),
         scratch_reuses: SCRATCH_REUSES.load(Ordering::Relaxed),
         panics_contained: PANICS_CONTAINED.load(Ordering::Relaxed),
+        retries_attempted: RETRIES_ATTEMPTED.load(Ordering::Relaxed),
+        recovered: RECOVERED.load(Ordering::Relaxed),
+        degraded: DEGRADED.load(Ordering::Relaxed),
+        watchdog_trips: WATCHDOG_TRIPS.load(Ordering::Relaxed),
         sched: SchedStats {
             schedules: SCHED_SCHEDULES.load(Ordering::Relaxed),
             bundles: SCHED_BUNDLES.load(Ordering::Relaxed),
@@ -590,6 +688,10 @@ pub fn reset() {
     SCRATCH_ALLOCS.store(0, Ordering::Relaxed);
     SCRATCH_REUSES.store(0, Ordering::Relaxed);
     PANICS_CONTAINED.store(0, Ordering::Relaxed);
+    RETRIES_ATTEMPTED.store(0, Ordering::Relaxed);
+    RECOVERED.store(0, Ordering::Relaxed);
+    DEGRADED.store(0, Ordering::Relaxed);
+    WATCHDOG_TRIPS.store(0, Ordering::Relaxed);
     SCHED_SCHEDULES.store(0, Ordering::Relaxed);
     SCHED_BUNDLES.store(0, Ordering::Relaxed);
     SCHED_MAX_WEIGHT.store(0, Ordering::Relaxed);
@@ -604,8 +706,19 @@ pub fn reset() {
 mod tests {
     use super::*;
 
+    /// Serializes the tests that enter phases: they would otherwise race
+    /// on the process-global [`CURRENT_PHASE`] cell.
+    static PHASE_TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn phase_lock() -> std::sync::MutexGuard<'static, ()> {
+        PHASE_TEST_LOCK
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     #[test]
     fn phase_accumulates_calls_and_time() {
+        let _serial = phase_lock();
         let before = snapshot();
         let r = phase("stats_test_phase", || {
             std::thread::sleep(std::time::Duration::from_millis(2));
@@ -622,6 +735,7 @@ mod tests {
 
     #[test]
     fn delta_drops_idle_phases_and_subtracts_counters() {
+        let _serial = phase_lock();
         phase("stats_idle_phase", || ());
         let before = snapshot();
         record_dispatch(3, 100);
@@ -688,6 +802,36 @@ mod tests {
     }
 
     #[test]
+    fn recovery_counters_accumulate_and_delta() {
+        let before = snapshot();
+        record_retry();
+        record_retry();
+        record_recovered();
+        record_degraded();
+        let d = snapshot().delta_since(&before);
+        assert!(d.retries_attempted >= 2, "{d:?}");
+        assert!(d.recovered >= 1, "{d:?}");
+        assert!(d.degraded >= 1, "{d:?}");
+    }
+
+    #[test]
+    fn current_phase_name_tracks_nesting_and_panics() {
+        let _serial = phase_lock();
+        assert_eq!(current_phase_name(), "<no phase>");
+        phase("stats_name_outer", || {
+            assert_eq!(current_phase_name(), "stats_name_outer");
+            phase("stats_name_inner", || {
+                assert_eq!(current_phase_name(), "stats_name_inner");
+            });
+            assert_eq!(current_phase_name(), "stats_name_outer");
+            let _ = std::panic::catch_unwind(|| {
+                phase("stats_name_panicky", || panic!("unwind through phase"))
+            });
+            assert_eq!(current_phase_name(), "stats_name_outer");
+        });
+    }
+
+    #[test]
     fn contained_panics_accumulate() {
         let before = snapshot();
         record_contained_panic();
@@ -707,6 +851,7 @@ mod tests {
 
     #[test]
     fn phase_bytes_accumulate_and_expose_bandwidth() {
+        let _serial = phase_lock();
         let before = snapshot();
         phase("stats_bytes_phase", || {
             std::thread::sleep(std::time::Duration::from_millis(1));

@@ -32,8 +32,13 @@
 #                        with a structured TransposeAborted (code 4) —
 #                        never a SIGSEGV/abort — proving panic
 #                        containment end to end through the CLI
+#   tier 3  recovery     the same fault-armed bench with IPT_RETRY=2 must
+#                        now *complete* (exit 0, gates evaluated) — the
+#                        undo/retry ladder healing every injected fault —
+#                        and an IPT_FAULT=hang:1 run under IPT_WATCHDOG_MS
+#                        must exit 5 via the watchdog, never wedge
 #
-# Usage: scripts/ci.sh [all|sanitize|fault|miri]
+# Usage: scripts/ci.sh [all|sanitize|fault|recovery|miri]
 #   (default `all`; from anywhere — cd's to the repo root)
 #
 # Knobs:
@@ -133,6 +138,60 @@ fault_stage() {
     # suite under a 5% per-item panic rate (contract in contained_bench).
     cargo build --release -p ipt-cli --features fault-inject --quiet
     contained_bench
+}
+
+recovery_stage() {
+    stage "recovery: armed retries must self-heal injected faults (tier 3)"
+    cargo build --release -p ipt-cli --features fault-inject --quiet
+
+    # The recovery test suite end to end (also covers IPT_RETRY=0
+    # containment): every injected panic/skew recovered byte-identically
+    # at the armed budget, abort contract intact at budget 0.
+    cargo test --release -p ipt --features fault-inject \
+        --test fault_injection -- armed_retry budget_zero
+
+    # Same fault dose as the fault stage — but with the ladder armed the
+    # bench must *complete*: exit 0, every per-run verification pass, the
+    # regression gate actually evaluated. Exit 4 here means the ladder
+    # failed to heal a contained fault; anything else means containment
+    # itself broke.
+    local out rc=0
+    out="$(IPT_FAULT=panic:0.05 IPT_CHECK=1 IPT_RETRY=2 \
+        target/release/ipt-cli bench --suite parallel --quick --samples 2 \
+        --out "$(mktemp)" 2>&1)" || rc=$?
+    if [ "$rc" -ne 0 ]; then
+        echo "$out"
+        echo "recovery smoke: armed bench must exit 0, got $rc"
+        return 1
+    fi
+    if grep -q "recovery:" <<< "$out"; then
+        echo "recovery smoke: armed bench completed; healed runs:"
+        grep "recovery:" <<< "$out" | head -3
+    else
+        echo "recovery smoke: WARNING: armed bench saw no injection" \
+             "(deterministic decisions all missed)"
+    fi
+
+    stage "hang smoke: watchdog must exit 5, never wedge (tier 3)"
+    # A 100% hang rate stalls the first parallel task forever; the
+    # watchdog (500 ms deadline) must take the process down with exit
+    # code 5 long before the outer 60 s timeout. 124 means the process
+    # wedged — the exact failure mode the watchdog exists to prevent.
+    rc=0
+    timeout 60 env IPT_FAULT=hang:1 IPT_WATCHDOG_MS=500 \
+        target/release/ipt-cli bench --suite parallel --quick --samples 2 \
+        --out "$(mktemp)" > /dev/null 2>&1 || rc=$?
+    case "$rc" in
+        5) echo "hang smoke: watchdog fired and exited 5, as expected" ;;
+        124)
+            echo "hang smoke: process WEDGED for 60s — watchdog never fired"
+            return 1
+            ;;
+        *)
+            echo "hang smoke: expected exit 5 (or 124 = wedge), got $rc"
+            return 1
+            ;;
+    esac
 }
 
 main_pipeline() {
@@ -244,14 +303,17 @@ case "${1:-all}" in
         main_pipeline
         sanitize_stage
         miri_stage
-        # Last on purpose: it runs a binary that aborts transposes.
+        # Last on purpose: these run binaries that abort (or, for the
+        # hang smoke, get killed out of) transposes.
         fault_stage
+        recovery_stage
         ;;
     sanitize) sanitize_stage ;;
     miri) miri_stage ;;
     fault) fault_stage ;;
+    recovery) recovery_stage ;;
     *)
-        echo "usage: scripts/ci.sh [all|sanitize|fault|miri]" >&2
+        echo "usage: scripts/ci.sh [all|sanitize|fault|recovery|miri]" >&2
         exit 2
         ;;
 esac

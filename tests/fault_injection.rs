@@ -22,7 +22,7 @@ use ipt::core::kernels::faulty::{self, FaultMode};
 use ipt::core::{Layout, Scratch};
 use ipt::parallel::batched::transpose_batched;
 use ipt::parallel::{c2r_parallel, r2c_parallel, ParOptions, TransposeAborted};
-use ipt::pool::{set_num_threads, stats};
+use ipt::pool::{recovery, set_num_threads, stats};
 use std::sync::{Mutex, MutexGuard};
 
 /// Serializes tests: forced fault mode, `IPT_CHECK`, the thread count and
@@ -55,13 +55,30 @@ impl Drop for Forced {
     }
 }
 
+/// RAII recovery budget so a failing assertion can't leak an armed
+/// `IPT_RETRY` override into the budget-0 abort-contract tests.
+struct Armed;
+
+impl Armed {
+    fn new(budget: usize) -> Armed {
+        recovery::force_retry(budget);
+        Armed
+    }
+}
+
+impl Drop for Armed {
+    fn drop(&mut self) {
+        recovery::unforce_retry();
+    }
+}
+
 /// Run one forced-fault C2R and return `(result, panics, skews)` deltas.
 fn run_c2r(m: usize, n: usize, opts: &ParOptions) -> (Result<(), TransposeAborted>, u64, u64) {
     let mut a: Vec<u64> = (0..(m * n) as u64).collect();
     let want = reference_transpose(&a, m, n, Layout::RowMajor);
-    let (p0, s0) = faulty::injection_counts();
+    let (p0, s0, _) = faulty::injection_counts();
     let result = c2r_parallel(&mut a, m, n, opts);
-    let (p1, s1) = faulty::injection_counts();
+    let (p1, s1, _) = faulty::injection_counts();
     if result.is_ok() {
         assert_eq!(a, want, "Ok result must mean a correct {m}x{n} transpose");
     }
@@ -74,9 +91,9 @@ fn run_r2c_plain(m: usize, n: usize) -> (Result<(), TransposeAborted>, u64, u64)
     let mut a: Vec<u64> = (0..(m * n) as u64).collect();
     let mut want = a.clone();
     ipt::core::r2c(&mut want, m, n, &mut Scratch::new());
-    let (p0, s0) = faulty::injection_counts();
+    let (p0, s0, _) = faulty::injection_counts();
     let result = r2c_parallel(&mut a, m, n, &ParOptions::plain());
-    let (p1, s1) = faulty::injection_counts();
+    let (p1, s1, _) = faulty::injection_counts();
     if result.is_ok() {
         assert_eq!(a, want, "Ok result must mean a correct {m}x{n} R2C");
     }
@@ -203,9 +220,9 @@ fn injected_panics_in_batched_transposes_are_contained() {
     set_num_threads(4);
     let (b, m, n) = (16usize, 24, 36);
     let mut data: Vec<u64> = (0..(b * m * n) as u64).collect();
-    let (p0, _) = faulty::injection_counts();
+    let (p0, _, _) = faulty::injection_counts();
     let result = transpose_batched(&mut data, b, m, n, Layout::RowMajor);
-    let (p1, _) = faulty::injection_counts();
+    let (p1, _, _) = faulty::injection_counts();
     match result {
         Err(e) => {
             assert!(p1 > p0, "abort without injection: {e}");
@@ -270,6 +287,129 @@ fn low_rate_skews_are_still_all_detected() {
             }
         }
     }
+}
+
+#[test]
+fn armed_retry_recovers_every_injected_panic() {
+    let _guard = setup();
+    let _forced = Forced::new(FaultMode::Panic(0.05));
+    let _armed = Armed::new(2);
+    let mut injected = 0u64;
+    for threads in [1usize, 2, 4] {
+        set_num_threads(threads);
+        let before = stats::snapshot();
+        let mut injected_here = 0u64;
+        // Same shape/engine sweep as the budget-0 containment test — but
+        // with IPT_RETRY=2 armed, every call must now complete with Ok
+        // and byte-identical output (run_c2r asserts equality on Ok).
+        for (m, n) in [(64usize, 96usize), (97, 64), (200, 300), (33, 1024)] {
+            for opts in [ParOptions::default(), ParOptions::plain()] {
+                let (result, panics, _) = run_c2r(m, n, &opts);
+                assert!(
+                    result.is_ok(),
+                    "threads={threads} {m}x{n}: armed run aborted: {}",
+                    result.unwrap_err()
+                );
+                injected_here += panics;
+            }
+        }
+        // The plain R2C path (cycle-bundle row permute first) too.
+        for (m, n) in [(4096usize, 8usize), (513, 96)] {
+            let (result, panics, _) = run_r2c_plain(m, n);
+            assert!(
+                result.is_ok(),
+                "threads={threads} {m}x{n}: armed R2C aborted: {}",
+                result.unwrap_err()
+            );
+            injected_here += panics;
+        }
+        let d = stats::snapshot().delta_since(&before);
+        if injected_here > 0 {
+            assert!(d.retries_attempted > 0, "faults but no retry rungs: {d:?}");
+            assert!(d.recovered > 0, "faults but no recovered ops: {d:?}");
+        }
+        injected += injected_here;
+    }
+    assert!(injected > 0, "the armed sweep never injected a panic");
+}
+
+#[test]
+fn armed_retry_recovers_injected_skews_in_checked_mode() {
+    let _guard = setup();
+    let _forced = Forced::new(FaultMode::Skew(1.0));
+    let _armed = Armed::new(2);
+    // Rate 1.0 defeats same-config retries (injection is deterministic
+    // per (site, item)), so recovery must come from the final
+    // sequential-redo rung, which has no skew sites. The checker
+    // (IPT_CHECK=1, set in setup()) rejects each skewed write before it
+    // lands, so the undo snapshots fully describe the torn state.
+    let opts = ParOptions::plain();
+    let mut injected = 0u64;
+    for threads in [1usize, 2, 4] {
+        set_num_threads(threads);
+        for (m, n) in [(64usize, 96usize), (96, 192), (48, 300)] {
+            let (result, _, skews) = run_c2r(m, n, &opts);
+            assert!(
+                result.is_ok(),
+                "threads={threads} {m}x{n}: armed skew run aborted: {}",
+                result.unwrap_err()
+            );
+            injected += skews;
+        }
+        for (m, n) in [(200usize, 96usize), (513, 64)] {
+            let (result, _, skews) = run_r2c_plain(m, n);
+            assert!(
+                result.is_ok(),
+                "threads={threads} {m}x{n}: armed bundle-skew run aborted: {}",
+                result.unwrap_err()
+            );
+            injected += skews;
+        }
+    }
+    assert!(injected > 0, "the armed sweep never injected a skew");
+}
+
+#[test]
+fn armed_retry_recovers_batched_panics() {
+    let _guard = setup();
+    let _forced = Forced::new(FaultMode::Panic(0.5));
+    let _armed = Armed::new(1);
+    set_num_threads(4);
+    let (b, m, n) = (16usize, 24, 36);
+    let mut data: Vec<u64> = (0..(b * m * n) as u64).collect();
+    let mut want = data.clone();
+    let mut scratch = Scratch::new();
+    for mat in want.chunks_exact_mut(m * n) {
+        ipt::core::c2r(mat, m, n, &mut scratch);
+    }
+    let (p0, _, _) = faulty::injection_counts();
+    let result = transpose_batched(&mut data, b, m, n, Layout::RowMajor);
+    let (p1, _, _) = faulty::injection_counts();
+    assert!(p1 > p0, "rate 0.5 over 16 matrices must inject");
+    assert!(result.is_ok(), "armed batched run aborted: {result:?}");
+    assert_eq!(data, want, "recovered batch must be byte-identical");
+}
+
+#[test]
+fn budget_zero_keeps_the_abort_contract() {
+    let _guard = setup();
+    let _forced = Forced::new(FaultMode::Panic(0.1));
+    let _armed = Armed::new(0);
+    // An explicit IPT_RETRY=0 must behave exactly like the unset default:
+    // the first contained fault aborts the whole transpose.
+    set_num_threads(4);
+    let mut aborted = 0u64;
+    for (m, n) in [(4096usize, 8usize), (2048, 48), (513, 96)] {
+        let (result, panics, _) = run_r2c_plain(m, n);
+        match result {
+            Err(e) => {
+                assert!(panics > 0, "abort without injection: {e} ({m}x{n})");
+                aborted += 1;
+            }
+            Ok(()) => assert_eq!(panics, 0, "{m}x{n} swallowed an injected panic"),
+        }
+    }
+    assert!(aborted > 0, "the budget-0 sweep never injected a panic");
 }
 
 #[test]

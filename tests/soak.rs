@@ -113,21 +113,26 @@ fn soak_warp_all_geometries() {
 }
 
 /// Fault soak: thousands of randomized shapes under forced panic and
-/// skew injection — every injected panic must surface as a structured
-/// abort (never a crash or silent tear), and every injected skew must be
-/// caught by the disjointness checker, across 1/2/4-thread pools.
-/// Compiled only with the `fault-inject` feature; run with
+/// skew injection, alternating the recovery budget between 0 (the
+/// containment contract: every injected panic must surface as a
+/// structured abort, never a crash or silent tear, and every injected
+/// skew must be caught by the disjointness checker) and 2 (the
+/// self-healing contract: every faulted run must complete with Ok and
+/// byte-identical output), across 1/2/4-thread pools. Compiled only
+/// with the `fault-inject` feature; run with
 /// `cargo test --features fault-inject --test soak -- --ignored`.
 #[cfg(feature = "fault-inject")]
 #[test]
 #[ignore = "soak: minutes of fault-injected sweeps; run with -- --ignored"]
 fn soak_faults_always_contained_and_detected() {
     use ipt::core::kernels::faulty::{self, FaultMode};
+    use ipt::pool::recovery;
 
     std::env::set_var("IPT_CHECK", "1"); // before the checker's first read
     let mut rng = Rng::new(0xfa_17_50_a1);
     let mut contained = 0u64;
     let mut detected = 0u64;
+    let mut recovered = 0u64;
     for round in 0..1500 {
         let m = rng.range(2..256);
         let n = rng.range(2..256);
@@ -141,6 +146,10 @@ fn soak_faults_always_contained_and_detected() {
         } else {
             (FaultMode::Skew(0.1), ParOptions::plain())
         };
+        // Arm the recovery ladder on a third of the rounds: those runs
+        // must *complete* despite the injected faults.
+        let armed = round % 3 == 2;
+        recovery::force_retry(if armed { 2 } else { 0 });
         faulty::force(Some(mode));
         let mut a: Vec<u64> = (0..(m * n) as u64).collect();
         // Half the rounds run R2C, whose plain path opens with the
@@ -153,19 +162,21 @@ fn soak_faults_always_contained_and_detected() {
         } else {
             reference_transpose(&a, m, n, ipt_core::Layout::RowMajor)
         };
-        let (p0, s0) = faulty::injection_counts();
+        let (p0, s0, _) = faulty::injection_counts();
         let result = if r2c {
             ipt_parallel::r2c_parallel(&mut a, m, n, &opts)
         } else {
             ipt_parallel::c2r_parallel(&mut a, m, n, &opts)
         };
-        let (p1, s1) = faulty::injection_counts();
+        let (p1, s1, _) = faulty::injection_counts();
         faulty::unforce();
+        recovery::unforce_retry();
 
         let injected = (p1 - p0) + (s1 - s0);
         match result {
             Err(e) => {
                 assert!(injected > 0, "round {round}: abort without injection: {e}");
+                assert!(!armed, "round {round}: armed run failed to recover: {e}");
                 if s1 > s0 {
                     assert!(
                         e.source.payload.contains("disjointness")
@@ -178,10 +189,17 @@ fn soak_faults_always_contained_and_detected() {
                 }
             }
             Ok(()) => {
-                assert_eq!(injected, 0, "round {round} {m}x{n}: fault went unnoticed");
-                assert_eq!(a, want, "round {round} {m}x{n}: wrong clean transpose");
+                if armed && injected > 0 {
+                    recovered += 1;
+                } else {
+                    assert_eq!(injected, 0, "round {round} {m}x{n}: fault went unnoticed");
+                }
+                assert_eq!(a, want, "round {round} {m}x{n}: wrong transpose");
             }
         }
     }
-    assert!(contained > 0 && detected > 0, "{contained} / {detected}");
+    assert!(
+        contained > 0 && detected > 0 && recovered > 0,
+        "{contained} contained / {detected} detected / {recovered} recovered"
+    );
 }
